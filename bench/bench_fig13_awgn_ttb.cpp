@@ -1,0 +1,108 @@
+// Regenerates Figure 13: TTB under AWGN channel noise.
+//   Left panel:  TTB vs number of users at fixed SNR = 20 dB.
+//   Right panel: TTB vs SNR at a fixed number of users.
+// QuAMax (mean Fix) against the idealized (median Opt over a |J_F| grid).
+//
+// Shapes to reproduce: graceful TTB degradation as users grow at fixed SNR;
+// improvement with SNR at fixed users; the idealized Opt shows little SNR
+// sensitivity, reaching 1e-6 BER within ~100 us in all cases.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "quamax/anneal/annealer.hpp"
+#include "quamax/common/stats.hpp"
+#include "quamax/sim/report.hpp"
+#include "quamax/sim/runner.hpp"
+
+namespace {
+
+using namespace quamax;
+using wireless::Modulation;
+
+struct ClassResult {
+  double opt_median;
+  double fix_mean;
+};
+
+ClassResult evaluate_class(std::size_t users, Modulation mod, double snr_db,
+                           std::size_t instances, std::size_t num_anneals,
+                           anneal::ChimeraAnnealer& annealer, Rng& rng) {
+  const std::vector<double> jf_grid{0.35, 0.5, 0.75};
+  std::vector<sim::Instance> insts;
+  for (std::size_t i = 0; i < instances; ++i)
+    insts.push_back(sim::make_instance({.users = users,
+                                        .mod = mod,
+                                        .kind = wireless::ChannelKind::kRandomPhase,
+                                        .snr_db = snr_db},
+                                       rng, /*ml_oracle=*/false));
+
+  sim::SweepMatrix ttb;  // [setting][instance]
+  for (const double jf : jf_grid) {
+    auto updated = annealer.config();
+    updated.embed.jf = jf;
+    annealer.set_config(updated);
+    std::vector<double> vals;
+    for (const sim::Instance& inst : insts) {
+      const sim::RunOutcome outcome =
+          sim::run_instance(inst, annealer, num_anneals, rng);
+      vals.push_back(sim::outcome_ttb_us(outcome, 1e-6, 1 << 24)
+                         .value_or(std::numeric_limits<double>::infinity()));
+    }
+    ttb.push_back(std::move(vals));
+  }
+  return {median(sim::opt_per_instance(ttb)), mean(sim::fix_values(ttb))};
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t instances = sim::scaled(6);
+  const std::size_t num_anneals = sim::scaled(1000);
+  sim::print_banner("TTB under AWGN: users and SNR sweeps",
+                    "Figure 13 (left: users @ 20 dB; right: SNR @ fixed users)",
+                    "instances = " + std::to_string(instances) +
+                        ", anneals = " + std::to_string(num_anneals));
+
+  anneal::AnnealerConfig config;
+  config.schedule.anneal_time_us = 1.0;
+  config.schedule.pause_time_us = 1.0;
+  config.embed.improved_range = true;
+  anneal::ChimeraAnnealer annealer(config);
+  Rng rng{0xF173};
+
+  std::printf("\nLeft panel: TTB(1e-6) vs users at SNR 20 dB\n");
+  sim::print_columns({"class", "Opt median us", "Fix mean us"});
+  const std::vector<std::pair<std::size_t, Modulation>> user_sweep{
+      {12, Modulation::kBpsk}, {24, Modulation::kBpsk}, {36, Modulation::kBpsk},
+      {48, Modulation::kBpsk}, {6, Modulation::kQpsk},  {10, Modulation::kQpsk},
+      {14, Modulation::kQpsk}, {18, Modulation::kQpsk}};
+  for (const auto& [users, mod] : user_sweep) {
+    const ClassResult r = evaluate_class(users, mod, 20.0, instances,
+                                         num_anneals, annealer, rng);
+    sim::print_row({std::to_string(users) + "u " + wireless::to_string(mod),
+                    sim::fmt_us(r.opt_median), sim::fmt_us(r.fix_mean)});
+  }
+
+  std::printf("\nRight panel: TTB(1e-6) vs SNR at fixed users\n");
+  sim::print_columns({"class", "SNR dB", "Opt median us", "Fix mean us"});
+  for (const auto& [users, mod] :
+       std::vector<std::pair<std::size_t, Modulation>>{{36, Modulation::kBpsk},
+                                                       {12, Modulation::kQpsk}}) {
+    for (const double snr : {10.0, 15.0, 20.0, 30.0, 40.0}) {
+      const ClassResult r = evaluate_class(users, mod, snr, instances,
+                                           num_anneals, annealer, rng);
+      sim::print_row({std::to_string(users) + "u " + wireless::to_string(mod),
+                      sim::fmt_double(snr, 0), sim::fmt_us(r.opt_median),
+                      sim::fmt_us(r.fix_mean)});
+    }
+  }
+
+  std::printf(
+      "\nShape check vs the paper: at fixed SNR the TTB degrades gracefully\n"
+      "with the number of users across modulations; at fixed users the TTB\n"
+      "improves with SNR, and low SNR can leave the 1e-6 target unreachable\n"
+      "(the ML floor itself has bit errors there).\n");
+  return 0;
+}

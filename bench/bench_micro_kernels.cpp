@@ -1,0 +1,127 @@
+// Micro-benchmarks (google-benchmark) for the library's compute kernels.
+// Not a paper figure — these quantify the claims the paper makes in passing:
+//   * §3.2.2: the closed-form Ising coefficients make the ML->QA conversion
+//     cheap ("computational time ... can be neglected") — compare generic
+//     norm expansion against the closed forms;
+//   * embedding compilation and unembedding costs;
+//   * the SA substitute's per-anneal cost (the classical analog of Ta);
+//   * baseline detector costs (Sphere Decoder, zero-forcing).
+
+#include <benchmark/benchmark.h>
+
+#include "quamax/anneal/annealer.hpp"
+#include "quamax/core/detector.hpp"
+#include "quamax/detect/linear.hpp"
+#include "quamax/detect/sphere.hpp"
+#include "quamax/sim/runner.hpp"
+
+namespace {
+
+using namespace quamax;
+using wireless::Modulation;
+
+wireless::ChannelUse make_use(std::size_t users, Modulation mod, double snr_db) {
+  Rng rng{0xBE7C};
+  return wireless::make_channel_use(users, users, mod,
+                                    wireless::ChannelKind::kRayleigh, snr_db, rng);
+}
+
+void BM_ReductionGeneric(benchmark::State& state) {
+  const auto use = make_use(static_cast<std::size_t>(state.range(0)),
+                            Modulation::kQpsk, 20.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::reduce_ml_to_ising(use.h, use.y, use.mod));
+}
+BENCHMARK(BM_ReductionGeneric)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ReductionClosedForm(benchmark::State& state) {
+  const auto use = make_use(static_cast<std::size_t>(state.range(0)),
+                            Modulation::kQpsk, 20.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::reduce_ml_to_ising_closed_form(use.h, use.y, use.mod));
+}
+BENCHMARK(BM_ReductionClosedForm)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CliqueEmbedding(benchmark::State& state) {
+  const chimera::ChimeraGraph chip(16);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(chimera::find_clique_embedding(n, chip));
+}
+BENCHMARK(BM_CliqueEmbedding)->Arg(16)->Arg(36)->Arg(60);
+
+void BM_EmbedCompile(benchmark::State& state) {
+  const chimera::ChimeraGraph chip(16);
+  const auto use = make_use(static_cast<std::size_t>(state.range(0)),
+                            Modulation::kBpsk, 20.0);
+  const auto problem = core::reduce_ml_to_ising(use.h, use.y, use.mod);
+  const auto embedding = chimera::find_clique_embedding(problem.num_vars(), chip);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        chimera::embed(problem.ising, embedding, chip, chimera::EmbedParams{}));
+}
+BENCHMARK(BM_EmbedCompile)->Arg(16)->Arg(36)->Arg(60);
+
+void BM_SaAnnealEmbedded(benchmark::State& state) {
+  // One anneal at Ta = 1 us on the embedded problem (per-anneal CPU cost of
+  // the QA substitute).
+  const chimera::ChimeraGraph chip(16);
+  const auto use = make_use(static_cast<std::size_t>(state.range(0)),
+                            Modulation::kBpsk, 20.0);
+  const auto problem = core::reduce_ml_to_ising(use.h, use.y, use.mod);
+  const auto embedding = chimera::find_clique_embedding(problem.num_vars(), chip);
+  const auto embedded =
+      chimera::embed(problem.ising, embedding, chip, chimera::EmbedParams{});
+  const anneal::SaEngine engine(embedded.physical);
+  const anneal::Schedule schedule;
+  const std::vector<double> betas = schedule.betas();
+  Rng rng{1};
+  for (auto _ : state) benchmark::DoNotOptimize(engine.anneal(betas, rng));
+}
+BENCHMARK(BM_SaAnnealEmbedded)->Arg(16)->Arg(36)->Arg(60);
+
+void BM_Unembed(benchmark::State& state) {
+  const chimera::ChimeraGraph chip(16);
+  const auto use = make_use(36, Modulation::kBpsk, 20.0);
+  const auto problem = core::reduce_ml_to_ising(use.h, use.y, use.mod);
+  const auto embedding = chimera::find_clique_embedding(problem.num_vars(), chip);
+  const auto embedded =
+      chimera::embed(problem.ising, embedding, chip, chimera::EmbedParams{});
+  qubo::SpinVec physical(embedded.physical.num_spins(), 1);
+  Rng rng{2};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(chimera::unembed(physical, embedded, rng));
+}
+BENCHMARK(BM_Unembed);
+
+void BM_SphereDecode(benchmark::State& state) {
+  const auto use = make_use(static_cast<std::size_t>(state.range(0)),
+                            Modulation::kBpsk, 13.0);
+  const detect::SphereDecoder decoder;
+  for (auto _ : state) benchmark::DoNotOptimize(decoder.detect(use));
+}
+BENCHMARK(BM_SphereDecode)->Arg(12)->Arg(21)->Arg(30);
+
+void BM_ZeroForcing(benchmark::State& state) {
+  const auto use = make_use(static_cast<std::size_t>(state.range(0)),
+                            Modulation::kBpsk, 13.0);
+  for (auto _ : state) benchmark::DoNotOptimize(detect::zero_forcing_detect(use));
+}
+BENCHMARK(BM_ZeroForcing)->Arg(12)->Arg(30)->Arg(60);
+
+void BM_Eq9ExpectedBer(benchmark::State& state) {
+  Rng rng{3};
+  anneal::AnnealerConfig config;
+  anneal::ChimeraAnnealer annealer(config);
+  const sim::Instance inst = sim::make_instance(
+      {.users = 16, .mod = Modulation::kBpsk, .kind = {}, .snr_db = {}}, rng);
+  const sim::RunOutcome outcome = sim::run_instance(inst, annealer, 500, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(outcome.stats.expected_ber(1000));
+}
+BENCHMARK(BM_Eq9ExpectedBer);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Regenerates Table 1: Sphere Decoder visited-node counts over Rayleigh
+// channels at 13 dB SNR, for the three complexity tiers the paper reports:
+//   ~40 nodes    (feasible):   12x12 BPSK,  7x7 QPSK,  4x4 16-QAM
+//   ~270 nodes   (borderline): 21x21 BPSK, 11x11 QPSK, 6x6 16-QAM
+//   ~1,900 nodes (unfeasible): 30x30 BPSK, 15x15 QPSK, 8x8 16-QAM
+// The paper averages 10,000 instances; scale with QUAMAX_SCALE.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "quamax/common/rng.hpp"
+#include "quamax/common/stats.hpp"
+#include "quamax/detect/sphere.hpp"
+#include "quamax/sim/report.hpp"
+#include "quamax/sim/runner.hpp"
+
+namespace {
+
+using namespace quamax;
+using wireless::ChannelKind;
+using wireless::Modulation;
+
+struct Config {
+  std::size_t nt;
+  Modulation mod;
+  const char* tier;
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t instances = sim::scaled(300);
+  sim::print_banner("Sphere Decoder complexity",
+                    "Table 1 (visited nodes, Rayleigh 13 dB SNR)",
+                    "instances/config = " + std::to_string(instances) +
+                        " (paper: 10,000); QUAMAX_SCALE to adjust");
+
+  const std::vector<Config> configs{
+      {12, Modulation::kBpsk, "feasible (~40)"},
+      {7, Modulation::kQpsk, "feasible (~40)"},
+      {4, Modulation::kQam16, "feasible (~40)"},
+      {21, Modulation::kBpsk, "borderline (~270)"},
+      {11, Modulation::kQpsk, "borderline (~270)"},
+      {6, Modulation::kQam16, "borderline (~270)"},
+      {30, Modulation::kBpsk, "unfeasible (~1,900)"},
+      {15, Modulation::kQpsk, "unfeasible (~1,900)"},
+      {8, Modulation::kQam16, "unfeasible (~1,900)"},
+  };
+
+  sim::print_columns({"config", "modulation", "mean nodes", "median", "p90",
+                      "time model us", "paper tier"});
+
+  Rng rng{0x7AB1E1};
+  // Node budget guards the pathological low-SNR tail without affecting the
+  // typical counts that Table 1 reports.
+  const detect::SphereDecoder decoder{500000};
+  for (const Config& config : configs) {
+    std::vector<double> nodes;
+    nodes.reserve(instances);
+    for (std::size_t i = 0; i < instances; ++i) {
+      const auto use = wireless::make_channel_use(
+          config.nt, config.nt, config.mod, ChannelKind::kRayleigh, 13.0, rng);
+      nodes.push_back(
+          static_cast<double>(decoder.detect(use).visited_nodes));
+    }
+    const Summary s = summarize(nodes);
+    sim::print_row({std::to_string(config.nt) + "x" + std::to_string(config.nt),
+                    wireless::to_string(config.mod), sim::fmt_double(s.mean, 1),
+                    sim::fmt_double(s.median, 1), sim::fmt_double(s.p90, 1),
+                    sim::fmt_us(detect::sphere_decoder_time_model_us(
+                        static_cast<std::size_t>(s.mean))),
+                    config.tier});
+  }
+
+  std::printf(
+      "\nShape check: counts must grow by roughly an order of magnitude per\n"
+      "tier (paper: 40 -> 270 -> 1,900), saturating a conventional core's\n"
+      "arithmetic throughput at the third tier.\n");
+  return 0;
+}

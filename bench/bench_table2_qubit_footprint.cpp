@@ -1,0 +1,52 @@
+// Regenerates Table 2: logical (physical) qubit counts for the elementary
+// adiabatic ML decoder across MIMO sizes and modulations, plus feasibility
+// on the 2000Q's Chimera C16 chip (bold cells in the paper = infeasible).
+
+#include <cstdio>
+#include <string>
+
+#include "quamax/chimera/embedding.hpp"
+#include "quamax/sim/report.hpp"
+
+int main() {
+  using namespace quamax;
+
+  sim::print_banner("Qubit footprint of the QuAMax embedding",
+                    "Table 2 (logical/physical qubits, feasibility)",
+                    "chain length = ceil(N/4)+1; chip = Chimera C16, 2048 qubits");
+
+  const chimera::ChimeraGraph chip(16);
+  const std::size_t sizes[] = {10, 20, 40, 60};
+  const struct {
+    const char* name;
+    int bits;
+  } mods[] = {{"BPSK", 1}, {"QPSK", 2}, {"16-QAM", 4}, {"64-QAM", 6}};
+
+  sim::print_columns({"config", "BPSK", "QPSK", "16-QAM", "64-QAM"});
+  for (const std::size_t nt : sizes) {
+    std::vector<std::string> row{std::to_string(nt) + "x" + std::to_string(nt)};
+    for (const auto& mod : mods) {
+      const chimera::QubitFootprint fp =
+          chimera::qubit_footprint(nt, mod.bits, chip);
+      row.push_back(std::to_string(fp.logical) + " (" +
+                    std::to_string(fp.physical) + ")" +
+                    (fp.feasible ? "" : " !"));
+    }
+    sim::print_row(row);
+  }
+
+  std::printf(
+      "\n'!' marks configurations that do NOT fit the 2,048-qubit Chimera\n"
+      "chip (the paper's bold cells).  Cross-checks: 10x10 BPSK = 10 (40);\n"
+      "60x60 BPSK = 60 (960) feasible; 20x20 16-QAM and larger are not.\n");
+
+  std::printf("\nParallelization factor P_f (paper §4):\n");
+  sim::print_columns({"logical N", "chain len", "physical", "P_f"});
+  for (const std::size_t n : {8u, 16u, 36u, 48u, 60u, 64u}) {
+    const std::size_t chain = (n + 3) / 4 + 1;
+    sim::print_row({std::to_string(n), std::to_string(chain),
+                    std::to_string(n * chain),
+                    sim::fmt_double(chimera::parallelization_factor(n, chip), 2)});
+  }
+  return 0;
+}

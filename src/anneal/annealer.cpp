@@ -1,0 +1,217 @@
+#include "quamax/anneal/annealer.hpp"
+
+namespace quamax::anneal {
+
+ChimeraAnnealer::ChimeraAnnealer(AnnealerConfig config)
+    : config_(config),
+      graph_(config.chip_defects == 0
+                 ? chimera::ChimeraGraph(config.chip_size, config.chip_shore)
+                 : chimera::ChimeraGraph::with_defects(
+                       config.chip_size, config.chip_defects, config.chip_seed)) {
+  require(config.chip_defects == 0 || config.chip_shore == 4,
+          "ChimeraAnnealer: defect masks are modeled for the shore-4 chip");
+  config_.schedule.validate();
+}
+
+void ChimeraAnnealer::set_config(const AnnealerConfig& config) {
+  require(config.chip_size == config_.chip_size &&
+              config.chip_shore == config_.chip_shore &&
+              config.chip_defects == config_.chip_defects &&
+              config.chip_seed == config_.chip_seed,
+          "ChimeraAnnealer::set_config: cannot change the chip; build a new "
+          "annealer");
+  config.schedule.validate();
+  config_ = config;
+}
+
+std::vector<qubo::SpinVec> ChimeraAnnealer::sample(const qubo::IsingModel& problem,
+                                                   std::size_t num_anneals,
+                                                   Rng& rng) {
+  require(num_anneals >= 1, "ChimeraAnnealer::sample: need at least one anneal");
+
+  auto it = embedding_cache_.find(problem.num_spins());
+  if (it == embedding_cache_.end()) {
+    it = embedding_cache_
+             .emplace(problem.num_spins(),
+                      chimera::find_clique_embedding(problem.num_spins(), graph_))
+             .first;
+  }
+  const chimera::EmbeddedProblem embedded =
+      chimera::embed(problem, it->second, graph_, config_.embed);
+
+  SaEngine engine(embedded.physical);
+  // Chain-collective moves: the classical counterpart of the annealer's
+  // coherent multi-qubit dynamics (see sa_engine.hpp).
+  if (config_.chain_collective_moves) engine.set_groups(embedded.chains);
+  const std::vector<double> betas = config_.schedule.betas();
+
+  // Reverse annealing: broadcast the logical warm-start state along chains.
+  qubo::SpinVec physical_initial;
+  const qubo::SpinVec* initial = nullptr;
+  if (config_.schedule.reverse) {
+    require(initial_state_.has_value(),
+            "ChimeraAnnealer: reverse annealing needs set_initial_state()");
+    require(initial_state_->size() == problem.num_spins(),
+            "ChimeraAnnealer: initial state size does not match the problem");
+    physical_initial.resize(embedded.physical.num_spins());
+    for (std::size_t i = 0; i < embedded.chains.size(); ++i)
+      for (const std::uint32_t q : embedded.chains[i])
+        physical_initial[q] = (*initial_state_)[i];
+    initial = &physical_initial;
+  }
+
+  // Standard dynamic range + gauge averaging cancel the ICE mean shift.
+  IceConfig ice = config_.ice;
+  ice.suppress_bias =
+      ice.suppress_bias || (config_.gauge_averaging && !config_.embed.improved_range);
+
+  std::vector<double> fields;
+  std::vector<double> couplings;
+  std::vector<qubo::SpinVec> logical_samples;
+  logical_samples.reserve(num_anneals);
+
+  std::size_t broken_total = 0;
+  for (std::size_t a = 0; a < num_anneals; ++a) {
+    ice.perturb_fields(engine.base_fields(), fields, rng);
+    ice.perturb_couplings(engine.base_couplings(), couplings, rng);
+    const qubo::SpinVec physical =
+        engine.anneal_with(betas, fields, couplings, rng, initial);
+    std::size_t broken = 0;
+    qubo::SpinVec logical = chimera::unembed(physical, embedded, rng, &broken);
+    broken_total += broken;
+    if (config_.discard_broken_chain_samples && broken > 0) continue;
+    logical_samples.push_back(std::move(logical));
+  }
+  last_broken_chain_fraction_ =
+      static_cast<double>(broken_total) /
+      static_cast<double>(num_anneals * problem.num_spins());
+  return logical_samples;
+}
+
+std::vector<std::vector<qubo::SpinVec>> ChimeraAnnealer::sample_batch(
+    const std::vector<const qubo::IsingModel*>& problems,
+    std::size_t num_anneals, Rng& rng) {
+  require(!problems.empty(), "sample_batch: no problems");
+  require(num_anneals >= 1, "sample_batch: need at least one anneal");
+  const std::size_t n = problems.front()->num_spins();
+  for (const auto* p : problems)
+    require(p != nullptr && p->num_spins() == n,
+            "sample_batch: all problems must have the same variable count");
+  require(!config_.schedule.reverse,
+          "sample_batch: reverse annealing is single-problem only");
+
+  const std::vector<chimera::Embedding> slots =
+      chimera::find_parallel_embeddings(n, problems.size(), graph_);
+  const std::vector<double> betas = config_.schedule.betas();
+
+  IceConfig ice = config_.ice;
+  ice.suppress_bias =
+      ice.suppress_bias || (config_.gauge_averaging && !config_.embed.improved_range);
+
+  std::vector<std::vector<qubo::SpinVec>> results(problems.size());
+  for (auto& r : results) r.reserve(num_anneals);
+
+  // Process the problems in waves of |slots| instances per chip anneal.
+  for (std::size_t wave_start = 0; wave_start < problems.size();
+       wave_start += slots.size()) {
+    const std::size_t wave_size =
+        std::min(slots.size(), problems.size() - wave_start);
+
+    // Compile every slot and merge into one chip-wide Ising problem.
+    std::vector<chimera::EmbeddedProblem> embedded;
+    std::vector<std::size_t> offsets;
+    std::size_t total_spins = 0;
+    for (std::size_t s = 0; s < wave_size; ++s) {
+      embedded.push_back(chimera::embed(*problems[wave_start + s], slots[s],
+                                        graph_, config_.embed));
+      offsets.push_back(total_spins);
+      total_spins += embedded.back().physical.num_spins();
+    }
+    qubo::IsingModel merged(total_spins);
+    std::vector<std::vector<std::uint32_t>> merged_chains;
+    for (std::size_t s = 0; s < wave_size; ++s) {
+      const auto& ep = embedded[s];
+      const std::size_t off = offsets[s];
+      for (std::size_t i = 0; i < ep.physical.num_spins(); ++i)
+        merged.field(off + i) = ep.physical.field(i);
+      for (const qubo::Coupling& c : ep.physical.couplings())
+        merged.add_coupling(off + c.i, off + c.j, c.g);
+      for (const auto& chain : ep.chains) {
+        std::vector<std::uint32_t> shifted;
+        shifted.reserve(chain.size());
+        for (const std::uint32_t q : chain)
+          shifted.push_back(static_cast<std::uint32_t>(off + q));
+        merged_chains.push_back(std::move(shifted));
+      }
+    }
+
+    SaEngine engine(merged);
+    if (config_.chain_collective_moves) engine.set_groups(merged_chains);
+
+    std::vector<double> fields;
+    std::vector<double> couplings;
+    qubo::SpinVec slice;
+    for (std::size_t a = 0; a < num_anneals; ++a) {
+      ice.perturb_fields(engine.base_fields(), fields, rng);
+      ice.perturb_couplings(engine.base_couplings(), couplings, rng);
+      const qubo::SpinVec physical =
+          engine.anneal_with(betas, fields, couplings, rng);
+      for (std::size_t s = 0; s < wave_size; ++s) {
+        const auto& ep = embedded[s];
+        slice.assign(physical.begin() + static_cast<std::ptrdiff_t>(offsets[s]),
+                     physical.begin() + static_cast<std::ptrdiff_t>(
+                                            offsets[s] +
+                                            ep.physical.num_spins()));
+        results[wave_start + s].push_back(chimera::unembed(slice, ep, rng));
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<qubo::SpinVec> LogicalAnnealer::sample(const qubo::IsingModel& problem,
+                                                   std::size_t num_anneals,
+                                                   Rng& rng) {
+  require(num_anneals >= 1, "LogicalAnnealer::sample: need at least one anneal");
+
+  qubo::IsingModel scaled = problem;
+  if (config_.normalize) {
+    const double max_coeff = problem.max_abs_coefficient();
+    if (max_coeff > 0.0) {
+      qubo::IsingModel normalized(problem.num_spins());
+      for (std::size_t i = 0; i < problem.num_spins(); ++i)
+        normalized.field(i) = problem.field(i) / max_coeff;
+      for (const qubo::Coupling& c : problem.couplings())
+        normalized.add_coupling(c.i, c.j, c.g / max_coeff);
+      scaled = std::move(normalized);
+    }
+  }
+
+  const SaEngine engine(scaled);
+  const std::vector<double> betas = config_.schedule.betas();
+
+  std::vector<double> fields;
+  std::vector<double> couplings;
+  std::vector<qubo::SpinVec> samples;
+  samples.reserve(num_anneals);
+  for (std::size_t a = 0; a < num_anneals; ++a) {
+    if (config_.ice.enabled) {
+      config_.ice.perturb_fields(engine.base_fields(), fields, rng);
+      config_.ice.perturb_couplings(engine.base_couplings(), couplings, rng);
+      samples.push_back(engine.anneal_with(betas, fields, couplings, rng));
+    } else {
+      samples.push_back(engine.anneal(betas, rng));
+    }
+  }
+  return samples;
+}
+
+std::vector<qubo::SpinVec> BruteForceSampler::sample(const qubo::IsingModel& problem,
+                                                     std::size_t num_anneals,
+                                                     Rng& rng) {
+  (void)rng;
+  const qubo::GroundState ground = qubo::brute_force_ground_state(problem);
+  return std::vector<qubo::SpinVec>(num_anneals, ground.spins);
+}
+
+}  // namespace quamax::anneal

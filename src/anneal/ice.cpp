@@ -1,0 +1,33 @@
+#include "quamax/anneal/ice.hpp"
+
+namespace quamax::anneal {
+namespace {
+
+void perturb(const std::vector<double>& base, std::vector<double>& out,
+             double bias, double sigma, Rng& rng) {
+  out.resize(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i)
+    out[i] = base[i] + rng.normal(bias, sigma);
+}
+
+}  // namespace
+
+void IceConfig::perturb_fields(const std::vector<double>& base,
+                               std::vector<double>& out, Rng& rng) const {
+  if (!enabled) {
+    out = base;
+    return;
+  }
+  perturb(base, out, suppress_bias ? 0.0 : field_bias, field_sigma, rng);
+}
+
+void IceConfig::perturb_couplings(const std::vector<double>& base,
+                                  std::vector<double>& out, Rng& rng) const {
+  if (!enabled) {
+    out = base;
+    return;
+  }
+  perturb(base, out, suppress_bias ? 0.0 : coupling_bias, coupling_sigma, rng);
+}
+
+}  // namespace quamax::anneal

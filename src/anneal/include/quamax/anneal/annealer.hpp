@@ -1,0 +1,134 @@
+// Quantum-annealer stand-ins implementing core::IsingSampler.
+//
+//  * ChimeraAnnealer — the faithful pipeline: compile the logical problem
+//    onto the Chimera chip (clique embedding, |J_F| chains, dynamic-range
+//    normalization), perturb the programmed coefficients with ICE noise per
+//    anneal, run the SA kernel on the *physical* graph, and majority-vote
+//    unembed each anneal's configuration back to logical variables.
+//
+//  * LogicalAnnealer — ablation: same SA kernel applied directly to the
+//    logical fully-connected problem (no chains, optional ICE).  Isolates
+//    the cost of embedding; also the "highly optimized simulated annealing
+//    on the latest Intel processors" comparator mentioned in §6.
+//
+//  * BruteForceSampler — exhaustive oracle, returns the true ground state
+//    on every "anneal"; for tests and small-problem verification.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "quamax/anneal/ice.hpp"
+#include "quamax/anneal/sa_engine.hpp"
+#include "quamax/anneal/schedule.hpp"
+#include "quamax/chimera/embedding.hpp"
+#include "quamax/chimera/graph.hpp"
+#include "quamax/core/sampler.hpp"
+
+namespace quamax::anneal {
+
+struct AnnealerConfig {
+  Schedule schedule;
+  IceConfig ice;
+  chimera::EmbedParams embed;  ///< |J_F| and dynamic-range option
+  std::size_t chip_size = 16;  ///< Chimera C_M grid (2000Q: 16)
+  std::size_t chip_shore = 4;  ///< cell half-size (2000Q: 4; §8 next-gen: 12)
+  std::size_t chip_defects = 0;
+  std::uint64_t chip_seed = 7;
+  /// Standard range enables gauge averaging which cancels the ICE bias;
+  /// improved range precludes it (paper §4).  When true, the bias term is
+  /// suppressed automatically for standard-range runs.
+  bool gauge_averaging = true;
+  /// Ablation: disable the chain-collective Metropolis pass (leaving pure
+  /// single-spin dynamics, which cannot cross frozen chains — see
+  /// sa_engine.hpp).  bench_ablations quantifies the difference.
+  bool chain_collective_moves = true;
+  /// Ablation: instead of majority-voting broken chains (paper §3.3), drop
+  /// any anneal containing a broken chain entirely.  sample() then may
+  /// return fewer configurations than requested.
+  bool discard_broken_chain_samples = false;
+};
+
+class ChimeraAnnealer final : public core::IsingSampler {
+ public:
+  explicit ChimeraAnnealer(AnnealerConfig config);
+
+  std::vector<qubo::SpinVec> sample(const qubo::IsingModel& problem,
+                                    std::size_t num_anneals, Rng& rng) override;
+
+  /// Paper §4 parallelization, realized: decodes MANY same-size problems
+  /// (e.g. different subcarriers) per anneal batch by placing disjoint
+  /// clique embeddings across the chip and annealing them together.  Every
+  /// wave of up to ~P_f problems costs ONE anneal's wall clock.  Returns
+  /// one sample set per input problem, in order.
+  std::vector<std::vector<qubo::SpinVec>> sample_batch(
+      const std::vector<const qubo::IsingModel*>& problems,
+      std::size_t num_anneals, Rng& rng);
+
+  double anneal_duration_us() const override { return config_.schedule.duration_us(); }
+
+  double parallelization_factor(std::size_t num_logical) const override {
+    return chimera::parallelization_factor(num_logical, graph_);
+  }
+
+  const chimera::ChimeraGraph& graph() const noexcept { return graph_; }
+  const AnnealerConfig& config() const noexcept { return config_; }
+
+  /// Replaces annealing parameters (used by the Fig. 5-7 parameter sweeps)
+  /// without discarding the cached embeddings.
+  void set_config(const AnnealerConfig& config);
+
+  /// Fraction of chains broken (non-unanimous) across the last sample()
+  /// call — the embedding-health diagnostic used when tuning |J_F|.
+  double last_broken_chain_fraction() const noexcept {
+    return last_broken_chain_fraction_;
+  }
+
+  /// Seeds reverse annealing (schedule.reverse = true): each anneal starts
+  /// from this LOGICAL configuration (broadcast along chains) instead of a
+  /// random state.  Typically a linear detector's solution (§8: warm-started
+  /// reverse annealing "may close the gap to Opt").  Pass std::nullopt to
+  /// clear.  The state must match the next problem's variable count.
+  void set_initial_state(std::optional<qubo::SpinVec> logical_state) {
+    initial_state_ = std::move(logical_state);
+  }
+
+ private:
+  AnnealerConfig config_;
+  chimera::ChimeraGraph graph_;
+  std::map<std::size_t, chimera::Embedding> embedding_cache_;
+  std::optional<qubo::SpinVec> initial_state_;
+  double last_broken_chain_fraction_ = 0.0;
+};
+
+struct LogicalAnnealerConfig {
+  Schedule schedule;
+  IceConfig ice{.enabled = false};  ///< ICE is a hardware artifact; off by default
+  bool normalize = true;            ///< rescale to unit max |coefficient|
+};
+
+class LogicalAnnealer final : public core::IsingSampler {
+ public:
+  explicit LogicalAnnealer(LogicalAnnealerConfig config) : config_(config) {
+    config_.schedule.validate();
+  }
+
+  std::vector<qubo::SpinVec> sample(const qubo::IsingModel& problem,
+                                    std::size_t num_anneals, Rng& rng) override;
+
+  double anneal_duration_us() const override { return config_.schedule.duration_us(); }
+
+ private:
+  LogicalAnnealerConfig config_;
+};
+
+class BruteForceSampler final : public core::IsingSampler {
+ public:
+  std::vector<qubo::SpinVec> sample(const qubo::IsingModel& problem,
+                                    std::size_t num_anneals, Rng& rng) override;
+  double anneal_duration_us() const override { return 1.0; }
+};
+
+}  // namespace quamax::anneal

@@ -1,0 +1,39 @@
+// Intrinsic Control Error (ICE) model (paper §4 "Precision Issues").
+//
+// The D-Wave chip is analog: programmed Ising coefficients land on the
+// hardware perturbed.  The paper measures, per anneal, Gaussian shifts
+//   f_i  -> f_i  + <delta f>,   <delta f>  ~ 0.008 +/- 0.02
+//   g_ij -> g_ij + <delta g>,   <delta g> ~ -0.015 +/- 0.025
+// fluctuating on the timescale of one anneal.  We resample the perturbation
+// independently for every anneal.
+//
+// Dynamic-range interaction: without the improved-range option the machine
+// averages each problem over spin-reversal gauges, cancelling the *mean*
+// shift (only the spread remains); with improved range that symmetry is
+// broken and the bias lands on the problem (paper §4, "Improved coupling
+// dynamic range").  The annealer wires this in via `suppress_bias`.
+#pragma once
+
+#include <vector>
+
+#include "quamax/common/rng.hpp"
+
+namespace quamax::anneal {
+
+struct IceConfig {
+  bool enabled = true;
+  double field_bias = 0.008;
+  double field_sigma = 0.02;
+  double coupling_bias = -0.015;
+  double coupling_sigma = 0.025;
+  /// When true the mean shifts are dropped (gauge averaging, standard range).
+  bool suppress_bias = false;
+
+  /// Writes `out[i] = base[i] + noise` for one anneal's realization.
+  void perturb_fields(const std::vector<double>& base, std::vector<double>& out,
+                      Rng& rng) const;
+  void perturb_couplings(const std::vector<double>& base, std::vector<double>& out,
+                         Rng& rng) const;
+};
+
+}  // namespace quamax::anneal

@@ -1,0 +1,89 @@
+// Metropolis simulated-annealing engine over an arbitrary Ising model.
+//
+// This is the compute kernel standing in for the quantum chip: one call to
+// anneal() is one "anneal cycle" — it starts from a uniformly random spin
+// configuration (the classical analog of the initial uniform superposition)
+// and runs sequential Metropolis sweeps along the supplied inverse-
+// temperature schedule.
+//
+// Collective (group) moves: single-spin dynamics cannot serve embedded
+// problems — once the ferromagnetic chains freeze, flipping a logical
+// variable means dragging a domain wall through the whole chain, an
+// exponentially suppressed path.  The physical annealer flips chains
+// coherently (collective tunneling); we model that with an optional
+// per-sweep pass of Metropolis moves over caller-defined spin groups (the
+// embedding's chains), each accepted on the exact collective energy change.
+// Chain *breaking* — the small-|J_F| failure mode — still happens through
+// the single-spin pass, so the embedding trade-offs the paper studies
+// remain visible.
+//
+// The adjacency is prebuilt in CSR form with coupling *indices*, so ICE can
+// re-draw the coefficient arrays each anneal without touching the graph
+// structure.  Local fields are maintained incrementally; a sweep costs
+// O(sum of degrees) with no allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "quamax/common/rng.hpp"
+#include "quamax/qubo/ising.hpp"
+
+namespace quamax::anneal {
+
+class SaEngine {
+ public:
+  explicit SaEngine(const qubo::IsingModel& problem);
+
+  std::size_t num_spins() const noexcept { return fields_.size(); }
+  std::size_t num_couplings() const noexcept { return coupling_values_.size(); }
+
+  /// Registers spin groups for collective moves (typically the embedding's
+  /// chains).  Groups must contain valid spin indices; they may overlap the
+  /// whole spin set or only part of it.  Pass an empty vector to disable.
+  void set_groups(std::vector<std::vector<std::uint32_t>> groups);
+
+  bool has_groups() const noexcept { return !groups_.empty(); }
+
+  /// Base (unperturbed) coefficient arrays, in the layout anneal_with expects.
+  const std::vector<double>& base_fields() const noexcept { return fields_; }
+  const std::vector<double>& base_couplings() const noexcept {
+    return coupling_values_;
+  }
+
+  /// One anneal with the problem's own coefficients.  `initial`, when
+  /// non-null, seeds the spin configuration (reverse annealing / warm
+  /// start); otherwise spins start uniformly random.
+  qubo::SpinVec anneal(const std::vector<double>& betas, Rng& rng,
+                       const qubo::SpinVec* initial = nullptr) const {
+    return anneal_with(betas, fields_, coupling_values_, rng, initial);
+  }
+
+  /// One anneal with caller-supplied (e.g. ICE-perturbed) coefficients;
+  /// `fields` must have num_spins() entries and `couplings` num_couplings()
+  /// entries in base-array order.
+  qubo::SpinVec anneal_with(const std::vector<double>& betas,
+                            const std::vector<double>& fields,
+                            const std::vector<double>& couplings, Rng& rng,
+                            const qubo::SpinVec* initial = nullptr) const;
+
+ private:
+  struct Group {
+    std::vector<std::uint32_t> members;
+    std::vector<std::uint32_t> internal_edges;  ///< coupling ids inside the group
+  };
+
+  // CSR adjacency: spin i's incident edges are entries
+  // [row_offset_[i], row_offset_[i+1]) of neighbor_/coupling_index_.
+  std::vector<std::uint32_t> row_offset_;
+  std::vector<std::uint32_t> neighbor_;
+  std::vector<std::uint32_t> coupling_index_;
+  std::vector<std::uint32_t> edge_i_;  ///< coupling id -> endpoint i
+  std::vector<std::uint32_t> edge_j_;  ///< coupling id -> endpoint j
+  std::vector<double> fields_;
+  std::vector<double> coupling_values_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace quamax::anneal

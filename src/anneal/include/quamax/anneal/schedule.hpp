@@ -1,0 +1,53 @@
+// Annealing schedule (paper §2.2, §4).
+//
+// On the D-Wave machine the schedule is the synchronized A(t)/B(t) signal
+// pair; the user controls the anneal time T_a (1-300 us) and may insert a
+// pause of duration T_p at position s_p through the schedule [43].  Our
+// classical stand-in maps the schedule onto a simulated-annealing inverse-
+// temperature ramp: T_a determines the number of Metropolis sweeps (via a
+// sweeps-per-microsecond calibration constant), and a pause holds the
+// inverse temperature constant for T_p's worth of sweeps at the point s_p
+// of the ramp — mirroring how a QA pause lets the system thermalize at a
+// fixed transverse-field fraction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "quamax/common/error.hpp"
+
+namespace quamax::anneal {
+
+struct Schedule {
+  double anneal_time_us = 1.0;   ///< T_a (paper range 1-300 us)
+  double pause_time_us = 0.0;    ///< T_p (0 = no pause; paper: 1/10/100 us)
+  double pause_position = 0.35;  ///< s_p in (0, 1) (paper sweep: 0.15-0.55)
+  double sweeps_per_us = 32.0;   ///< SA calibration: sweeps per QA microsecond
+  double beta_initial = 0.05;    ///< starting inverse temperature
+  double beta_final = 10.0;      ///< final inverse temperature
+
+  /// Reverse annealing (paper §8, Venturelli & Kondratyev [68]): instead of
+  /// annealing forward from the uniform superposition, start FROM a known
+  /// classical state at the end of the schedule, "reheat" backwards to
+  /// fraction `reverse_depth` of the ramp, optionally pause there, and
+  /// anneal forward again.  Requires the sampler to be given an initial
+  /// state.  T_a is split evenly between the backward and forward legs.
+  /// The default depth is SHALLOW (0.85): reheating further erases the seed
+  /// (bench_reverse_annealing sweeps this trade-off).
+  bool reverse = false;
+  double reverse_depth = 0.85;  ///< schedule fraction to reheat back to
+
+  /// Wall-clock charged per anneal, microseconds (T_a + T_p).
+  double duration_us() const { return anneal_time_us + pause_time_us; }
+
+  /// The per-sweep inverse-temperature sequence.  Forward mode: a geometric
+  /// ramp of ceil(T_a * sweeps_per_us) sweeps with a constant-beta pause
+  /// segment of ceil(T_p * sweeps_per_us) sweeps spliced in at fraction s_p.
+  /// Reverse mode: beta_final down to beta(reverse_depth), pause, and back.
+  std::vector<double> betas() const;
+
+  /// Validates parameter ranges; throws InvalidArgument on nonsense.
+  void validate() const;
+};
+
+}  // namespace quamax::anneal

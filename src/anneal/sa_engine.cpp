@@ -1,0 +1,132 @@
+#include "quamax/anneal/sa_engine.hpp"
+
+#include <cmath>
+
+namespace quamax::anneal {
+
+SaEngine::SaEngine(const qubo::IsingModel& problem) {
+  const std::size_t n = problem.num_spins();
+  fields_ = problem.fields();
+
+  const auto& couplings = problem.couplings();
+  coupling_values_.reserve(couplings.size());
+  edge_i_.reserve(couplings.size());
+  edge_j_.reserve(couplings.size());
+
+  std::vector<std::uint32_t> degree(n, 0);
+  for (const qubo::Coupling& c : couplings) {
+    ++degree[c.i];
+    ++degree[c.j];
+  }
+  row_offset_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) row_offset_[i + 1] = row_offset_[i] + degree[i];
+
+  neighbor_.resize(row_offset_[n]);
+  coupling_index_.resize(row_offset_[n]);
+  std::vector<std::uint32_t> cursor(row_offset_.begin(), row_offset_.end() - 1);
+  for (std::size_t idx = 0; idx < couplings.size(); ++idx) {
+    const qubo::Coupling& c = couplings[idx];
+    coupling_values_.push_back(c.g);
+    edge_i_.push_back(c.i);
+    edge_j_.push_back(c.j);
+    neighbor_[cursor[c.i]] = c.j;
+    coupling_index_[cursor[c.i]++] = static_cast<std::uint32_t>(idx);
+    neighbor_[cursor[c.j]] = c.i;
+    coupling_index_[cursor[c.j]++] = static_cast<std::uint32_t>(idx);
+  }
+}
+
+void SaEngine::set_groups(std::vector<std::vector<std::uint32_t>> groups) {
+  groups_.clear();
+  groups_.reserve(groups.size());
+  // Membership mask for internal-edge detection, reused across groups.
+  std::vector<std::uint8_t> member_of(num_spins(), 0u);
+  for (auto& members : groups) {
+    Group group;
+    for (const std::uint32_t m : members) {
+      require(m < num_spins(), "SaEngine::set_groups: member out of range");
+      member_of[m] = 1u;
+    }
+    for (std::uint32_t e = 0; e < coupling_values_.size(); ++e)
+      if (member_of[edge_i_[e]] && member_of[edge_j_[e]])
+        group.internal_edges.push_back(e);
+    for (const std::uint32_t m : members) member_of[m] = 0u;
+    group.members = std::move(members);
+    groups_.push_back(std::move(group));
+  }
+}
+
+qubo::SpinVec SaEngine::anneal_with(const std::vector<double>& betas,
+                                    const std::vector<double>& fields,
+                                    const std::vector<double>& couplings,
+                                    Rng& rng,
+                                    const qubo::SpinVec* initial) const {
+  const std::size_t n = num_spins();
+  require(fields.size() == n, "SaEngine::anneal_with: field array size mismatch");
+  require(couplings.size() == coupling_values_.size(),
+          "SaEngine::anneal_with: coupling array size mismatch");
+
+  qubo::SpinVec spins(n);
+  if (initial != nullptr) {
+    require(initial->size() == n, "SaEngine::anneal_with: initial state size");
+    spins = *initial;  // reverse annealing / warm start
+  } else {
+    // Random initial configuration (uniform superposition analog).
+    for (auto& s : spins) s = rng.coin() ? 1 : -1;
+  }
+
+  // local[i] = f_i + sum_j J_ij s_j; flipping i changes E by -2 s_i local[i].
+  std::vector<double> local(fields.begin(), fields.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t begin = row_offset_[i];
+    const std::uint32_t end = row_offset_[i + 1];
+    double acc = 0.0;
+    for (std::uint32_t e = begin; e < end; ++e)
+      acc += couplings[coupling_index_[e]] * spins[neighbor_[e]];
+    local[i] += acc;
+  }
+
+  // Exact bookkeeping for one spin flip (no Metropolis test).
+  const auto flip_spin = [&](std::size_t i) {
+    const auto flipped = static_cast<std::int8_t>(-spins[i]);
+    spins[i] = flipped;
+    const std::uint32_t begin = row_offset_[i];
+    const std::uint32_t end = row_offset_[i + 1];
+    for (std::uint32_t e = begin; e < end; ++e)
+      local[neighbor_[e]] +=
+          2.0 * couplings[coupling_index_[e]] * static_cast<double>(flipped);
+  };
+
+  for (const double beta : betas) {
+    // Single-spin Metropolis pass.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delta_e = -2.0 * spins[i] * local[i];
+      // Zero-cost flips are taken with probability 1/2: accepting them
+      // deterministically makes domain walls translate in lock-step with the
+      // sequential sweep and orbit forever instead of diffusing/annihilating.
+      if (delta_e > 0.0 && rng.uniform() >= std::exp(-beta * delta_e)) continue;
+      if (delta_e == 0.0 && rng.coin()) continue;
+      flip_spin(i);
+    }
+
+    // Collective pass: Metropolis over whole groups (embedded chains).
+    // Flipping every member leaves internal edges invariant, so
+    //   dE = -2 (sum_{i in G} s_i local_i - 2 sum_{(i,j) internal} J_ij s_i s_j).
+    for (const Group& group : groups_) {
+      double sum_local = 0.0;
+      for (const std::uint32_t m : group.members)
+        sum_local += static_cast<double>(spins[m]) * local[m];
+      double sum_internal = 0.0;
+      for (const std::uint32_t e : group.internal_edges)
+        sum_internal += couplings[e] * static_cast<double>(spins[edge_i_[e]]) *
+                        static_cast<double>(spins[edge_j_[e]]);
+      const double delta_e = -2.0 * (sum_local - 2.0 * sum_internal);
+      if (delta_e > 0.0 && rng.uniform() >= std::exp(-beta * delta_e)) continue;
+      if (delta_e == 0.0 && rng.coin()) continue;
+      for (const std::uint32_t m : group.members) flip_spin(m);
+    }
+  }
+  return spins;
+}
+
+}  // namespace quamax::anneal

@@ -1,0 +1,67 @@
+#include "quamax/anneal/schedule.hpp"
+
+#include <cmath>
+
+namespace quamax::anneal {
+
+void Schedule::validate() const {
+  require(anneal_time_us > 0.0, "Schedule: anneal_time_us must be positive");
+  require(pause_time_us >= 0.0, "Schedule: pause_time_us must be non-negative");
+  require(pause_position > 0.0 && pause_position < 1.0,
+          "Schedule: pause_position must lie strictly inside (0, 1)");
+  require(sweeps_per_us > 0.0, "Schedule: sweeps_per_us must be positive");
+  require(beta_initial > 0.0 && beta_final >= beta_initial,
+          "Schedule: need 0 < beta_initial <= beta_final");
+  require(reverse_depth > 0.0 && reverse_depth < 1.0,
+          "Schedule: reverse_depth must lie strictly inside (0, 1)");
+}
+
+std::vector<double> Schedule::betas() const {
+  validate();
+  const auto ramp_sweeps = static_cast<std::size_t>(
+      std::ceil(anneal_time_us * sweeps_per_us));
+  const auto pause_sweeps = static_cast<std::size_t>(
+      std::ceil(pause_time_us * sweeps_per_us));
+
+  std::vector<double> betas;
+  betas.reserve(ramp_sweeps + pause_sweeps);
+
+  const double ratio = beta_final / beta_initial;
+  // beta at schedule fraction t in [0, 1] (geometric interpolation).
+  const auto beta_frac = [&](double t) { return beta_initial * std::pow(ratio, t); };
+
+  if (reverse) {
+    // Backward leg: 1 -> reverse_depth over half of T_a; pause; forward leg.
+    const std::size_t half = std::max<std::size_t>(1, ramp_sweeps / 2);
+    for (std::size_t s = 0; s < half; ++s) {
+      const double t = 1.0 - (1.0 - reverse_depth) * static_cast<double>(s) /
+                                 static_cast<double>(half - (half > 1 ? 1 : 0));
+      betas.push_back(beta_frac(t));
+    }
+    betas.insert(betas.end(), pause_sweeps, beta_frac(reverse_depth));
+    for (std::size_t s = 0; s < half; ++s) {
+      const double t = reverse_depth + (1.0 - reverse_depth) *
+                                           static_cast<double>(s + 1) /
+                                           static_cast<double>(half);
+      betas.push_back(beta_frac(t));
+    }
+    return betas;
+  }
+
+  const auto beta_at = [&](std::size_t sweep) {
+    if (ramp_sweeps <= 1) return beta_final;
+    return beta_frac(static_cast<double>(sweep) /
+                     static_cast<double>(ramp_sweeps - 1));
+  };
+
+  const auto pause_at = static_cast<std::size_t>(
+      std::floor(pause_position * static_cast<double>(ramp_sweeps)));
+  for (std::size_t s = 0; s < ramp_sweeps; ++s) {
+    if (s == pause_at)
+      betas.insert(betas.end(), pause_sweeps, beta_at(s));
+    betas.push_back(beta_at(s));
+  }
+  return betas;
+}
+
+}  // namespace quamax::anneal

@@ -1,0 +1,201 @@
+#include "quamax/chimera/embedding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace quamax::chimera {
+namespace {
+
+/// Builds the triangle embedding at a given placement offset, or returns an
+/// empty optional-like (empty chains) if a required qubit is defective.
+/// Groups hold `shore` logical variables per diagonal cell, so chains have
+/// ceil(N/shore)+1 qubits (= ceil(N/4)+1 on the 2000Q, ceil(N/12)+1 on the
+/// §8 next-generation chip).
+bool try_build(std::size_t num_logical, const ChimeraGraph& graph,
+               std::size_t row0, std::size_t col0, Embedding& out) {
+  const std::size_t shore = graph.shore_size();
+  const std::size_t groups = (num_logical + shore - 1) / shore;
+  if (row0 + groups > graph.grid_size() || col0 + groups > graph.grid_size())
+    return false;
+
+  out.num_logical = num_logical;
+  out.chains.assign(num_logical, {});
+
+  for (std::size_t logical = 0; logical < num_logical; ++logical) {
+    const std::size_t d = logical / shore;
+    const int k = static_cast<int>(logical % shore);
+    std::vector<Qubit>& chain = out.chains[logical];
+
+    // Horizontal run along row d: cells [d, 0..d].
+    for (std::size_t e = 0; e <= d; ++e)
+      chain.push_back(graph.qubit_id(row0 + d, col0 + e, 1, k));
+    // Vertical run down column d: cells [d..groups-1, d].
+    for (std::size_t r = d; r < groups; ++r)
+      chain.push_back(graph.qubit_id(row0 + r, col0 + d, 0, k));
+
+    for (Qubit q : chain)
+      if (!graph.is_working(q)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Embedding find_clique_embedding(std::size_t num_logical, const ChimeraGraph& graph) {
+  require(num_logical >= 1, "find_clique_embedding: need at least one variable");
+  const std::size_t shore = graph.shore_size();
+  const std::size_t groups = (num_logical + shore - 1) / shore;
+  if (groups > graph.grid_size())
+    throw CapacityError(
+        "find_clique_embedding: problem needs " + std::to_string(groups) +
+        " cell rows but the chip is C" + std::to_string(graph.grid_size()));
+
+  const std::size_t slack = graph.grid_size() - groups;
+  Embedding embedding;
+  for (std::size_t row0 = 0; row0 <= slack; ++row0)
+    for (std::size_t col0 = 0; col0 <= slack; ++col0)
+      if (try_build(num_logical, graph, row0, col0, embedding)) return embedding;
+
+  throw CapacityError(
+      "find_clique_embedding: no defect-free placement exists for " +
+      std::to_string(num_logical) + " logical qubits");
+}
+
+std::vector<Embedding> find_parallel_embeddings(std::size_t num_logical,
+                                                std::size_t count,
+                                                const ChimeraGraph& graph) {
+  require(count >= 1, "find_parallel_embeddings: need at least one copy");
+  const std::size_t shore = graph.shore_size();
+  const std::size_t groups = (num_logical + shore - 1) / shore;
+  if (groups > graph.grid_size())
+    throw CapacityError(
+        "find_parallel_embeddings: a single instance does not fit the chip");
+
+  // Tile the grid with groups x groups cell blocks, row-major.
+  std::vector<Embedding> out;
+  const std::size_t blocks_per_side = graph.grid_size() / groups;
+  for (std::size_t bi = 0; bi < blocks_per_side && out.size() < count; ++bi) {
+    for (std::size_t bj = 0; bj < blocks_per_side && out.size() < count; ++bj) {
+      Embedding embedding;
+      if (try_build(num_logical, graph, bi * groups, bj * groups, embedding))
+        out.push_back(std::move(embedding));
+    }
+  }
+  if (out.empty())
+    throw CapacityError(
+        "find_parallel_embeddings: no defect-free placement exists");
+  return out;
+}
+
+EmbeddedProblem embed(const qubo::IsingModel& logical, const Embedding& embedding,
+                      const ChimeraGraph& graph, const EmbedParams& params) {
+  require(embedding.num_logical == logical.num_spins(),
+          "embed: embedding size does not match problem");
+  require(params.jf > 0.0, "embed: |J_F| must be positive");
+
+  // Compact physical index space.
+  EmbeddedProblem out;
+  std::unordered_map<Qubit, std::uint32_t> compact;
+  out.chains.resize(embedding.chains.size());
+  for (std::size_t i = 0; i < embedding.chains.size(); ++i) {
+    for (Qubit q : embedding.chains[i]) {
+      auto [it, inserted] =
+          compact.emplace(q, static_cast<std::uint32_t>(out.compact_to_qubit.size()));
+      require(inserted, "embed: chains overlap on a physical qubit");
+      out.compact_to_qubit.push_back(q);
+      out.chains[i].push_back(it->second);
+    }
+  }
+
+  const std::size_t p = out.compact_to_qubit.size();
+  out.physical = qubo::IsingModel(p);
+
+  // Dynamic-range normalization: the chip programs couplings in [-1, +1]
+  // (negative end doubled to -2 with improved range), so the logical problem
+  // is rescaled to unit max |coefficient| before Eqs. 10-12 divide by |J_F|.
+  const double max_coeff = logical.max_abs_coefficient();
+  out.logical_scale = (max_coeff > 0.0) ? max_coeff : 1.0;
+  const double chain_coupling = params.improved_range ? -2.0 : -1.0;
+
+  // Eq. 10: ferromagnetic chain bonds along each chain's qubit path.
+  for (const auto& chain : out.chains)
+    for (std::size_t c = 0; c + 1 < chain.size(); ++c)
+      out.physical.add_coupling(chain[c], chain[c + 1], chain_coupling);
+
+  // Eq. 11: fields split evenly across the chain, divided by |J_F|.
+  for (std::size_t i = 0; i < logical.num_spins(); ++i) {
+    const double share = logical.field(i) / out.logical_scale / params.jf /
+                         static_cast<double>(out.chains[i].size());
+    for (std::uint32_t q : out.chains[i]) out.physical.field(q) += share;
+  }
+
+  // Eq. 12: each logical coupling on one available physical coupler.
+  for (const qubo::Coupling& c : logical.couplings()) {
+    if (c.g == 0.0) continue;
+    bool placed = false;
+    for (std::uint32_t a : out.chains[c.i]) {
+      for (std::uint32_t b : out.chains[c.j]) {
+        if (graph.has_coupler(out.compact_to_qubit[a], out.compact_to_qubit[b])) {
+          out.physical.add_coupling(a, b, c.g / out.logical_scale / params.jf);
+          placed = true;
+          break;
+        }
+      }
+      if (placed) break;
+    }
+    require(placed, "embed: logical coupling has no physical coupler (not a "
+                    "clique embedding?)");
+  }
+
+  out.physical.coalesce();
+  return out;
+}
+
+qubo::SpinVec unembed(const qubo::SpinVec& physical_spins,
+                      const EmbeddedProblem& problem, Rng& rng,
+                      std::size_t* broken_chains) {
+  require(physical_spins.size() == problem.compact_to_qubit.size(),
+          "unembed: configuration size mismatch");
+  qubo::SpinVec logical(problem.chains.size());
+  std::size_t broken = 0;
+  for (std::size_t i = 0; i < problem.chains.size(); ++i) {
+    int vote = 0;
+    for (std::uint32_t q : problem.chains[i]) vote += physical_spins[q];
+    const bool unanimous =
+        static_cast<std::size_t>(std::abs(vote)) == problem.chains[i].size();
+    if (!unanimous) ++broken;
+    if (vote > 0)
+      logical[i] = 1;
+    else if (vote < 0)
+      logical[i] = -1;
+    else
+      logical[i] = rng.coin() ? 1 : -1;  // tie: randomized (paper §3.3)
+  }
+  if (broken_chains != nullptr) *broken_chains = broken;
+  return logical;
+}
+
+QubitFootprint qubit_footprint(std::size_t nt, int bits_per_symbol,
+                               const ChimeraGraph& graph) {
+  const std::size_t shore = graph.shore_size();
+  QubitFootprint fp;
+  fp.logical = nt * static_cast<std::size_t>(bits_per_symbol);
+  const std::size_t chain = (fp.logical + shore - 1) / shore + 1;
+  fp.physical = fp.logical * chain;
+  // Feasible when the triangle fits the grid and the chip has the qubits.
+  const std::size_t groups = (fp.logical + shore - 1) / shore;
+  fp.feasible = groups <= graph.grid_size() &&
+                fp.physical <= graph.num_working_qubits();
+  return fp;
+}
+
+double parallelization_factor(std::size_t num_logical, const ChimeraGraph& graph) {
+  require(num_logical >= 1, "parallelization_factor: empty problem");
+  const std::size_t shore = graph.shore_size();
+  const std::size_t chain = (num_logical + shore - 1) / shore + 1;
+  const double used = static_cast<double>(num_logical * chain);
+  return std::max(1.0, static_cast<double>(graph.num_qubits()) / used);
+}
+
+}  // namespace quamax::chimera

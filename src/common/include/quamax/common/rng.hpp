@@ -1,0 +1,117 @@
+// Deterministic, fast pseudo-random number generation for simulations.
+//
+// Every stochastic component in quamax (channel draws, AWGN, ICE noise,
+// Metropolis sweeps) takes an explicit Rng so that experiments are exactly
+// reproducible from a single seed.  The generator is xoshiro256**, seeded
+// through splitmix64 as its authors recommend; it satisfies the C++
+// UniformRandomBitGenerator concept so it also composes with <random>
+// distributions when convenient.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace quamax {
+
+/// xoshiro256** engine (Blackman & Vigna). Fast, 256-bit state, passes BigCrush.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : state_) word = splitmix64(seed);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    // Lemire's unbiased bounded generation (rejection on the low word).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Fair coin flip.
+  bool coin() noexcept { return ((*this)() >> 63) != 0; }
+
+  /// Standard normal deviate (Marsaglia polar method, cached spare).
+  double normal() noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return u * factor;
+  }
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// Derives an independent child generator (for parallel / per-instance streams).
+  Rng split() noexcept { return Rng{(*this)()}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  static std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace quamax

@@ -1,0 +1,39 @@
+// Small statistics helpers used throughout the evaluation harness:
+// percentiles/medians over sampled distributions (the paper reports median,
+// mean, 10th/90th and 15th/85th percentiles, and box-plot quartiles).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace quamax {
+
+/// Summary of a sampled distribution, in the shapes the paper's plots use.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p05 = 0.0, p10 = 0.0, p15 = 0.0, p25 = 0.0;
+  double p75 = 0.0, p85 = 0.0, p90 = 0.0, p95 = 0.0;
+};
+
+/// Linear-interpolation percentile of a sample, `p` in [0, 100].
+/// Returns NaN for an empty sample.
+double percentile(std::vector<double> values, double p);
+
+/// Median shorthand. Returns NaN for an empty sample.
+double median(std::vector<double> values);
+
+/// Arithmetic mean. Returns NaN for an empty sample.
+double mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1). Returns 0 for fewer than two samples.
+double stddev(const std::vector<double>& values);
+
+/// Computes the full summary in one sort of the data.
+Summary summarize(std::vector<double> values);
+
+}  // namespace quamax

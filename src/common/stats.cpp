@@ -1,0 +1,69 @@
+#include "quamax/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace quamax {
+namespace {
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  // Avoid arithmetic between equal or infinite bounds: 0 * inf and
+  // inf - inf would poison the result with NaN (infinite TTS entries are
+  // legitimate sample values in the sweep matrices).
+  if (frac == 0.0 || sorted[lo] == sorted[hi]) return sorted[lo];
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, p);
+}
+
+double median(std::vector<double> values) { return percentile(std::move(values), 50.0); }
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.median = percentile_sorted(values, 50.0);
+  s.p05 = percentile_sorted(values, 5.0);
+  s.p10 = percentile_sorted(values, 10.0);
+  s.p15 = percentile_sorted(values, 15.0);
+  s.p25 = percentile_sorted(values, 25.0);
+  s.p75 = percentile_sorted(values, 75.0);
+  s.p85 = percentile_sorted(values, 85.0);
+  s.p90 = percentile_sorted(values, 90.0);
+  s.p95 = percentile_sorted(values, 95.0);
+  return s;
+}
+
+}  // namespace quamax

@@ -1,0 +1,51 @@
+// The QuAMax variable-to-symbol transform T (paper §3.2.1) in spin form.
+//
+// For every supported modulation the QuAMax transform is LINEAR in the
+// solution spins: writing s_b = 2 q_b - 1 in {-1,+1},
+//
+//   BPSK   : v_i = s_1
+//   QPSK   : v_i = s_1 + j s_2
+//   16-QAM : v_i = (2 s_1 + s_2) + j (2 s_3 + s_4)        (= 4q1+2q2-3 ...)
+//   64-QAM : v_i = (4 s_1 + 2 s_2 + s_3) + j (4 s_4 + 2 s_5 + s_6)
+//
+// so the whole candidate vector is v = M s for a complex Nt x N matrix M
+// with one block of binary weights (2^{d-1} ... 2, 1) per user and
+// dimension.  The ML norm then expands into an exact Ising form.
+#pragma once
+
+#include <cstddef>
+
+#include "quamax/linalg/matrix.hpp"
+#include "quamax/qubo/ising.hpp"
+#include "quamax/wireless/modulation.hpp"
+
+namespace quamax::core {
+
+using linalg::CMat;
+using linalg::CVec;
+using wireless::BitVec;
+using wireless::Modulation;
+
+/// Number of solution variables: N = Nt * log2(|O|) (paper §3.2.1).
+std::size_t num_solution_variables(std::size_t nt, Modulation mod);
+
+/// The complex spin-to-symbol matrix M with v = M s described above.
+CMat transform_matrix(std::size_t nt, Modulation mod);
+
+/// Applies the QuAMax transform to a spin configuration: v = M s, evaluated
+/// directly (no matrix build) for speed.
+CVec symbols_from_spins(const qubo::SpinVec& spins, std::size_t nt, Modulation mod);
+
+/// Ground-truth spin configuration for transmitted Gray-coded bits: converts
+/// Gray labels to QuAMax-transform labels (Fig. 2 inverse) and then bits to
+/// spins.  In a noise-free channel this configuration is the exact Ising
+/// ground state.
+qubo::SpinVec spins_for_gray_bits(const BitVec& gray_bits, std::size_t nt,
+                                  Modulation mod);
+
+/// Decodes an annealer spin configuration to Gray-coded bits: spins ->
+/// QuAMax-transform bits -> per-user post-translation to Gray (Fig. 2).
+BitVec gray_bits_from_spins(const qubo::SpinVec& spins, std::size_t nt,
+                            Modulation mod);
+
+}  // namespace quamax::core

@@ -1,0 +1,92 @@
+#include "quamax/core/transform.hpp"
+
+#include <algorithm>
+
+#include "quamax/common/error.hpp"
+
+namespace quamax::core {
+
+std::size_t num_solution_variables(std::size_t nt, Modulation mod) {
+  return nt * static_cast<std::size_t>(wireless::bits_per_symbol(mod));
+}
+
+CMat transform_matrix(std::size_t nt, Modulation mod) {
+  const int q = wireless::bits_per_symbol(mod);
+  const int d = wireless::bits_per_dimension(mod);
+  CMat m(nt, nt * static_cast<std::size_t>(q));
+  for (std::size_t u = 0; u < nt; ++u) {
+    const std::size_t base = u * static_cast<std::size_t>(q);
+    if (mod == Modulation::kBpsk) {
+      m(u, base) = linalg::cplx{1.0, 0.0};
+      continue;
+    }
+    for (int k = 0; k < d; ++k) {
+      const double weight = static_cast<double>(1 << (d - 1 - k));
+      m(u, base + static_cast<std::size_t>(k)) = linalg::cplx{weight, 0.0};
+      m(u, base + static_cast<std::size_t>(d + k)) = linalg::cplx{0.0, weight};
+    }
+  }
+  return m;
+}
+
+CVec symbols_from_spins(const qubo::SpinVec& spins, std::size_t nt, Modulation mod) {
+  const int q = wireless::bits_per_symbol(mod);
+  const int d = wireless::bits_per_dimension(mod);
+  require(spins.size() == nt * static_cast<std::size_t>(q),
+          "symbols_from_spins: wrong spin count");
+  CVec v(nt);
+  for (std::size_t u = 0; u < nt; ++u) {
+    const std::size_t base = u * static_cast<std::size_t>(q);
+    if (mod == Modulation::kBpsk) {
+      v[u] = linalg::cplx{static_cast<double>(spins[base]), 0.0};
+      continue;
+    }
+    double re = 0.0, im = 0.0;
+    for (int k = 0; k < d; ++k) {
+      const double weight = static_cast<double>(1 << (d - 1 - k));
+      re += weight * spins[base + static_cast<std::size_t>(k)];
+      im += weight * spins[base + static_cast<std::size_t>(d + k)];
+    }
+    v[u] = linalg::cplx{re, im};
+  }
+  return v;
+}
+
+qubo::SpinVec spins_for_gray_bits(const BitVec& gray_bits, std::size_t nt,
+                                  Modulation mod) {
+  const int q = wireless::bits_per_symbol(mod);
+  require(gray_bits.size() == nt * static_cast<std::size_t>(q),
+          "spins_for_gray_bits: wrong bit count");
+  qubo::SpinVec spins(gray_bits.size());
+  BitVec user(q);
+  for (std::size_t u = 0; u < nt; ++u) {
+    const std::size_t base = u * static_cast<std::size_t>(q);
+    std::copy_n(gray_bits.begin() + static_cast<std::ptrdiff_t>(base), q,
+                user.begin());
+    const BitVec quamax = wireless::translate_gray_to_quamax(user, mod);
+    for (int k = 0; k < q; ++k)
+      spins[base + static_cast<std::size_t>(k)] = quamax[static_cast<std::size_t>(k)] ? 1 : -1;
+  }
+  return spins;
+}
+
+BitVec gray_bits_from_spins(const qubo::SpinVec& spins, std::size_t nt,
+                            Modulation mod) {
+  const int q = wireless::bits_per_symbol(mod);
+  require(spins.size() == nt * static_cast<std::size_t>(q),
+          "gray_bits_from_spins: wrong spin count");
+  BitVec gray;
+  gray.reserve(spins.size());
+  BitVec user(q);
+  for (std::size_t u = 0; u < nt; ++u) {
+    const std::size_t base = u * static_cast<std::size_t>(q);
+    for (int k = 0; k < q; ++k)
+      user[static_cast<std::size_t>(k)] =
+          spins[base + static_cast<std::size_t>(k)] > 0 ? 1u : 0u;
+    const BitVec translated = wireless::translate_quamax_to_gray(user, mod);
+    gray.insert(gray.end(), translated.begin(), translated.end());
+  }
+  return gray;
+}
+
+}  // namespace quamax::core

@@ -1,0 +1,32 @@
+// Linear MIMO detectors (paper §1, §5.4/Fig. 14 baselines).
+//
+// Zero-forcing applies the channel pseudo-inverse and slices; MMSE
+// regularizes the inversion with the per-symbol noise-to-signal ratio.
+// Both are cheap — O(Nt^3) for the filter, O(Nr Nt) per use — but their BER
+// collapses when the channel is poorly conditioned (Nt ~ Nr), which is
+// exactly the regime the paper targets.
+//
+// Timing model: the paper infers zero-forcing processing time from
+// BigStation's single-core implementation [76]; zero_forcing_time_model_us
+// reproduces that cost model (documented at the definition) so Fig. 14 can
+// plot BER-vs-time points for the baseline.
+#pragma once
+
+#include "quamax/wireless/channel.hpp"
+
+namespace quamax::detect {
+
+using wireless::BitVec;
+using wireless::ChannelUse;
+
+/// Zero-forcing: slice( (H^H H)^-1 H^H y ). Returns Gray-coded bits.
+BitVec zero_forcing_detect(const ChannelUse& use);
+
+/// MMSE: slice( (H^H H + sigma^2/Es I)^-1 H^H y ).
+BitVec mmse_detect(const ChannelUse& use);
+
+/// BigStation-derived single-core zero-forcing processing-time model, in
+/// microseconds, for an Nt x Nt problem (Fig. 14's x-axis for the baseline).
+double zero_forcing_time_model_us(std::size_t nt);
+
+}  // namespace quamax::detect

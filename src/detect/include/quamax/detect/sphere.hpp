@@ -1,0 +1,50 @@
+// Sphere Decoder — the classical ML baseline (paper §2.1, Table 1).
+//
+// Depth-first tree search over candidate symbol vectors after QR
+// decomposition H = QR: level i of the tree fixes user i's symbol, and the
+// partial metric sum_{k>=i} |ybar_k - sum_j R_kj v_j|^2 lower-bounds every
+// completion, so subtrees outside the current best radius are pruned.
+// Children are enumerated in Schnorr-Euchner order (closest-first around
+// the zero-forcing center), which finds the Babai point first and shrinks
+// the radius as fast as possible.
+//
+// visited_nodes counts every tree node whose partial metric is evaluated
+// (the unit of Table 1's complexity column); the count is exact, including
+// nodes that are immediately pruned.
+#pragma once
+
+#include <cstddef>
+
+#include "quamax/wireless/channel.hpp"
+
+namespace quamax::detect {
+
+struct SphereResult {
+  wireless::BitVec bits;       ///< ML Gray-coded bits
+  linalg::CVec symbols;        ///< ML symbol vector
+  double metric = 0.0;         ///< ||y - H v_ML||^2
+  std::size_t visited_nodes = 0;
+};
+
+class SphereDecoder {
+ public:
+  /// Optional node budget: search aborts (returning the best leaf found so
+  /// far) after this many visited nodes.  0 = unlimited.
+  explicit SphereDecoder(std::size_t max_visited_nodes = 0)
+      : max_visited_nodes_(max_visited_nodes) {}
+
+  SphereResult detect(const wireless::ChannelUse& use) const;
+
+ private:
+  std::size_t max_visited_nodes_;
+};
+
+/// Per-node processing-time model for a conventional CPU implementation,
+/// in microseconds (paper §5.4: "processing time cannot fall below a few
+/// hundreds of us" for ~2,000-node problems).
+double sphere_decoder_time_model_us(std::size_t visited_nodes);
+
+/// Exhaustive ML oracle over all |O|^Nt candidates (guarded small sizes).
+SphereResult exhaustive_ml_detect(const wireless::ChannelUse& use);
+
+}  // namespace quamax::detect

@@ -1,0 +1,160 @@
+#include "quamax/fec/convolutional.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <vector>
+
+#include "quamax/common/error.hpp"
+
+namespace quamax::fec {
+namespace {
+
+/// Parity of the masked register (number of set bits mod 2).
+inline std::uint8_t parity(unsigned value) {
+  return static_cast<std::uint8_t>(__builtin_popcount(value) & 1);
+}
+
+/// Output pair for a given (state, input) where state holds the K-1 most
+/// recent bits (newest in the MSB... we keep newest in bit K-2).
+struct Branch {
+  std::uint8_t out1;
+  std::uint8_t out2;
+  std::uint32_t next_state;
+};
+
+/// Precomputed trellis: branch[state][input].
+struct Trellis {
+  std::array<std::array<Branch, 2>, ConvolutionalCode::kNumStates> branch;
+
+  Trellis() {
+    constexpr int k = ConvolutionalCode::kConstraint;
+    for (std::uint32_t state = 0; state < ConvolutionalCode::kNumStates; ++state) {
+      for (unsigned input = 0; input <= 1; ++input) {
+        // Shift register contents: input bit followed by state bits
+        // (newest to oldest), K bits total.
+        const unsigned reg = (input << (k - 1)) | state;
+        Branch& b = branch[state][input];
+        b.out1 = parity(reg & ConvolutionalCode::kG1);
+        b.out2 = parity(reg & ConvolutionalCode::kG2);
+        b.next_state = reg >> 1;  // oldest bit falls off
+      }
+    }
+  }
+};
+
+const Trellis& trellis() {
+  static const Trellis instance;
+  return instance;
+}
+
+}  // namespace
+
+std::size_t ConvolutionalCode::payload_bits(std::size_t coded_bits) {
+  require(coded_bits % 2 == 0 && coded_bits / 2 >= kConstraint - 1,
+          "ConvolutionalCode: codeword too short or odd length");
+  return coded_bits / 2 - (kConstraint - 1);
+}
+
+std::size_t ConvolutionalCode::codeword_bits(std::size_t data_bits) {
+  return 2 * (data_bits + kConstraint - 1);
+}
+
+BitVec ConvolutionalCode::encode(const BitVec& data) const {
+  const Trellis& t = trellis();
+  BitVec out;
+  out.reserve(codeword_bits(data.size()));
+  std::uint32_t state = 0;
+  const auto push = [&](unsigned input) {
+    const Branch& b = t.branch[state][input];
+    out.push_back(b.out1);
+    out.push_back(b.out2);
+    state = b.next_state;
+  };
+  for (const auto bit : data) push(bit & 1u);
+  for (int i = 0; i < kConstraint - 1; ++i) push(0);  // trellis termination
+  return out;
+}
+
+BitVec ConvolutionalCode::decode(const BitVec& received) const {
+  const std::size_t payload = payload_bits(received.size());
+  const std::size_t steps = received.size() / 2;
+  const Trellis& t = trellis();
+
+  constexpr auto kInf = std::numeric_limits<std::uint32_t>::max() / 2;
+  std::vector<std::uint32_t> metric(kNumStates, kInf);
+  std::vector<std::uint32_t> next_metric(kNumStates);
+  metric[0] = 0;  // encoder starts in the all-zero state
+
+  // decisions[step] packs, per next-state, the input bit that won (64 states
+  // -> one std::uint64_t per step) plus the predecessor is implied by the
+  // (next_state, input) pair: state = (next << 1 | ?) ... we store the
+  // winning (prev_state) directly for simplicity.
+  std::vector<std::array<std::uint32_t, kNumStates>> prev(steps);
+  std::vector<std::array<std::uint8_t, kNumStates>> bit(steps);
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    const std::uint8_t r1 = received[2 * step] & 1u;
+    const std::uint8_t r2 = received[2 * step + 1] & 1u;
+    std::fill(next_metric.begin(), next_metric.end(), kInf);
+    auto& prev_row = prev[step];
+    auto& bit_row = bit[step];
+    for (std::uint32_t state = 0; state < kNumStates; ++state) {
+      const std::uint32_t m = metric[state];
+      if (m >= kInf) continue;
+      for (unsigned input = 0; input <= 1; ++input) {
+        const Branch& b = t.branch[state][input];
+        const std::uint32_t cost =
+            m + static_cast<std::uint32_t>((b.out1 != r1) + (b.out2 != r2));
+        if (cost < next_metric[b.next_state]) {
+          next_metric[b.next_state] = cost;
+          prev_row[b.next_state] = state;
+          bit_row[b.next_state] = static_cast<std::uint8_t>(input);
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  // Tail bits force the encoder back to state 0; trace back from there.
+  BitVec decoded(steps);
+  std::uint32_t state = 0;
+  for (std::size_t step = steps; step-- > 0;) {
+    decoded[step] = bit[step][state];
+    state = prev[step][state];
+  }
+  decoded.resize(payload);  // drop the K-1 tail bits
+  return decoded;
+}
+
+BitVec interleave(const BitVec& bits, std::size_t rows) {
+  require(rows >= 1, "interleave: rows must be >= 1");
+  const std::size_t n = bits.size();
+  const std::size_t cols = (n + rows - 1) / rows;
+  BitVec out;
+  out.reserve(n);
+  // Row-major write, column-major read; positions past n are skipped, which
+  // keeps the mapping a bijection for any length.
+  for (std::size_t c = 0; c < cols; ++c)
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t idx = r * cols + c;
+      if (idx < n) out.push_back(bits[idx]);
+    }
+  return out;
+}
+
+BitVec deinterleave(const BitVec& bits, std::size_t rows) {
+  require(rows >= 1, "deinterleave: rows must be >= 1");
+  const std::size_t n = bits.size();
+  const std::size_t cols = (n + rows - 1) / rows;
+  BitVec out(n);
+  std::size_t read = 0;
+  for (std::size_t c = 0; c < cols; ++c)
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t idx = r * cols + c;
+      if (idx < n) out[idx] = bits[read++];
+    }
+  return out;
+}
+
+}  // namespace quamax::fec

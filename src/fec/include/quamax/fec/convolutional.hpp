@@ -1,0 +1,54 @@
+// Forward error correction layer (paper §5.2.2, §5.3.3).
+//
+// QuAMax is a detector, not a decoder of last resort: the paper's TTB metric
+// explicitly tolerates "a low but non-zero bit error rate ... (error control
+// coding operates above MIMO detection)", and §5.3.3 has QuAMax set a decode
+// deadline and "discard bits, relying on forward error correction to drive
+// BER down".  This module provides that layer so the end-to-end story is
+// runnable: the ubiquitous rate-1/2, constraint-length-7 convolutional code
+// (generators 133/171 octal — 802.11a/g's mandatory code) with hard-decision
+// Viterbi decoding, plus a block interleaver to decorrelate the burst errors
+// a deadline-truncated detector produces.
+#pragma once
+
+#include <cstddef>
+
+#include "quamax/wireless/modulation.hpp"
+
+namespace quamax::fec {
+
+using wireless::BitVec;
+
+/// Rate-1/2, K=7 convolutional code, generators 0o133 and 0o171.
+class ConvolutionalCode {
+ public:
+  static constexpr int kConstraint = 7;
+  static constexpr unsigned kG1 = 0133;  // octal, = 0b1011011
+  static constexpr unsigned kG2 = 0171;  // octal, = 0b1111001
+  static constexpr std::size_t kNumStates = 1u << (kConstraint - 1);
+
+  /// Encodes `data`, appending K-1 zero tail bits to terminate the trellis.
+  /// Output length: 2 * (data.size() + K - 1).
+  BitVec encode(const BitVec& data) const;
+
+  /// Hard-decision Viterbi decode of a full (tail-terminated) codeword.
+  /// `received` must have even length >= 2*(K-1); returns
+  /// received.size()/2 - (K-1) data bits.
+  BitVec decode(const BitVec& received) const;
+
+  /// Number of payload bits recoverable from a codeword of `coded` bits.
+  static std::size_t payload_bits(std::size_t coded_bits);
+
+  /// Codeword length for a payload of `data_bits`.
+  static std::size_t codeword_bits(std::size_t data_bits);
+};
+
+/// Row-column block interleaver: writes row-major into a `rows` x ceil(n/rows)
+/// grid and reads column-major.  Burst errors spanning up to `rows`
+/// consecutive bits land in distinct columns after deinterleaving.
+BitVec interleave(const BitVec& bits, std::size_t rows);
+
+/// Exact inverse of interleave for the same `rows`.
+BitVec deinterleave(const BitVec& bits, std::size_t rows);
+
+}  // namespace quamax::fec

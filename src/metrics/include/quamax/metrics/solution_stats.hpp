@@ -1,0 +1,102 @@
+// Ranked solution statistics and the paper's evaluation metrics (§5.1-5.2).
+//
+// A QA run yields N_a i.i.d. configurations.  Grouping them into distinct
+// solutions ranked by Ising energy gives the empirical distribution p(r)
+// that drives everything the paper plots:
+//
+//   * Fig. 4 / Fig. 12 — the ranked distribution itself (frequency bars,
+//     relative energy gaps, bit errors per rank);
+//   * TTS(P)  = T_a log(1-P)/log(1-P0), P0 = ground-state probability;
+//   * E[BER(N_a)] — Eq. 9, the expected bit error rate of the best-of-N_a
+//     draw (order statistics over ranks);
+//   * TTB(p) / TTF(p) — the smallest wall-clock time (N_a * duration / P_f)
+//     at which the expected BER / FER crosses the target.
+//
+// Tie handling follows the paper: distinct configurations with equal energy
+// occupy distinct ranks.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "quamax/qubo/ising.hpp"
+#include "quamax/wireless/channel.hpp"
+
+namespace quamax::metrics {
+
+/// One distinct solution in energy-rank order (rank 1 = lowest energy seen).
+struct RankedSolution {
+  qubo::SpinVec spins;
+  double energy = 0.0;        ///< logical Ising energy (offset excluded)
+  std::size_t count = 0;      ///< occurrences among the anneals
+  double probability = 0.0;   ///< count / total anneals
+  std::size_t bit_errors = 0; ///< decoded-bit errors vs ground truth
+  double relative_gap = 0.0;  ///< (energy - E_min) / |E_min| (Fig. 4's dE)
+};
+
+class SolutionStats {
+ public:
+  /// Builds the ranked distribution from per-anneal samples.
+  ///
+  /// `energies[k]` must be the logical Ising energy of `samples[k]`.
+  /// `tx_gray_bits` is the transmitted ground truth; bit errors per rank are
+  /// computed after the Fig. 2 post-translation.  `ground_energy`, when
+  /// known (noise-free construction or a Sphere Decoder oracle), anchors P0;
+  /// otherwise the minimum sampled energy is used as the reference.
+  static SolutionStats build(const std::vector<qubo::SpinVec>& samples,
+                             const std::vector<double>& energies,
+                             const wireless::BitVec& tx_gray_bits,
+                             std::size_t nt, wireless::Modulation mod,
+                             std::optional<double> ground_energy = std::nullopt);
+
+  const std::vector<RankedSolution>& ranked() const noexcept { return ranked_; }
+  std::size_t total_anneals() const noexcept { return total_; }
+  std::size_t num_bits() const noexcept { return num_bits_; }
+  double min_energy() const noexcept { return min_energy_; }
+
+  /// Probability that one anneal lands in the ground state (energy within
+  /// tolerance of the reference energy).
+  double p0() const noexcept { return p0_; }
+
+  /// Eq. 9: expected best-of-N_a bit error rate.
+  double expected_ber(std::size_t num_anneals) const;
+
+  /// Expected frame error rate at N_a anneals for a given frame size.
+  double expected_fer(std::size_t num_anneals, std::size_t frame_bytes) const;
+
+  /// Limit of expected_ber as N_a -> inf: the rank-1 solution's BER.
+  double asymptotic_ber() const;
+
+ private:
+  std::vector<RankedSolution> ranked_;
+  std::vector<double> tail_;  ///< tail_[k] = sum of probabilities of ranks > k
+  std::size_t total_ = 0;
+  std::size_t num_bits_ = 0;
+  double min_energy_ = 0.0;
+  double p0_ = 0.0;
+};
+
+/// TTS(P): expected time to observe the ground state at least once with
+/// confidence P (paper §5.2.1; P = 0.99 by convention).  `duration_us` is
+/// the per-anneal wall-clock (T_a + T_p).  Returns +inf when p0 == 0 and
+/// `duration_us` when p0 == 1.
+double time_to_solution_us(double p0, double duration_us, double confidence = 0.99);
+
+/// Smallest N_a with expected_ber(N_a) <= target, searched up to `na_cap`;
+/// nullopt when unreachable (the paper's 10 ms deadline behaviour).
+std::optional<std::size_t> anneals_to_ber(const SolutionStats& stats,
+                                          double target_ber, std::size_t na_cap);
+
+/// TTB(p) = N_a * duration / P_f in microseconds; nullopt if unreachable.
+std::optional<double> time_to_ber_us(const SolutionStats& stats, double target_ber,
+                                     double duration_us, double parallel_factor,
+                                     std::size_t na_cap);
+
+/// TTF: smallest time at which the expected FER crosses `target_fer`.
+std::optional<double> time_to_fer_us(const SolutionStats& stats, double target_fer,
+                                     std::size_t frame_bytes, double duration_us,
+                                     double parallel_factor, std::size_t na_cap);
+
+}  // namespace quamax::metrics

@@ -1,0 +1,156 @@
+#include "quamax/metrics/solution_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "quamax/common/error.hpp"
+#include "quamax/core/transform.hpp"
+
+namespace quamax::metrics {
+namespace {
+
+constexpr double kEnergyTolerance = 1e-9;
+
+}  // namespace
+
+SolutionStats SolutionStats::build(const std::vector<qubo::SpinVec>& samples,
+                                   const std::vector<double>& energies,
+                                   const wireless::BitVec& tx_gray_bits,
+                                   std::size_t nt, wireless::Modulation mod,
+                                   std::optional<double> ground_energy) {
+  require(!samples.empty(), "SolutionStats: no samples");
+  require(samples.size() == energies.size(),
+          "SolutionStats: samples/energies size mismatch");
+  require(tx_gray_bits.size() == samples.front().size(),
+          "SolutionStats: ground truth size mismatch");
+
+  // Group identical configurations.
+  std::map<qubo::SpinVec, std::pair<double, std::size_t>> groups;
+  for (std::size_t k = 0; k < samples.size(); ++k) {
+    auto [it, inserted] = groups.emplace(samples[k], std::make_pair(energies[k], 0u));
+    it->second.second += 1;
+  }
+
+  SolutionStats stats;
+  stats.total_ = samples.size();
+  stats.num_bits_ = tx_gray_bits.size();
+
+  stats.ranked_.reserve(groups.size());
+  for (auto& [spins, energy_count] : groups) {
+    RankedSolution sol;
+    sol.spins = spins;
+    sol.energy = energy_count.first;
+    sol.count = energy_count.second;
+    sol.probability = static_cast<double>(sol.count) /
+                      static_cast<double>(stats.total_);
+    const wireless::BitVec decoded = core::gray_bits_from_spins(spins, nt, mod);
+    sol.bit_errors = wireless::count_bit_errors(decoded, tx_gray_bits);
+    stats.ranked_.push_back(std::move(sol));
+  }
+  std::sort(stats.ranked_.begin(), stats.ranked_.end(),
+            [](const RankedSolution& a, const RankedSolution& b) {
+              if (a.energy != b.energy) return a.energy < b.energy;
+              return a.spins < b.spins;  // tied energies: stable distinct ranks
+            });
+
+  stats.min_energy_ = stats.ranked_.front().energy;
+  const double reference = ground_energy.value_or(stats.min_energy_);
+  const double gap_scale = std::max(std::abs(reference), kEnergyTolerance);
+  for (RankedSolution& sol : stats.ranked_) {
+    sol.relative_gap = (sol.energy - reference) / gap_scale;
+    if (sol.energy <= reference + kEnergyTolerance) stats.p0_ += sol.probability;
+  }
+
+  // Tail probabilities for Eq. 9: tail_[k] = P(rank > k), tail_[0] = 1.
+  const std::size_t l = stats.ranked_.size();
+  stats.tail_.assign(l + 1, 0.0);
+  for (std::size_t k = l; k-- > 0;)
+    stats.tail_[k] = stats.tail_[k + 1] + stats.ranked_[k].probability;
+
+  return stats;
+}
+
+double SolutionStats::expected_ber(std::size_t num_anneals) const {
+  require(num_anneals >= 1, "expected_ber: need at least one anneal");
+  const auto na = static_cast<double>(num_anneals);
+  double expected_errors = 0.0;
+  // Eq. 9: P(best-of-N_a has rank k) = T_k^Na - T_{k+1}^Na with T_k the
+  // probability of drawing rank >= k (tail_ here is 0-indexed: tail_[k-1]).
+  for (std::size_t k = 0; k < ranked_.size(); ++k) {
+    const double p_rank =
+        std::pow(tail_[k], na) - std::pow(tail_[k + 1], na);
+    expected_errors += p_rank * static_cast<double>(ranked_[k].bit_errors);
+  }
+  return expected_errors / static_cast<double>(num_bits_);
+}
+
+double SolutionStats::expected_fer(std::size_t num_anneals,
+                                   std::size_t frame_bytes) const {
+  return wireless::fer_from_ber(expected_ber(num_anneals), frame_bytes);
+}
+
+double SolutionStats::asymptotic_ber() const {
+  return static_cast<double>(ranked_.front().bit_errors) /
+         static_cast<double>(num_bits_);
+}
+
+double time_to_solution_us(double p0, double duration_us, double confidence) {
+  require(duration_us > 0.0, "time_to_solution_us: duration must be positive");
+  require(confidence > 0.0 && confidence < 1.0,
+          "time_to_solution_us: confidence must lie in (0, 1)");
+  if (p0 <= 0.0) return std::numeric_limits<double>::infinity();
+  if (p0 >= 1.0) return duration_us;
+  return duration_us * std::log(1.0 - confidence) / std::log(1.0 - p0);
+}
+
+std::optional<std::size_t> anneals_to_ber(const SolutionStats& stats,
+                                          double target_ber, std::size_t na_cap) {
+  require(na_cap >= 1, "anneals_to_ber: na_cap must be >= 1");
+  // E[BER](N_a) is not strictly monotone (a higher-energy rank can have
+  // fewer bit errors), so bracket by doubling and then binary-search the
+  // first crossing within the bracket.
+  if (stats.expected_ber(1) <= target_ber) return 1;
+  std::size_t lo = 1, hi = 2;
+  while (hi < na_cap && stats.expected_ber(hi) > target_ber) {
+    lo = hi;
+    hi = std::min(na_cap, hi * 2);
+    if (hi == na_cap && stats.expected_ber(hi) > target_ber) return std::nullopt;
+  }
+  if (stats.expected_ber(hi) > target_ber) return std::nullopt;
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (stats.expected_ber(mid) <= target_ber)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+std::optional<double> time_to_ber_us(const SolutionStats& stats, double target_ber,
+                                     double duration_us, double parallel_factor,
+                                     std::size_t na_cap) {
+  require(parallel_factor >= 1.0, "time_to_ber_us: P_f must be >= 1");
+  const auto na = anneals_to_ber(stats, target_ber, na_cap);
+  if (!na) return std::nullopt;
+  // Parallelization amortizes anneals across chip copies, but one anneal
+  // batch still takes (T_a + T_p) of wall clock — the paper's "(amortized)
+  // 2 us" floor for instances whose raw TTB falls below it (§5.3.3).
+  return std::max(duration_us,
+                  static_cast<double>(*na) * duration_us / parallel_factor);
+}
+
+std::optional<double> time_to_fer_us(const SolutionStats& stats, double target_fer,
+                                     std::size_t frame_bytes, double duration_us,
+                                     double parallel_factor, std::size_t na_cap) {
+  require(target_fer > 0.0 && target_fer < 1.0,
+          "time_to_fer_us: target must lie in (0, 1)");
+  // FER is monotone in BER, so invert the frame formula and reuse TTB:
+  // FER <= t  <=>  BER <= 1 - (1-t)^(1/bits).
+  const double bits = 8.0 * static_cast<double>(frame_bytes);
+  const double target_ber = -std::expm1(std::log1p(-target_fer) / bits);
+  return time_to_ber_us(stats, target_ber, duration_us, parallel_factor, na_cap);
+}
+
+}  // namespace quamax::metrics

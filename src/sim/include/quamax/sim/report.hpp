@@ -1,0 +1,30 @@
+// Console reporting for the paper-reproduction benchmark binaries: headers
+// that identify the table/figure being regenerated, aligned value rows, and
+// formatting that mirrors the units the paper uses (microseconds, BER as
+// powers of ten).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quamax::sim {
+
+/// Prints a banner naming the experiment and the paper artifact it
+/// regenerates, plus the run parameters (so results are self-describing).
+void print_banner(std::string_view experiment, std::string_view paper_artifact,
+                  std::string_view parameters);
+
+/// Prints a rule-separated table header.
+void print_columns(const std::vector<std::string>& columns);
+
+/// Prints one value row aligned with print_columns (same column count).
+void print_row(const std::vector<std::string>& cells);
+
+/// Fixed-width number formatting helpers.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_us(double v);            ///< "12.3" or "inf" (microseconds)
+std::string fmt_ber(double v);           ///< scientific, e.g. "3.2e-05"
+std::string fmt_count(std::size_t v);
+
+}  // namespace quamax::sim

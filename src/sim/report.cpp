@@ -1,0 +1,66 @@
+#include "quamax/sim/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace quamax::sim {
+namespace {
+
+constexpr int kCellWidth = 14;
+
+}  // namespace
+
+void print_banner(std::string_view experiment, std::string_view paper_artifact,
+                  std::string_view parameters) {
+  std::printf("\n================================================================\n");
+  std::printf("%.*s\n", static_cast<int>(experiment.size()), experiment.data());
+  std::printf("Reproduces: %.*s\n", static_cast<int>(paper_artifact.size()),
+              paper_artifact.data());
+  if (!parameters.empty())
+    std::printf("Parameters: %.*s\n", static_cast<int>(parameters.size()),
+                parameters.data());
+  std::printf("================================================================\n");
+}
+
+void print_columns(const std::vector<std::string>& columns) {
+  for (const auto& c : columns) std::printf("%-*s", kCellWidth, c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns.size() * kCellWidth; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+void print_row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%-*s", kCellWidth, c.c_str());
+  std::printf("\n");
+}
+
+std::string fmt_double(double v, int precision) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  if (std::isnan(v)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_us(double v) {
+  if (std::isinf(v)) return "inf";
+  if (std::isnan(v)) return "n/a";
+  char buf[64];
+  if (v >= 1000.0)
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  else
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+std::string fmt_ber(double v) {
+  if (std::isnan(v)) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1e", v);
+  return buf;
+}
+
+std::string fmt_count(std::size_t v) { return std::to_string(v); }
+
+}  // namespace quamax::sim

@@ -1,0 +1,110 @@
+#include "quamax/wireless/channel.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "quamax/common/error.hpp"
+
+namespace quamax::wireless {
+
+CMat rayleigh_channel(std::size_t nr, std::size_t nt, Rng& rng) {
+  CMat h(nr, nt);
+  const double scale = 1.0 / std::sqrt(2.0);  // per-component variance 1/2
+  for (std::size_t r = 0; r < nr; ++r)
+    for (std::size_t c = 0; c < nt; ++c)
+      h(r, c) = cplx{rng.normal() * scale, rng.normal() * scale};
+  return h;
+}
+
+CMat random_phase_channel(std::size_t nr, std::size_t nt, Rng& rng) {
+  CMat h(nr, nt);
+  for (std::size_t r = 0; r < nr; ++r) {
+    for (std::size_t c = 0; c < nt; ++c) {
+      const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      h(r, c) = cplx{std::cos(theta), std::sin(theta)};
+    }
+  }
+  return h;
+}
+
+double noise_sigma_for_snr(const CMat& h, Modulation mod, double snr_db) {
+  require(h.rows() > 0, "noise_sigma_for_snr: empty channel");
+  const double es = average_symbol_energy(mod);
+  const double fro = h.frobenius_norm();
+  const double signal_power = fro * fro * es / static_cast<double>(h.rows());
+  const double snr_linear = std::pow(10.0, snr_db / 10.0);
+  return std::sqrt(signal_power / snr_linear);
+}
+
+void add_awgn(CVec& y, double sigma, Rng& rng) {
+  const double per_component = sigma / std::sqrt(2.0);
+  for (cplx& sample : y)
+    sample += cplx{rng.normal() * per_component, rng.normal() * per_component};
+}
+
+namespace {
+
+BitVec random_bits(std::size_t count, Rng& rng) {
+  BitVec bits(count);
+  for (auto& b : bits) b = rng.coin() ? 1u : 0u;
+  return bits;
+}
+
+}  // namespace
+
+ChannelUse make_channel_use(std::size_t nr, std::size_t nt, Modulation mod,
+                            ChannelKind kind, double snr_db, Rng& rng) {
+  require(nr >= nt && nt >= 1, "make_channel_use: requires Nr >= Nt >= 1");
+  ChannelUse use;
+  use.mod = mod;
+  use.snr_db = snr_db;
+  use.h = (kind == ChannelKind::kRayleigh) ? rayleigh_channel(nr, nt, rng)
+                                           : random_phase_channel(nr, nt, rng);
+  use.tx_bits =
+      random_bits(nt * static_cast<std::size_t>(bits_per_symbol(mod)), rng);
+  use.tx_symbols = modulate_gray(use.tx_bits, mod);
+  use.y = use.h * use.tx_symbols;
+  use.noise_sigma = noise_sigma_for_snr(use.h, mod, snr_db);
+  add_awgn(use.y, use.noise_sigma, rng);
+  return use;
+}
+
+ChannelUse make_noise_free_use(std::size_t n, Modulation mod, Rng& rng) {
+  ChannelUse use;
+  use.mod = mod;
+  use.snr_db = std::numeric_limits<double>::infinity();
+  use.h = random_phase_channel(n, n, rng);
+  use.tx_bits =
+      random_bits(n * static_cast<std::size_t>(bits_per_symbol(mod)), rng);
+  use.tx_symbols = modulate_gray(use.tx_bits, mod);
+  use.y = use.h * use.tx_symbols;
+  use.noise_sigma = 0.0;
+  return use;
+}
+
+ChannelUse renoise(const ChannelUse& base, double snr_db, Rng& rng) {
+  ChannelUse use = base;
+  use.snr_db = snr_db;
+  use.y = use.h * use.tx_symbols;
+  use.noise_sigma = noise_sigma_for_snr(use.h, use.mod, snr_db);
+  add_awgn(use.y, use.noise_sigma, rng);
+  return use;
+}
+
+double fer_from_ber(double ber, std::size_t frame_bytes) {
+  const double bits = 8.0 * static_cast<double>(frame_bytes);
+  if (ber <= 0.0) return 0.0;
+  if (ber >= 1.0) return 1.0;
+  // 1 - (1-ber)^bits computed stably via expm1/log1p for tiny BER.
+  return -std::expm1(bits * std::log1p(-ber));
+}
+
+std::size_t count_bit_errors(const BitVec& a, const BitVec& b) {
+  require(a.size() == b.size(), "count_bit_errors: length mismatch");
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) errors += (a[i] != b[i]) ? 1u : 0u;
+  return errors;
+}
+
+}  // namespace quamax::wireless

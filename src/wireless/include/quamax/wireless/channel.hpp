@@ -1,0 +1,76 @@
+// Wireless channel models and noise (paper §5.3-§5.5).
+//
+// The paper's evaluation uses three channel families:
+//   * unit-gain random-phase channels — "unit fixed channel gain and average
+//     transmitted power" (§5.3), isolating annealer-internal noise (ICE);
+//   * i.i.d. Rayleigh channels at a target SNR (Table 1, §5.4);
+//   * measured 96-antenna traces [61], 8 antennas sampled per use (§5.5) —
+//     substituted here by TraceChannelModel (see trace.hpp).
+//
+// SNR convention: SNR = (average received signal power per receive antenna) /
+// (noise power per receive antenna), with the signal power computed from the
+// actual channel realization: P_sig = ||H||_F^2 * Es / Nr.  AWGN is circular
+// complex Gaussian with per-component variance sigma^2/2.
+#pragma once
+
+#include <cstddef>
+
+#include "quamax/common/rng.hpp"
+#include "quamax/linalg/matrix.hpp"
+#include "quamax/wireless/modulation.hpp"
+
+namespace quamax::wireless {
+
+using linalg::CMat;
+
+/// i.i.d. Rayleigh fading: entries ~ CN(0, 1).
+CMat rayleigh_channel(std::size_t nr, std::size_t nt, Rng& rng);
+
+/// Unit-gain random-phase channel: entries e^{j theta}, theta ~ U[0, 2pi).
+/// This is §5.3's "unit fixed channel gain" instance family.
+CMat random_phase_channel(std::size_t nr, std::size_t nt, Rng& rng);
+
+/// Noise standard deviation sigma (per complex receive sample, total power
+/// sigma^2) that realizes `snr_db` for channel `h` and modulation `mod`
+/// under the convention documented above.
+double noise_sigma_for_snr(const CMat& h, Modulation mod, double snr_db);
+
+/// Adds circular complex AWGN of total per-sample power sigma^2 in place.
+void add_awgn(CVec& y, double sigma, Rng& rng);
+
+/// One uplink channel use: everything needed to pose and score a detection
+/// problem.  `tx_bits` are the Gray-coded bits the users sent (Nt*Q entries).
+struct ChannelUse {
+  CMat h;             ///< Nr x Nt channel (per OFDM subcarrier, flat)
+  CVec y;             ///< received vector, y = H v + n
+  BitVec tx_bits;     ///< ground-truth Gray-coded bits
+  CVec tx_symbols;    ///< Gray-mapped transmitted symbols v
+  Modulation mod = Modulation::kBpsk;
+  double snr_db = 0.0;       ///< +inf-like sentinel (noise_sigma==0) when noise-free
+  double noise_sigma = 0.0;  ///< sigma actually applied (0 for noise-free)
+};
+
+/// Channel families for instance generation.
+enum class ChannelKind { kRandomPhase, kRayleigh };
+
+/// Draws a complete channel use: random bits, Gray modulation, channel of
+/// the requested kind, and AWGN at `snr_db` (pass an snr_db >= kNoiseFreeSnr
+/// sentinel or use make_noise_free_use for the §5.3 noise-free setting).
+ChannelUse make_channel_use(std::size_t nr, std::size_t nt, Modulation mod,
+                            ChannelKind kind, double snr_db, Rng& rng);
+
+/// §5.3 noise-free instance: random-phase channel, no AWGN.
+ChannelUse make_noise_free_use(std::size_t n, Modulation mod, Rng& rng);
+
+/// Re-noises an existing channel use (fixed H and bits, fresh AWGN draw) —
+/// the §5.4 methodology of isolating noise effects over a fixed instance.
+ChannelUse renoise(const ChannelUse& base, double snr_db, Rng& rng);
+
+/// Frame error rate from bit error rate: FER = 1 - (1 - BER)^frame_bits
+/// (paper footnote 5). `frame_bytes` e.g. 1500 for a full Ethernet MTU.
+double fer_from_ber(double ber, std::size_t frame_bytes);
+
+/// Counts bit errors between two equal-length bit vectors.
+std::size_t count_bit_errors(const BitVec& a, const BitVec& b);
+
+}  // namespace quamax::wireless

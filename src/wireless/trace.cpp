@@ -1,0 +1,131 @@
+#include "quamax/wireless/trace.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "quamax/common/error.hpp"
+
+namespace quamax::wireless {
+namespace {
+
+/// i.i.d. CN(0,1) matrix.
+CMat gaussian_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  CMat m(rows, cols);
+  const double scale = 1.0 / std::sqrt(2.0);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      m(r, c) = cplx{rng.normal() * scale, rng.normal() * scale};
+  return m;
+}
+
+/// Cholesky root of the exponential correlation matrix R_{ij} = rho^|i-j|.
+CMat exponential_correlation_root(std::size_t n, double rho) {
+  CMat corr(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      corr(i, j) = cplx{std::pow(rho, std::abs(static_cast<double>(i) -
+                                               static_cast<double>(j))),
+                        0.0};
+  return linalg::cholesky(corr);
+}
+
+}  // namespace
+
+TraceChannelModel::TraceChannelModel(TraceConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  require(config_.base_antennas >= config_.users,
+          "TraceChannelModel: needs at least as many antennas as users");
+  require(config_.spatial_rho >= 0.0 && config_.spatial_rho < 1.0,
+          "TraceChannelModel: spatial_rho must be in [0, 1)");
+
+  const std::size_t m = config_.base_antennas;
+  const std::size_t k = config_.users;
+
+  spatial_root_ = exponential_correlation_root(m, config_.spatial_rho);
+
+  // Fixed specular component: a physical plane-wave-like steering response
+  // per user (linear phase progression across the array at a random angle).
+  mean_ = CMat(m, k);
+  for (std::size_t u = 0; u < k; ++u) {
+    const double aoa = rng_.uniform(0.0, std::numbers::pi);  // angle of arrival
+    const double phase0 = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+    for (std::size_t a = 0; a < m; ++a) {
+      const double phi =
+          phase0 + std::numbers::pi * std::cos(aoa) * static_cast<double>(a);
+      mean_(a, u) = cplx{std::cos(phi), std::sin(phi)};
+    }
+  }
+
+  antenna_gain_.resize(m);
+  const double ln10_over_20 = std::numbers::ln10 / 20.0;
+  for (auto& g : antenna_gain_)
+    g = std::exp(rng_.normal(0.0, config_.gain_spread_db) * ln10_over_20);
+
+  user_k_.resize(k);
+  for (auto& kf : user_k_)
+    kf = rng_.uniform(config_.rician_k_min, config_.rician_k_max);
+
+  scatter_ = spatial_root_ * gaussian_matrix(m, k, rng_);
+  regenerate();
+}
+
+void TraceChannelModel::advance_frame() {
+  // First-order Gauss-Markov evolution of the diffuse component:
+  // S <- alpha * S + sqrt(1 - alpha^2) * (correlated innovation).
+  const double alpha = config_.doppler_alpha;
+  const double beta = std::sqrt(std::max(0.0, 1.0 - alpha * alpha));
+  CMat innovation = spatial_root_ * gaussian_matrix(config_.base_antennas,
+                                                    config_.users, rng_);
+  for (std::size_t r = 0; r < scatter_.rows(); ++r)
+    for (std::size_t c = 0; c < scatter_.cols(); ++c)
+      scatter_(r, c) = alpha * scatter_(r, c) + beta * innovation(r, c);
+  regenerate();
+}
+
+void TraceChannelModel::regenerate() {
+  const std::size_t m = config_.base_antennas;
+  const std::size_t k = config_.users;
+  current_ = CMat(m, k);
+  for (std::size_t u = 0; u < k; ++u) {
+    const double kf = user_k_[u];
+    const double los_w = std::sqrt(kf / (kf + 1.0));
+    const double nlos_w = std::sqrt(1.0 / (kf + 1.0));
+    for (std::size_t a = 0; a < m; ++a)
+      current_(a, u) =
+          antenna_gain_[a] * (los_w * mean_(a, u) + nlos_w * scatter_(a, u));
+  }
+}
+
+ChannelUse TraceChannelModel::sample_use(std::size_t pick, Modulation mod,
+                                         Rng& rng) {
+  require(pick >= config_.users && pick <= config_.base_antennas,
+          "sample_use: pick must lie in [users, base_antennas]");
+
+  // Sample `pick` distinct antennas (partial Fisher-Yates over an index pool).
+  std::vector<std::size_t> pool(config_.base_antennas);
+  for (std::size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+  for (std::size_t i = 0; i < pick; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_index(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+  }
+
+  ChannelUse use;
+  use.mod = mod;
+  use.h = CMat(pick, config_.users);
+  for (std::size_t r = 0; r < pick; ++r)
+    for (std::size_t c = 0; c < config_.users; ++c)
+      use.h(r, c) = current_(pool[r], c);
+
+  use.tx_bits.resize(config_.users *
+                     static_cast<std::size_t>(bits_per_symbol(mod)));
+  for (auto& b : use.tx_bits) b = rng.coin() ? 1u : 0u;
+  use.tx_symbols = modulate_gray(use.tx_bits, mod);
+  use.y = use.h * use.tx_symbols;
+  use.snr_db = rng.uniform(config_.snr_min_db, config_.snr_max_db);
+  use.noise_sigma = noise_sigma_for_snr(use.h, mod, use.snr_db);
+  add_awgn(use.y, use.noise_sigma, rng);
+  return use;
+}
+
+}  // namespace quamax::wireless

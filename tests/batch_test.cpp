@@ -1,0 +1,170 @@
+// Tests for the realized §4 parallelization: disjoint parallel embeddings
+// and multi-problem batch annealing on one chip.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "quamax/anneal/annealer.hpp"
+#include "quamax/core/detector.hpp"
+#include "quamax/sim/runner.hpp"
+
+namespace quamax {
+namespace {
+
+using chimera::ChimeraGraph;
+using chimera::Embedding;
+
+TEST(ParallelEmbeddingTest, PlacesDisjointCopiesUpToChipCapacity) {
+  const ChimeraGraph g(16);
+  // N = 16 -> 4x4 cell blocks -> 16 copies fit on C16.
+  const auto slots = chimera::find_parallel_embeddings(16, 16, g);
+  EXPECT_EQ(slots.size(), 16u);
+
+  std::set<chimera::Qubit> used;
+  for (const Embedding& e : slots) {
+    EXPECT_EQ(e.num_logical, 16u);
+    for (const auto& chain : e.chains) {
+      EXPECT_EQ(chain.size(), 5u);  // ceil(16/4)+1
+      for (const auto q : chain) EXPECT_TRUE(used.insert(q).second);
+    }
+  }
+}
+
+TEST(ParallelEmbeddingTest, ReturnsFewerWhenAskingForTooMany) {
+  const ChimeraGraph g(16);
+  EXPECT_EQ(chimera::find_parallel_embeddings(16, 100, g).size(), 16u);
+  // N = 36 -> 9x9 blocks -> only one fits a 16x16 grid.
+  EXPECT_EQ(chimera::find_parallel_embeddings(36, 8, g).size(), 1u);
+}
+
+TEST(ParallelEmbeddingTest, OversizedProblemThrows) {
+  const ChimeraGraph g(16);
+  EXPECT_THROW(chimera::find_parallel_embeddings(65, 1, g),
+               CapacityError);
+}
+
+TEST(ParallelEmbeddingTest, EachCopyIsAValidCliqueEmbedding) {
+  const ChimeraGraph g(16);
+  const auto slots = chimera::find_parallel_embeddings(8, 4, g);
+  ASSERT_GE(slots.size(), 4u);
+  for (const Embedding& e : slots) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      for (std::size_t j = i + 1; j < 8; ++j) {
+        bool coupled = false;
+        for (const auto a : e.chains[i])
+          for (const auto b : e.chains[j]) coupled |= g.has_coupler(a, b);
+        EXPECT_TRUE(coupled);
+      }
+    }
+  }
+}
+
+TEST(SampleBatchTest, DecodesManySubcarriersPerAnnealBatch) {
+  Rng rng{0xBA7C};
+  const std::size_t subcarriers = 6;
+  std::vector<sim::Instance> insts;
+  std::vector<const qubo::IsingModel*> problems;
+  for (std::size_t sc = 0; sc < subcarriers; ++sc)
+    insts.push_back(sim::make_instance(
+        {.users = 8, .mod = wireless::Modulation::kBpsk, .kind = {}, .snr_db = {}},
+        rng));
+  for (const auto& inst : insts) problems.push_back(&inst.problem.ising);
+
+  anneal::AnnealerConfig config;
+  config.schedule.anneal_time_us = 2.0;
+  config.embed.jf = 1.0;
+  anneal::ChimeraAnnealer annealer(config);
+
+  const auto batches = annealer.sample_batch(problems, 80, rng);
+  ASSERT_EQ(batches.size(), subcarriers);
+
+  // Every subcarrier decodes from its own slot's samples.
+  for (std::size_t sc = 0; sc < subcarriers; ++sc) {
+    ASSERT_EQ(batches[sc].size(), 80u);
+    double best = 1e300;
+    std::size_t best_idx = 0;
+    for (std::size_t a = 0; a < batches[sc].size(); ++a) {
+      const double e = insts[sc].problem.ising.energy(batches[sc][a]);
+      if (e < best) {
+        best = e;
+        best_idx = a;
+      }
+    }
+    const auto bits =
+        core::gray_bits_from_spins(batches[sc][best_idx], 8,
+                                   wireless::Modulation::kBpsk);
+    EXPECT_EQ(bits, insts[sc].use.tx_bits) << "subcarrier " << sc;
+  }
+}
+
+TEST(SampleBatchTest, MoreProblemsThanSlotsRunsInWaves) {
+  Rng rng{0xBA7D};
+  // N = 36 has exactly one slot on C16 -> 3 problems = 3 waves; results
+  // must still be complete and ordered.
+  std::vector<sim::Instance> insts;
+  std::vector<const qubo::IsingModel*> problems;
+  for (int i = 0; i < 3; ++i)
+    insts.push_back(sim::make_instance(
+        {.users = 36, .mod = wireless::Modulation::kBpsk, .kind = {}, .snr_db = {}},
+        rng));
+  for (const auto& inst : insts) problems.push_back(&inst.problem.ising);
+
+  anneal::AnnealerConfig config;
+  anneal::ChimeraAnnealer annealer(config);
+  const auto batches = annealer.sample_batch(problems, 5, rng);
+  ASSERT_EQ(batches.size(), 3u);
+  for (const auto& b : batches) {
+    EXPECT_EQ(b.size(), 5u);
+    for (const auto& s : b) EXPECT_EQ(s.size(), 36u);
+  }
+}
+
+TEST(SampleBatchTest, ValidatesInputs) {
+  anneal::AnnealerConfig config;
+  anneal::ChimeraAnnealer annealer(config);
+  Rng rng{1};
+  EXPECT_THROW(annealer.sample_batch({}, 10, rng), InvalidArgument);
+
+  qubo::IsingModel a(4), b(8);
+  EXPECT_THROW(annealer.sample_batch({&a, &b}, 10, rng), InvalidArgument);
+
+  config.schedule.reverse = true;
+  anneal::ChimeraAnnealer reverse_annealer(config);
+  EXPECT_THROW(reverse_annealer.sample_batch({&a}, 1, rng), InvalidArgument);
+}
+
+TEST(SampleBatchTest, BatchQualityMatchesSingleProblemSampling) {
+  // Packing problems side by side must not degrade per-problem quality:
+  // the slots are physically disjoint (no couplers between blocks).
+  Rng rng{0xBA7E};
+  const sim::Instance inst = sim::make_instance(
+      {.users = 12, .mod = wireless::Modulation::kBpsk, .kind = {}, .snr_db = {}},
+      rng);
+
+  anneal::AnnealerConfig config;
+  config.embed.jf = 0.5;
+  config.schedule.pause_time_us = 1.0;
+  config.embed.improved_range = true;
+  anneal::ChimeraAnnealer annealer(config);
+
+  const auto single = sim::run_instance(inst, annealer, 200, rng);
+
+  std::vector<const qubo::IsingModel*> copies(4, &inst.problem.ising);
+  const auto batches = annealer.sample_batch(copies, 200, rng);
+  double batch_p0 = 0.0;
+  for (const auto& batch : batches) {
+    std::vector<double> energies;
+    for (const auto& s : batch) energies.push_back(inst.problem.ising.energy(s));
+    batch_p0 += metrics::SolutionStats::build(batch, energies, inst.use.tx_bits,
+                                              12, inst.use.mod,
+                                              inst.ground_energy)
+                    .p0();
+  }
+  batch_p0 /= static_cast<double>(batches.size());
+  EXPECT_NEAR(batch_p0, single.stats.p0(), 0.15);
+  EXPECT_GT(batch_p0, 0.0);
+}
+
+}  // namespace
+}  // namespace quamax

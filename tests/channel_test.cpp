@@ -1,0 +1,194 @@
+// Channel model tests (§5.3-5.5): statistical properties of the fading
+// models, the SNR convention, AWGN calibration, frame-error math, and the
+// synthetic trace generator substituting for the Argos dataset.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quamax/wireless/channel.hpp"
+#include "quamax/wireless/trace.hpp"
+
+namespace quamax::wireless {
+namespace {
+
+TEST(ChannelTest, RandomPhaseEntriesHaveUnitMagnitude) {
+  Rng rng{1};
+  const CMat h = random_phase_channel(6, 4, rng);
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_NEAR(std::abs(h(r, c)), 1.0, 1e-12);
+}
+
+TEST(ChannelTest, RayleighEntriesHaveUnitAveragePower) {
+  Rng rng{2};
+  double acc = 0.0;
+  const std::size_t trials = 200;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const CMat h = rayleigh_channel(8, 8, rng);
+    const double f = h.frobenius_norm();
+    acc += f * f / 64.0;
+  }
+  EXPECT_NEAR(acc / static_cast<double>(trials), 1.0, 0.05);
+}
+
+TEST(ChannelTest, NoiseSigmaRealizesTargetSnr) {
+  // Empirically verify: measured SNR = ||Hv||^2 / ||n||^2 across many draws
+  // approximates the requested SNR.
+  Rng rng{3};
+  const double target_db = 17.0;
+  const CMat h = rayleigh_channel(8, 8, rng);
+  const double sigma = noise_sigma_for_snr(h, Modulation::kQpsk, target_db);
+
+  double signal_acc = 0.0, noise_acc = 0.0;
+  for (int t = 0; t < 400; ++t) {
+    BitVec bits(16);
+    for (auto& b : bits) b = rng.coin();
+    const CVec v = modulate_gray(bits, Modulation::kQpsk);
+    signal_acc += linalg::norm_sq(h * v);
+    CVec n(8, linalg::cplx{0, 0});
+    add_awgn(n, sigma, rng);
+    noise_acc += linalg::norm_sq(n);
+  }
+  const double measured_db = 10.0 * std::log10(signal_acc / noise_acc);
+  EXPECT_NEAR(measured_db, target_db, 0.5);
+}
+
+TEST(ChannelTest, AwgnPowerCalibration) {
+  Rng rng{4};
+  const double sigma = 0.7;
+  CVec n(4096, linalg::cplx{0, 0});
+  add_awgn(n, sigma, rng);
+  EXPECT_NEAR(linalg::norm_sq(n) / 4096.0, sigma * sigma, 0.05);
+}
+
+TEST(ChannelUseTest, NoiseFreeUseHasZeroResidual) {
+  Rng rng{5};
+  const ChannelUse use = make_noise_free_use(6, Modulation::kQpsk, rng);
+  EXPECT_EQ(use.noise_sigma, 0.0);
+  EXPECT_NEAR(linalg::norm_sq(linalg::residual(use.y, use.h, use.tx_symbols)),
+              0.0, 1e-18);
+  EXPECT_EQ(use.tx_bits.size(), 12u);
+}
+
+TEST(ChannelUseTest, BitsAndSymbolsAreConsistent) {
+  Rng rng{6};
+  const ChannelUse use = make_channel_use(5, 5, Modulation::kQam16,
+                                          ChannelKind::kRayleigh, 30.0, rng);
+  EXPECT_EQ(use.tx_symbols, modulate_gray(use.tx_bits, use.mod));
+  EXPECT_EQ(use.h.rows(), 5u);
+  EXPECT_EQ(use.h.cols(), 5u);
+  EXPECT_GT(use.noise_sigma, 0.0);
+}
+
+TEST(ChannelUseTest, RenoiseKeepsChannelAndBits) {
+  Rng rng{7};
+  const ChannelUse base = make_channel_use(4, 4, Modulation::kQpsk,
+                                           ChannelKind::kRandomPhase, 20.0, rng);
+  const ChannelUse renoised = renoise(base, 10.0, rng);
+  EXPECT_EQ(renoised.tx_bits, base.tx_bits);
+  EXPECT_EQ(renoised.h.data(), base.h.data());
+  EXPECT_GT(renoised.noise_sigma, base.noise_sigma);  // lower SNR, more noise
+}
+
+TEST(ChannelUseTest, RejectsMoreUsersThanAntennas) {
+  Rng rng{8};
+  EXPECT_THROW(
+      make_channel_use(3, 4, Modulation::kBpsk, ChannelKind::kRayleigh, 10, rng),
+      InvalidArgument);
+}
+
+TEST(FrameTest, FerFormulaMatchesPaperFootnote) {
+  // FER = 1 - (1 - BER)^frame_bits.
+  EXPECT_NEAR(fer_from_ber(1e-6, 1500), 1.0 - std::pow(1.0 - 1e-6, 12000.0), 1e-12);
+  EXPECT_DOUBLE_EQ(fer_from_ber(0.0, 1500), 0.0);
+  EXPECT_DOUBLE_EQ(fer_from_ber(1.0, 1500), 1.0);
+  // Monotone in both arguments.
+  EXPECT_LT(fer_from_ber(1e-7, 1500), fer_from_ber(1e-6, 1500));
+  EXPECT_LT(fer_from_ber(1e-6, 50), fer_from_ber(1e-6, 1500));
+}
+
+TEST(FrameTest, TinyBerIsNumericallyStable) {
+  const double fer = fer_from_ber(1e-15, 1500);
+  EXPECT_NEAR(fer, 12000.0 * 1e-15, 1e-18);  // ~ bits * BER for tiny BER
+}
+
+TEST(BitErrorTest, CountsAndValidates) {
+  EXPECT_EQ(count_bit_errors(BitVec{1, 0, 1}, BitVec{1, 1, 0}), 2u);
+  EXPECT_EQ(count_bit_errors(BitVec{}, BitVec{}), 0u);
+  EXPECT_THROW(count_bit_errors(BitVec{1}, BitVec{1, 0}), InvalidArgument);
+}
+
+class TraceModelTest : public ::testing::Test {
+ protected:
+  TraceConfig config_{};
+  TraceChannelModel model_{config_, 0xFEED};
+};
+
+TEST_F(TraceModelTest, FullChannelHasCampaignShape) {
+  EXPECT_EQ(model_.full_channel().rows(), 96u);
+  EXPECT_EQ(model_.full_channel().cols(), 8u);
+}
+
+TEST_F(TraceModelTest, SampledUsePicksRequestedAntennas) {
+  Rng rng{11};
+  const ChannelUse use = model_.sample_use(8, Modulation::kQpsk, rng);
+  EXPECT_EQ(use.h.rows(), 8u);
+  EXPECT_EQ(use.h.cols(), 8u);
+  EXPECT_GE(use.snr_db, config_.snr_min_db);
+  EXPECT_LE(use.snr_db, config_.snr_max_db);
+  // Rows of the use are rows of the full channel (antenna subsampling).
+  const CMat& full = model_.full_channel();
+  for (std::size_t r = 0; r < 8; ++r) {
+    bool matched = false;
+    for (std::size_t a = 0; a < 96 && !matched; ++a) {
+      bool equal = true;
+      for (std::size_t u = 0; u < 8; ++u)
+        if (use.h(r, u) != full(a, u)) {
+          equal = false;
+          break;
+        }
+      matched = equal;
+    }
+    EXPECT_TRUE(matched) << "row " << r << " not found in the campaign matrix";
+  }
+}
+
+TEST_F(TraceModelTest, FrameEvolutionIsSlowAndNonTrivial) {
+  const CMat before = model_.full_channel();
+  model_.advance_frame();
+  const CMat& after = model_.full_channel();
+  double diff = 0.0, power = 0.0;
+  for (std::size_t r = 0; r < before.rows(); ++r) {
+    for (std::size_t c = 0; c < before.cols(); ++c) {
+      diff += std::norm(after(r, c) - before(r, c));
+      power += std::norm(before(r, c));
+    }
+  }
+  EXPECT_GT(diff, 0.0);              // it moved...
+  EXPECT_LT(diff, 0.05 * power);     // ...but slowly (static users)
+}
+
+TEST_F(TraceModelTest, DeterministicInSeed) {
+  TraceChannelModel a(config_, 42), b(config_, 42);
+  EXPECT_EQ(a.full_channel().data(), b.full_channel().data());
+}
+
+TEST_F(TraceModelTest, SampleValidatesPickRange) {
+  Rng rng{12};
+  EXPECT_THROW(model_.sample_use(4, Modulation::kBpsk, rng), InvalidArgument);
+  EXPECT_THROW(model_.sample_use(97, Modulation::kBpsk, rng), InvalidArgument);
+}
+
+TEST(TraceConfigTest, BadConfigThrows) {
+  TraceConfig bad;
+  bad.spatial_rho = 1.0;
+  EXPECT_THROW(TraceChannelModel(bad, 1), InvalidArgument);
+  TraceConfig tiny;
+  tiny.base_antennas = 4;
+  tiny.users = 8;
+  EXPECT_THROW(TraceChannelModel(tiny, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace quamax::wireless

@@ -1,0 +1,122 @@
+// Utility tests: RNG statistical sanity and determinism, percentile math.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quamax/common/rng.hpp"
+#include "quamax/common/stats.hpp"
+
+namespace quamax {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIsInRangeWithCorrectMean) {
+  Rng rng{7};
+  double acc = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    acc += u;
+  }
+  EXPECT_NEAR(acc / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIndexIsUnbiasedOverSmallRange) {
+  Rng rng{8};
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (int i = 0; i < 50000; ++i) ++counts[rng.uniform_index(5)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng{9};
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng{10};
+  double sum = 0.0;
+  for (int i = 0; i < 50000; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / 50000.0, 3.0, 0.02);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent{11};
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent() == child());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, CoinIsFair) {
+  Rng rng{12};
+  int heads = 0;
+  for (int i = 0; i < 50000; ++i) heads += rng.coin();
+  EXPECT_NEAR(heads, 25000, 700);
+}
+
+TEST(StatsTest, PercentileKnownValues) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 10), 1.4);  // linear interpolation
+}
+
+TEST(StatsTest, MedianOfEvenCountInterpolates) {
+  EXPECT_DOUBLE_EQ(median({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7}), 7.0);
+  EXPECT_TRUE(std::isnan(median({})));
+}
+
+TEST(StatsTest, UnsortedInputIsHandled) {
+  EXPECT_DOUBLE_EQ(median({9, 1, 5}), 5.0);
+}
+
+TEST(StatsTest, SummaryIsSelfConsistent) {
+  std::vector<double> v;
+  Rng rng{13};
+  for (int i = 0; i < 1000; ++i) v.push_back(rng.normal(10.0, 2.0));
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_NEAR(s.mean, 10.0, 0.3);
+  EXPECT_NEAR(s.stddev, 2.0, 0.3);
+  EXPECT_LE(s.p10, s.p25);
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+  EXPECT_LE(s.p75, s.p90);
+  EXPECT_LE(s.min, s.p05);
+  EXPECT_LE(s.p95, s.max);
+}
+
+TEST(StatsTest, MeanAndStddevKnownValues) {
+  EXPECT_DOUBLE_EQ(mean({2, 4, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(stddev({2, 4, 6}), 2.0);
+  EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+  EXPECT_TRUE(std::isnan(mean({})));
+}
+
+}  // namespace
+}  // namespace quamax

@@ -1,0 +1,170 @@
+// Baseline detector tests (paper §2.1, Table 1, Fig. 14): Sphere Decoder ==
+// exhaustive ML, visited-node accounting, linear detectors' noiseless
+// recovery and noise behaviour, and the published time models.
+
+#include <gtest/gtest.h>
+
+#include "quamax/detect/linear.hpp"
+#include "quamax/detect/sphere.hpp"
+
+namespace quamax::detect {
+namespace {
+
+using wireless::ChannelKind;
+using wireless::ChannelUse;
+using wireless::Modulation;
+
+struct DetectCase {
+  std::size_t nt;
+  Modulation mod;
+  double snr_db;
+};
+
+class SphereVsExhaustiveTest : public ::testing::TestWithParam<DetectCase> {};
+
+TEST_P(SphereVsExhaustiveTest, SphereFindsTheExactMlSolution) {
+  const auto [nt, mod, snr] = GetParam();
+  Rng rng{500 + nt};
+  for (int trial = 0; trial < 6; ++trial) {
+    const ChannelUse use =
+        wireless::make_channel_use(nt, nt, mod, ChannelKind::kRayleigh, snr, rng);
+    const SphereResult sphere = SphereDecoder{}.detect(use);
+    const SphereResult oracle = exhaustive_ml_detect(use);
+    EXPECT_NEAR(sphere.metric, oracle.metric, 1e-8);
+    EXPECT_EQ(sphere.bits, oracle.bits);
+    // The sphere search must prune: visited nodes below the full tree size
+    // sum_{i=1..Nt} |O|^i.
+    double full_tree = 0.0;
+    for (std::size_t level = 1; level <= nt; ++level)
+      full_tree += std::pow(wireless::constellation_size(mod),
+                            static_cast<double>(level));
+    EXPECT_LT(static_cast<double>(sphere.visited_nodes), full_tree);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SphereVsExhaustiveTest,
+    ::testing::Values(DetectCase{2, Modulation::kBpsk, 8.0},
+                      DetectCase{8, Modulation::kBpsk, 10.0},
+                      DetectCase{12, Modulation::kBpsk, 5.0},
+                      DetectCase{4, Modulation::kQpsk, 12.0},
+                      DetectCase{8, Modulation::kQpsk, 9.0},
+                      DetectCase{3, Modulation::kQam16, 18.0},
+                      DetectCase{2, Modulation::kQam64, 25.0}),
+    [](const ::testing::TestParamInfo<DetectCase>& info) {
+      return "N" + std::to_string(info.param.nt) + "_mod" +
+             std::to_string(static_cast<int>(info.param.mod));
+    });
+
+TEST(SphereDecoderTest, NoiselessDecodingRecoversTransmittedBits) {
+  Rng rng{1};
+  for (const Modulation mod :
+       {Modulation::kBpsk, Modulation::kQpsk, Modulation::kQam16}) {
+    const ChannelUse use = wireless::make_noise_free_use(6, mod, rng);
+    const SphereResult result = SphereDecoder{}.detect(use);
+    EXPECT_EQ(result.bits, use.tx_bits);
+    EXPECT_NEAR(result.metric, 0.0, 1e-9);
+  }
+}
+
+TEST(SphereDecoderTest, HighSnrVisitsFarFewerNodesThanLowSnr) {
+  Rng rng{2};
+  std::size_t high_snr_nodes = 0, low_snr_nodes = 0;
+  for (int t = 0; t < 20; ++t) {
+    const ChannelUse base = wireless::make_channel_use(
+        10, 10, Modulation::kBpsk, ChannelKind::kRayleigh, 30.0, rng);
+    high_snr_nodes += SphereDecoder{}.detect(base).visited_nodes;
+    low_snr_nodes +=
+        SphereDecoder{}.detect(wireless::renoise(base, 0.0, rng)).visited_nodes;
+  }
+  EXPECT_LT(high_snr_nodes, low_snr_nodes);
+}
+
+TEST(SphereDecoderTest, NodeBudgetAborts) {
+  Rng rng{3};
+  const ChannelUse use = wireless::make_channel_use(
+      12, 12, Modulation::kQpsk, ChannelKind::kRayleigh, 0.0, rng);
+  const SphereResult capped = SphereDecoder{5}.detect(use);
+  EXPECT_LE(capped.visited_nodes, 5u + 12u);  // at most one node over per level
+}
+
+TEST(SphereDecoderTest, VisitedNodesAtLeastTreeDepth) {
+  Rng rng{4};
+  const ChannelUse use = wireless::make_channel_use(
+      8, 8, Modulation::kBpsk, ChannelKind::kRayleigh, 25.0, rng);
+  EXPECT_GE(SphereDecoder{}.detect(use).visited_nodes, 8u);
+}
+
+TEST(ExhaustiveMlTest, GuardsSearchSpace) {
+  Rng rng{5};
+  const ChannelUse use = wireless::make_channel_use(
+      24, 24, Modulation::kQpsk, ChannelKind::kRayleigh, 10.0, rng);
+  EXPECT_THROW(exhaustive_ml_detect(use), InvalidArgument);
+}
+
+TEST(LinearDetectorTest, ZeroForcingRecoversNoiselessBits) {
+  Rng rng{6};
+  for (const Modulation mod :
+       {Modulation::kBpsk, Modulation::kQpsk, Modulation::kQam16,
+        Modulation::kQam64}) {
+    // Rayleigh (well-conditioned enough at 8x4) with no noise.
+    ChannelUse use;
+    use.mod = mod;
+    use.h = wireless::rayleigh_channel(8, 4, rng);
+    use.tx_bits.resize(4 * static_cast<std::size_t>(wireless::bits_per_symbol(mod)));
+    for (auto& b : use.tx_bits) b = rng.coin();
+    use.tx_symbols = wireless::modulate_gray(use.tx_bits, mod);
+    use.y = use.h * use.tx_symbols;
+    use.noise_sigma = 0.0;
+    EXPECT_EQ(zero_forcing_detect(use), use.tx_bits);
+    EXPECT_EQ(mmse_detect(use), use.tx_bits);
+  }
+}
+
+TEST(LinearDetectorTest, MmseIsNoWorseThanZfAtLowSnrOnAverage) {
+  Rng rng{7};
+  std::size_t zf_errors = 0, mmse_errors = 0;
+  for (int t = 0; t < 60; ++t) {
+    const ChannelUse use = wireless::make_channel_use(
+        8, 8, Modulation::kQpsk, ChannelKind::kRayleigh, 6.0, rng);
+    zf_errors += wireless::count_bit_errors(zero_forcing_detect(use), use.tx_bits);
+    mmse_errors += wireless::count_bit_errors(mmse_detect(use), use.tx_bits);
+  }
+  EXPECT_LE(mmse_errors, zf_errors + 5);  // allow small statistical slack
+}
+
+TEST(LinearDetectorTest, PoorlyConditionedChannelDegradesZf) {
+  // The paper's Fig. 14 premise: at Nt ~ Nr and low SNR, zero-forcing has a
+  // meaningful error floor where ML still decodes.
+  Rng rng{8};
+  std::size_t zf_errors = 0, ml_errors = 0, bits = 0;
+  for (int t = 0; t < 30; ++t) {
+    const ChannelUse use = wireless::make_channel_use(
+        6, 6, Modulation::kBpsk, ChannelKind::kRayleigh, 9.0, rng);
+    zf_errors += wireless::count_bit_errors(zero_forcing_detect(use), use.tx_bits);
+    ml_errors +=
+        wireless::count_bit_errors(SphereDecoder{}.detect(use).bits, use.tx_bits);
+    bits += use.tx_bits.size();
+  }
+  EXPECT_LT(ml_errors, zf_errors);
+  EXPECT_GT(zf_errors, 0u);
+}
+
+TEST(TimeModelTest, ZeroForcingScalesCubically) {
+  const double t12 = zero_forcing_time_model_us(12);
+  const double t48 = zero_forcing_time_model_us(48);
+  EXPECT_GT(t48 / t12, 40.0);  // ~64x for pure cubic
+  EXPECT_LT(t48 / t12, 80.0);
+  // Fig. 14 regime: tens of microseconds to milliseconds.
+  EXPECT_GT(zero_forcing_time_model_us(36), 100.0);
+  EXPECT_LT(zero_forcing_time_model_us(60), 5000.0);
+}
+
+TEST(TimeModelTest, SphereDecoderTimeMatchesPaperScale) {
+  // §5.4: ~2,000-node problems "cannot fall below a few hundreds of us".
+  EXPECT_GT(sphere_decoder_time_model_us(1900), 200.0);
+  EXPECT_LT(sphere_decoder_time_model_us(40), 10.0);
+}
+
+}  // namespace
+}  // namespace quamax::detect

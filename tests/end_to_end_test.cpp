@@ -1,0 +1,170 @@
+// Integration tests across the full QuAMax pipeline: channel use ->
+// reduction -> (embed -> anneal -> unembed) -> post-translation -> bits.
+// These are the "does the system actually decode" checks, run at sizes the
+// SA substitute solves reliably in CI time.
+
+#include <gtest/gtest.h>
+
+#include "quamax/anneal/annealer.hpp"
+#include "quamax/core/detector.hpp"
+#include "quamax/detect/sphere.hpp"
+#include "quamax/metrics/solution_stats.hpp"
+#include "quamax/sim/runner.hpp"
+
+namespace quamax {
+namespace {
+
+using wireless::ChannelKind;
+using wireless::Modulation;
+
+struct E2ECase {
+  std::size_t users;
+  Modulation mod;
+  std::size_t num_anneals;  ///< higher modulations need more anneals (§5.1)
+};
+
+class NoiseFreeDecodingTest : public ::testing::TestWithParam<E2ECase> {};
+
+TEST_P(NoiseFreeDecodingTest, DetectorRecoversTransmittedBits) {
+  const auto [users, mod, num_anneals] = GetParam();
+  Rng rng{1000 + users * 3 + static_cast<std::size_t>(mod)};
+
+  anneal::AnnealerConfig config;
+  config.schedule.anneal_time_us = 2.0;
+  config.embed.jf = 1.0;  // near-optimal for these sizes (cf. Fig. 5 bench)
+  anneal::ChimeraAnnealer annealer(config);
+  core::QuAMaxDetector detector(annealer, {.num_anneals = num_anneals});
+
+  std::size_t decoded_ok = 0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    const auto use = wireless::make_noise_free_use(users, mod, rng);
+    const core::DetectionResult result = detector.detect(use, rng);
+    EXPECT_EQ(result.bits.size(), use.tx_bits.size());
+    if (result.bits == use.tx_bits) ++decoded_ok;
+    // The best metric can never beat the true optimum of 0 (noise-free).
+    EXPECT_GE(result.best_metric, -1e-6);
+  }
+  // SA at these sizes should decode the majority of noise-free instances.
+  EXPECT_GE(decoded_ok, 4) << "decoded " << decoded_ok << "/" << trials;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, NoiseFreeDecodingTest,
+    ::testing::Values(E2ECase{4, Modulation::kBpsk, 120},
+                      E2ECase{8, Modulation::kBpsk, 120},
+                      E2ECase{12, Modulation::kBpsk, 120},
+                      E2ECase{4, Modulation::kQpsk, 120},
+                      E2ECase{6, Modulation::kQpsk, 120},
+                      E2ECase{2, Modulation::kQam16, 200},
+                      // 64-QAM at 2 users: lowest ground-state probability of
+                      // the suite (paper §5.1's modulation-order effect).
+                      E2ECase{2, Modulation::kQam64, 1200}),
+    [](const ::testing::TestParamInfo<E2ECase>& info) {
+      return std::to_string(info.param.users) + "users_mod" +
+             std::to_string(static_cast<int>(info.param.mod));
+    });
+
+TEST(EndToEndTest, DetectorMatchesSphereDecoderUnderNoise) {
+  // With AWGN, QuAMax's best-found solution should usually be the ML
+  // solution the Sphere Decoder computes (same objective).
+  Rng rng{77};
+  anneal::AnnealerConfig config;
+  config.schedule.anneal_time_us = 2.0;
+  config.embed.jf = 1.0;
+  anneal::ChimeraAnnealer annealer(config);
+  core::QuAMaxDetector detector(annealer, {.num_anneals = 200});
+
+  int agree = 0;
+  const int trials = 6;
+  for (int t = 0; t < trials; ++t) {
+    const auto use = wireless::make_channel_use(6, 6, Modulation::kQpsk,
+                                                ChannelKind::kRayleigh, 14.0, rng);
+    const auto quamax = detector.detect(use, rng);
+    const auto ml = detect::SphereDecoder{}.detect(use);
+    EXPECT_GE(quamax.best_metric, ml.metric - 1e-6)
+        << "annealer found a metric below the ML optimum";
+    if (quamax.bits == ml.bits) ++agree;
+  }
+  EXPECT_GE(agree, 4) << "agreed on " << agree << "/" << trials;
+}
+
+TEST(EndToEndTest, DetectorWithOracleSamplerIsExactlyML) {
+  Rng rng{88};
+  anneal::BruteForceSampler oracle;
+  core::QuAMaxDetector detector(oracle, {.num_anneals = 1});
+  for (int t = 0; t < 4; ++t) {
+    const auto use = wireless::make_channel_use(4, 4, Modulation::kQam16,
+                                                ChannelKind::kRayleigh, 16.0, rng);
+    const auto quamax = detector.detect(use, rng);
+    const auto ml = detect::exhaustive_ml_detect(use);
+    EXPECT_EQ(quamax.bits, ml.bits);
+    EXPECT_NEAR(quamax.best_metric, ml.metric, 1e-7);
+  }
+}
+
+TEST(EndToEndTest, DetectionResultSamplesFeedSolutionStats) {
+  Rng rng{99};
+  const auto use = wireless::make_noise_free_use(6, Modulation::kBpsk, rng);
+  anneal::AnnealerConfig config;
+  anneal::ChimeraAnnealer annealer(config);
+  core::QuAMaxDetector detector(annealer, {.num_anneals = 64});
+  const auto result = detector.detect(use, rng);
+  ASSERT_EQ(result.samples.size(), 64u);
+  ASSERT_EQ(result.energies.size(), 64u);
+
+  const auto stats = metrics::SolutionStats::build(
+      result.samples, result.energies, use.tx_bits, 6, use.mod);
+  EXPECT_EQ(stats.total_anneals(), 64u);
+  // Best sampled energy must equal the result's reported best.
+  EXPECT_DOUBLE_EQ(stats.min_energy(), result.best_energy);
+}
+
+TEST(EndToEndTest, KeepSamplesFalseDropsRawData) {
+  Rng rng{111};
+  const auto use = wireless::make_noise_free_use(4, Modulation::kBpsk, rng);
+  anneal::AnnealerConfig config;
+  anneal::ChimeraAnnealer annealer(config);
+  core::QuAMaxDetector detector(annealer,
+                                {.num_anneals = 16, .keep_samples = false});
+  const auto result = detector.detect(use, rng);
+  EXPECT_TRUE(result.samples.empty());
+  EXPECT_EQ(result.energies.size(), 16u);
+  EXPECT_EQ(result.bits.size(), 4u);
+}
+
+TEST(EndToEndTest, LogicalAblationAlsoDecodes) {
+  Rng rng{222};
+  anneal::LogicalAnnealerConfig config;
+  config.schedule.anneal_time_us = 2.0;
+  anneal::LogicalAnnealer annealer(config);
+  core::QuAMaxDetector detector(annealer, {.num_anneals = 60});
+  const auto use = wireless::make_noise_free_use(10, Modulation::kBpsk, rng);
+  const auto result = detector.detect(use, rng);
+  EXPECT_EQ(result.bits, use.tx_bits);
+}
+
+TEST(EndToEndTest, TraceChannelDecodesAtHighSnr) {
+  // §5.5 in miniature: 8x8 uses drawn from the synthetic measured-like
+  // campaign at 25-35 dB decode exactly.
+  wireless::TraceChannelModel trace(wireless::TraceConfig{}, 0xCAFE);
+  Rng rng{333};
+  anneal::AnnealerConfig config;
+  config.schedule.anneal_time_us = 2.0;
+  config.embed.jf = 1.0;
+  anneal::ChimeraAnnealer annealer(config);
+  core::QuAMaxDetector detector(annealer, {.num_anneals = 150});
+
+  std::size_t errors = 0, bits = 0;
+  for (int t = 0; t < 4; ++t) {
+    trace.advance_frame();
+    const auto use = trace.sample_use(8, Modulation::kBpsk, rng);
+    const auto result = detector.detect(use, rng);
+    errors += wireless::count_bit_errors(result.bits, use.tx_bits);
+    bits += use.tx_bits.size();
+  }
+  EXPECT_LE(errors, bits / 8) << errors << " errors in " << bits << " bits";
+}
+
+}  // namespace
+}  // namespace quamax

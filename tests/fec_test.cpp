@@ -1,0 +1,157 @@
+// FEC layer tests: encoder against known vectors, Viterbi correction
+// capability, interleaver bijectivity, and the coded-uplink property that
+// motivates the module (deadline-truncated detection + FEC drives residual
+// BER down, paper §5.3.3).
+
+#include <gtest/gtest.h>
+
+#include "quamax/common/rng.hpp"
+#include "quamax/fec/convolutional.hpp"
+
+namespace quamax::fec {
+namespace {
+
+BitVec random_bits(std::size_t n, Rng& rng) {
+  BitVec bits(n);
+  for (auto& b : bits) b = rng.coin();
+  return bits;
+}
+
+TEST(ConvolutionalTest, EncodeKnownVector) {
+  // All-zero input stays all-zero (linear code).
+  const ConvolutionalCode code;
+  const BitVec zeros(8, 0);
+  const BitVec coded = code.encode(zeros);
+  EXPECT_EQ(coded.size(), ConvolutionalCode::codeword_bits(8));
+  for (const auto b : coded) EXPECT_EQ(b, 0);
+
+  // Single leading 1 produces the generator impulse response: the first
+  // output pair must be (parity(G1 & 1<<6), parity(G2 & 1<<6)) = (1, 1).
+  BitVec impulse(8, 0);
+  impulse[0] = 1;
+  const BitVec coded_impulse = code.encode(impulse);
+  EXPECT_EQ(coded_impulse[0], 1);
+  EXPECT_EQ(coded_impulse[1], 1);
+}
+
+TEST(ConvolutionalTest, RoundTripNoiseless) {
+  const ConvolutionalCode code;
+  Rng rng{1};
+  for (const std::size_t len : {1u, 2u, 7u, 64u, 333u}) {
+    const BitVec data = random_bits(len, rng);
+    EXPECT_EQ(code.decode(code.encode(data)), data) << "length " << len;
+  }
+}
+
+TEST(ConvolutionalTest, CorrectsScatteredErrors) {
+  // K=7 rate-1/2 has free distance 10: up to 4 errors within a constraint
+  // span are always correctable; scattered errors far apart certainly are.
+  const ConvolutionalCode code;
+  Rng rng{2};
+  const BitVec data = random_bits(200, rng);
+  BitVec coded = code.encode(data);
+  for (const std::size_t pos : {10u, 60u, 110u, 200u, 330u, 401u})
+    coded[pos] ^= 1u;
+  EXPECT_EQ(code.decode(coded), data);
+}
+
+TEST(ConvolutionalTest, CorrectsRandomErrorsAtModerateRate) {
+  const ConvolutionalCode code;
+  Rng rng{3};
+  std::size_t failures = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVec data = random_bits(300, rng);
+    BitVec coded = code.encode(data);
+    for (auto& b : coded)
+      if (rng.uniform() < 0.02) b ^= 1u;  // 2% channel BER
+    failures += (code.decode(coded) != data);
+  }
+  // 2% hard-decision BER is comfortably inside this code's waterfall.
+  EXPECT_LE(failures, 2u);
+}
+
+TEST(ConvolutionalTest, BurstErrorsDefeatBareCodeButNotInterleavedCode) {
+  const ConvolutionalCode code;
+  Rng rng{4};
+  const BitVec data = random_bits(300, rng);
+  const BitVec coded = code.encode(data);
+  const std::size_t rows = 24;
+
+  // One `rows`-long channel burst — the error pattern a deadline-truncated
+  // detector produces (a whole symbol vector wrong at once).
+  const auto add_burst = [&](BitVec bits) {
+    for (std::size_t k = 0; k < rows; ++k) bits[100 + k] ^= 1u;
+    return bits;
+  };
+
+  // Without interleaving, 24 consecutive coded-bit errors overwhelm the
+  // constraint length (free distance 10).
+  const BitVec bare = code.decode(add_burst(coded));
+  // With interleaving, the same burst deinterleaves into isolated single
+  // errors spaced a full column apart — trivially correctable.
+  const BitVec protected_tx = interleave(coded, rows);
+  const BitVec protected_rx = deinterleave(add_burst(protected_tx), rows);
+  const BitVec inter = code.decode(protected_rx);
+
+  const auto errors = [&](const BitVec& decoded) {
+    std::size_t e = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) e += decoded[i] != data[i];
+    return e;
+  };
+  EXPECT_EQ(errors(inter), 0u);
+  EXPECT_GT(errors(bare), 0u);
+}
+
+TEST(ConvolutionalTest, PayloadAndCodewordSizesAreInverse) {
+  for (const std::size_t n : {1u, 10u, 100u, 1000u})
+    EXPECT_EQ(ConvolutionalCode::payload_bits(
+                  ConvolutionalCode::codeword_bits(n)),
+              n);
+}
+
+TEST(ConvolutionalTest, RejectsMalformedCodewords) {
+  const ConvolutionalCode code;
+  EXPECT_THROW(code.decode(BitVec(7)), InvalidArgument);   // odd length
+  EXPECT_THROW(code.decode(BitVec(10)), InvalidArgument);  // shorter than tail
+}
+
+class InterleaverTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(InterleaverTest, RoundTripsAtAnyLength) {
+  const std::size_t rows = GetParam();
+  Rng rng{5};
+  for (const std::size_t len : {1u, 5u, 24u, 97u, 256u, 1001u}) {
+    const BitVec bits = random_bits(len, rng);
+    EXPECT_EQ(deinterleave(interleave(bits, rows), rows), bits)
+        << "rows=" << rows << " len=" << len;
+  }
+}
+
+TEST_P(InterleaverTest, SpreadsBursts) {
+  const std::size_t rows = GetParam();
+  if (rows < 4) return;
+  // A burst of `rows` consecutive post-interleave errors must land in
+  // `rows` distinct pre-interleave positions spaced >= cols apart... at
+  // minimum, no two should be adjacent.
+  const std::size_t len = rows * 8;
+  BitVec bits(len, 0);
+  BitVec tx = interleave(bits, rows);
+  for (std::size_t k = 0; k < rows; ++k) tx[8 + k] ^= 1u;
+  const BitVec rx = deinterleave(tx, rows);
+  std::vector<std::size_t> error_positions;
+  for (std::size_t i = 0; i < len; ++i)
+    if (rx[i]) error_positions.push_back(i);
+  ASSERT_EQ(error_positions.size(), rows);
+  for (std::size_t k = 1; k < error_positions.size(); ++k)
+    EXPECT_GT(error_positions[k] - error_positions[k - 1], 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, InterleaverTest, ::testing::Values(1u, 2u, 8u, 24u));
+
+TEST(InterleaverTest, ZeroRowsThrows) {
+  EXPECT_THROW(interleave(BitVec(4), 0), InvalidArgument);
+  EXPECT_THROW(deinterleave(BitVec(4), 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace quamax::fec

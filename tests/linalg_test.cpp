@@ -1,0 +1,194 @@
+// Dense complex linear algebra tests: factorization identities, solver
+// correctness against known answers, and randomized property checks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quamax/common/rng.hpp"
+#include "quamax/linalg/matrix.hpp"
+
+namespace quamax::linalg {
+namespace {
+
+CMat random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  CMat m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      m(r, c) = cplx{rng.normal(), rng.normal()};
+  return m;
+}
+
+CVec random_vector(std::size_t n, Rng& rng) {
+  CVec v(n);
+  for (auto& x : v) x = cplx{rng.normal(), rng.normal()};
+  return v;
+}
+
+double max_abs_diff(const CMat& a, const CMat& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  double m = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      m = std::max(m, std::abs(a(r, c) - b(r, c)));
+  return m;
+}
+
+TEST(MatrixTest, IdentityMultiplicationIsNeutral) {
+  Rng rng{1};
+  const CMat a = random_matrix(4, 4, rng);
+  EXPECT_LT(max_abs_diff(a * CMat::identity(4), a), 1e-12);
+  EXPECT_LT(max_abs_diff(CMat::identity(4) * a, a), 1e-12);
+}
+
+TEST(MatrixTest, HermitianTwiceIsIdentity) {
+  Rng rng{2};
+  const CMat a = random_matrix(5, 3, rng);
+  EXPECT_LT(max_abs_diff(a.hermitian().hermitian(), a), 1e-12);
+}
+
+TEST(MatrixTest, GramEqualsExplicitProduct) {
+  Rng rng{3};
+  const CMat a = random_matrix(6, 4, rng);
+  EXPECT_LT(max_abs_diff(a.gram(), a.hermitian() * a), 1e-10);
+}
+
+TEST(MatrixTest, MatVecMatchesMatMat) {
+  Rng rng{4};
+  const CMat a = random_matrix(5, 4, rng);
+  const CVec x = random_vector(4, rng);
+  CMat xm(4, 1);
+  for (std::size_t i = 0; i < 4; ++i) xm(i, 0) = x[i];
+  const CVec ax = a * x;
+  const CMat axm = a * xm;
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_LT(std::abs(ax[i] - axm(i, 0)), 1e-12);
+}
+
+TEST(MatrixTest, ShapeMismatchThrows) {
+  const CMat a(3, 4);
+  const CMat b(3, 4);
+  EXPECT_THROW(a * b, InvalidArgument);
+  EXPECT_THROW(a * CVec(3), InvalidArgument);
+  EXPECT_THROW(CMat(2, 2) + CMat(3, 3), InvalidArgument);
+}
+
+TEST(DotTest, ReDotAndImDotDecomposeHermitianDot) {
+  Rng rng{5};
+  const CVec a = random_vector(7, rng);
+  const CVec b = random_vector(7, rng);
+  const cplx d = dot(a, b);
+  EXPECT_NEAR(re_dot(a, b), d.real(), 1e-12);
+  EXPECT_NEAR(im_dot(a, b), d.imag(), 1e-12);
+  // Hermitian symmetry: dot(b,a) = conj(dot(a,b)).
+  EXPECT_NEAR(std::abs(dot(b, a) - std::conj(d)), 0.0, 1e-12);
+}
+
+class QrTest : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(QrTest, ReconstructsAndIsOrthonormal) {
+  const auto [m, n] = GetParam();
+  Rng rng{10 + m * 13 + n};
+  const CMat a = random_matrix(m, n, rng);
+  const QR f = qr_decompose(a);
+
+  // A = Q R.
+  EXPECT_LT(max_abs_diff(f.q * f.r, a), 1e-9);
+
+  // Q^H Q = I.
+  EXPECT_LT(max_abs_diff(f.q.gram(), CMat::identity(n)), 1e-9);
+
+  // R upper triangular with real non-negative diagonal.
+  for (std::size_t r = 0; r < n; ++r) {
+    EXPECT_GE(f.r(r, r).real(), 0.0);
+    EXPECT_NEAR(f.r(r, r).imag(), 0.0, 1e-9);
+    for (std::size_t c = 0; c < r; ++c) EXPECT_LT(std::abs(f.r(r, c)), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrTest,
+                         ::testing::Values(std::make_pair(1u, 1u),
+                                           std::make_pair(4u, 4u),
+                                           std::make_pair(8u, 8u),
+                                           std::make_pair(12u, 8u),
+                                           std::make_pair(32u, 16u),
+                                           std::make_pair(48u, 48u)));
+
+TEST(QrTest, RequiresTallMatrix) {
+  EXPECT_THROW(qr_decompose(CMat(2, 3)), InvalidArgument);
+}
+
+TEST(LuSolveTest, SolvesKnownSystem) {
+  // [1 1; 1 -1] x = [3; 1] => x = [2; 1].
+  CMat a(2, 2, {cplx{1, 0}, cplx{1, 0}, cplx{1, 0}, cplx{-1, 0}});
+  const CVec x = lu_solve(a, CVec{cplx{3, 0}, cplx{1, 0}});
+  EXPECT_NEAR(std::abs(x[0] - cplx(2, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - cplx(1, 0)), 0.0, 1e-12);
+}
+
+TEST(LuSolveTest, RandomRoundTrip) {
+  Rng rng{20};
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 1 + trial;
+    const CMat a = random_matrix(n, n, rng);
+    const CVec x_true = random_vector(n, rng);
+    const CVec x = lu_solve(a, a * x_true);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_LT(std::abs(x[i] - x_true[i]), 1e-8);
+  }
+}
+
+TEST(LuSolveTest, SingularThrows) {
+  CMat a(2, 2);  // all zeros
+  EXPECT_THROW(lu_solve(a, CVec(2)), InvalidArgument);
+}
+
+TEST(InverseTest, InverseTimesSelfIsIdentity) {
+  Rng rng{30};
+  const CMat a = random_matrix(6, 6, rng);
+  EXPECT_LT(max_abs_diff(a * inverse(a), CMat::identity(6)), 1e-8);
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Rng rng{40};
+  const CMat b = random_matrix(8, 5, rng);
+  CMat a = b.gram();  // Hermitian PSD; add ridge to ensure PD
+  for (std::size_t i = 0; i < 5; ++i) a(i, i) += 0.5;
+  const CMat l = cholesky(a);
+  EXPECT_LT(max_abs_diff(l * l.hermitian(), a), 1e-9);
+  // Lower triangular.
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = r + 1; c < 5; ++c) EXPECT_EQ(l(r, c), cplx(0, 0));
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  CMat a(2, 2, {cplx{1, 0}, cplx{2, 0}, cplx{2, 0}, cplx{1, 0}});  // eig -1, 3
+  EXPECT_THROW(cholesky(a), InvalidArgument);
+}
+
+TEST(NormalEquationsTest, ZeroLambdaRecoversLeastSquares) {
+  Rng rng{50};
+  const CMat a = random_matrix(10, 4, rng);
+  const CVec x_true = random_vector(4, rng);
+  const CVec y = a * x_true;  // consistent system
+  const CVec x = solve_normal_equations(a, y, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_LT(std::abs(x[i] - x_true[i]), 1e-8);
+}
+
+TEST(NormalEquationsTest, LargeLambdaShrinksTowardZero) {
+  Rng rng{60};
+  const CMat a = random_matrix(8, 4, rng);
+  const CVec y = random_vector(8, rng);
+  const CVec x = solve_normal_equations(a, y, 1e9);
+  for (const auto& v : x) EXPECT_LT(std::abs(v), 1e-6);
+}
+
+TEST(ResidualTest, ZeroForExactSolution) {
+  Rng rng{70};
+  const CMat a = random_matrix(5, 5, rng);
+  const CVec x = random_vector(5, rng);
+  EXPECT_NEAR(norm_sq(residual(a * x, a, x)), 0.0, 1e-18);
+}
+
+}  // namespace
+}  // namespace quamax::linalg

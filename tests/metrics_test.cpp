@@ -1,0 +1,237 @@
+// Metrics tests (paper §5.2): ranked solution statistics, TTS formula,
+// Eq. 9 expected BER (against direct Monte-Carlo simulation of best-of-N_a),
+// and TTB/TTF search behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quamax/metrics/solution_stats.hpp"
+
+namespace quamax::metrics {
+namespace {
+
+using qubo::SpinVec;
+using wireless::BitVec;
+using wireless::Modulation;
+
+/// Hand-built sample set over 2 BPSK users (2 spins): three distinct
+/// solutions with known energies, counts and bit errors.
+struct Fixture {
+  std::vector<SpinVec> samples;
+  std::vector<double> energies;
+  BitVec tx{1, 1};  // ground truth: both bits one <=> spins (+1, +1)
+
+  Fixture() {
+    auto push = [&](SpinVec s, double e, std::size_t copies) {
+      for (std::size_t i = 0; i < copies; ++i) {
+        samples.push_back(s);
+        energies.push_back(e);
+      }
+    };
+    push(SpinVec{+1, +1}, -3.0, 5);  // ground state, 0 bit errors
+    push(SpinVec{+1, -1}, -1.0, 3);  // rank 2, 1 bit error
+    push(SpinVec{-1, -1}, +2.0, 2);  // rank 3, 2 bit errors
+  }
+
+  SolutionStats stats(std::optional<double> ground = std::nullopt) const {
+    return SolutionStats::build(samples, energies, tx, 2, Modulation::kBpsk,
+                                ground);
+  }
+};
+
+TEST(SolutionStatsTest, RankOrderingAndCounts) {
+  const Fixture f;
+  const SolutionStats stats = f.stats();
+  ASSERT_EQ(stats.ranked().size(), 3u);
+  EXPECT_EQ(stats.total_anneals(), 10u);
+  EXPECT_EQ(stats.num_bits(), 2u);
+
+  EXPECT_DOUBLE_EQ(stats.ranked()[0].energy, -3.0);
+  EXPECT_EQ(stats.ranked()[0].count, 5u);
+  EXPECT_EQ(stats.ranked()[0].bit_errors, 0u);
+  EXPECT_DOUBLE_EQ(stats.ranked()[0].probability, 0.5);
+
+  EXPECT_DOUBLE_EQ(stats.ranked()[1].energy, -1.0);
+  EXPECT_EQ(stats.ranked()[1].bit_errors, 1u);
+
+  EXPECT_DOUBLE_EQ(stats.ranked()[2].energy, 2.0);
+  EXPECT_EQ(stats.ranked()[2].bit_errors, 2u);
+
+  EXPECT_DOUBLE_EQ(stats.min_energy(), -3.0);
+  EXPECT_DOUBLE_EQ(stats.p0(), 0.5);
+}
+
+TEST(SolutionStatsTest, RelativeGapsAreAgainstReference) {
+  const Fixture f;
+  const SolutionStats stats = f.stats();
+  EXPECT_DOUBLE_EQ(stats.ranked()[0].relative_gap, 0.0);
+  EXPECT_NEAR(stats.ranked()[1].relative_gap, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.ranked()[2].relative_gap, 5.0 / 3.0, 1e-12);
+}
+
+TEST(SolutionStatsTest, ExternalGroundEnergyLowersP0) {
+  const Fixture f;
+  // Claim the true ground state (never sampled) has energy -5.
+  const SolutionStats stats = f.stats(-5.0);
+  EXPECT_DOUBLE_EQ(stats.p0(), 0.0);
+}
+
+TEST(SolutionStatsTest, Eq9SingleAnnealIsDistributionMean) {
+  const Fixture f;
+  const SolutionStats stats = f.stats();
+  // E[BER(1)] = (0.5*0 + 0.3*1 + 0.2*2) / 2 bits.
+  EXPECT_NEAR(stats.expected_ber(1), (0.3 + 0.4) / 2.0, 1e-12);
+}
+
+TEST(SolutionStatsTest, Eq9ConvergesToBestRankBer) {
+  const Fixture f;
+  const SolutionStats stats = f.stats();
+  EXPECT_NEAR(stats.expected_ber(1000), stats.asymptotic_ber(), 1e-9);
+  EXPECT_DOUBLE_EQ(stats.asymptotic_ber(), 0.0);
+}
+
+TEST(SolutionStatsTest, Eq9MatchesMonteCarloBestOfNa) {
+  // Simulate best-of-N_a draws directly from the empirical distribution and
+  // compare with the closed-form Eq. 9 value.
+  const Fixture f;
+  const SolutionStats stats = f.stats();
+  Rng rng{123};
+  const std::size_t na = 3;
+  const int trials = 200000;
+  double acc = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    double best_energy = 1e300;
+    std::size_t errs = 0;
+    for (std::size_t a = 0; a < na; ++a) {
+      const double u = rng.uniform();
+      double energy;
+      std::size_t e;
+      if (u < 0.5) {
+        energy = -3.0;
+        e = 0;
+      } else if (u < 0.8) {
+        energy = -1.0;
+        e = 1;
+      } else {
+        energy = 2.0;
+        e = 2;
+      }
+      if (energy < best_energy) {
+        best_energy = energy;
+        errs = e;
+      }
+    }
+    acc += static_cast<double>(errs) / 2.0;
+  }
+  EXPECT_NEAR(stats.expected_ber(na), acc / trials, 2e-3);
+}
+
+TEST(SolutionStatsTest, ExpectedFerUsesFrameFormula) {
+  const Fixture f;
+  const SolutionStats stats = f.stats();
+  const double ber = stats.expected_ber(2);
+  EXPECT_NEAR(stats.expected_fer(2, 1500), wireless::fer_from_ber(ber, 1500),
+              1e-15);
+}
+
+TEST(SolutionStatsTest, InputValidation) {
+  const Fixture f;
+  EXPECT_THROW(SolutionStats::build({}, {}, f.tx, 2, Modulation::kBpsk),
+               InvalidArgument);
+  EXPECT_THROW(SolutionStats::build(f.samples, {}, f.tx, 2, Modulation::kBpsk),
+               InvalidArgument);
+  EXPECT_THROW(f.stats().expected_ber(0), InvalidArgument);
+}
+
+TEST(TtsTest, MatchesClosedForm) {
+  // TTS(0.99) = Ta * ln(0.01)/ln(1-p0).
+  EXPECT_NEAR(time_to_solution_us(0.1, 1.0),
+              std::log(0.01) / std::log(0.9), 1e-9);
+  EXPECT_NEAR(time_to_solution_us(0.5, 2.0),
+              2.0 * std::log(0.01) / std::log(0.5), 1e-9);
+}
+
+TEST(TtsTest, EdgeCases) {
+  EXPECT_TRUE(std::isinf(time_to_solution_us(0.0, 1.0)));
+  EXPECT_DOUBLE_EQ(time_to_solution_us(1.0, 3.0), 3.0);
+  EXPECT_THROW(time_to_solution_us(0.5, 0.0), InvalidArgument);
+  EXPECT_THROW(time_to_solution_us(0.5, 1.0, 1.5), InvalidArgument);
+}
+
+TEST(TtsTest, HigherP0NeverSlower) {
+  double prev = time_to_solution_us(0.01, 1.0);
+  for (double p0 = 0.05; p0 < 1.0; p0 += 0.05) {
+    const double tts = time_to_solution_us(p0, 1.0);
+    EXPECT_LE(tts, prev);
+    prev = tts;
+  }
+}
+
+TEST(TtbTest, FindsMinimalAnnealCount) {
+  const Fixture f;
+  const SolutionStats stats = f.stats();
+  // Verify minimality directly: first Na with expected_ber <= target.
+  const double target = 1e-3;
+  const auto na = anneals_to_ber(stats, target, 1 << 20);
+  ASSERT_TRUE(na.has_value());
+  EXPECT_LE(stats.expected_ber(*na), target);
+  if (*na > 1) {
+    EXPECT_GT(stats.expected_ber(*na - 1), target);
+  }
+}
+
+TEST(TtbTest, UnreachableTargetReturnsNullopt) {
+  // Make the best solution itself erroneous: BER floor > 0.
+  Fixture f;
+  f.tx = BitVec{0, 0};  // every sampled solution now has bit errors
+  const SolutionStats stats =
+      SolutionStats::build(f.samples, f.energies, f.tx, 2, Modulation::kBpsk);
+  EXPECT_GT(stats.asymptotic_ber(), 0.0);
+  EXPECT_EQ(anneals_to_ber(stats, 1e-6, 1 << 16), std::nullopt);
+}
+
+TEST(TtbTest, TimeAccountsForDurationAndParallelism) {
+  const Fixture f;
+  const SolutionStats stats = f.stats();
+  const auto na = anneals_to_ber(stats, 1e-3, 1 << 20);
+  ASSERT_TRUE(na.has_value());
+  const auto ttb = time_to_ber_us(stats, 1e-3, 2.0, 4.0, 1 << 20);
+  ASSERT_TRUE(ttb.has_value());
+  // Amortized time, floored at one anneal batch's duration (paper §5.3.3).
+  EXPECT_NEAR(*ttb, std::max(2.0, static_cast<double>(*na) * 2.0 / 4.0), 1e-12);
+}
+
+TEST(TtbTest, FlooredAtOneAnnealDuration) {
+  // A perfect sampler (BER target met at N_a = 1) with huge parallelism
+  // still needs one anneal of wall clock.
+  const Fixture f;
+  const SolutionStats stats = f.stats();
+  const auto ttb = time_to_ber_us(stats, 0.5, 2.0, 100.0, 1 << 20);
+  ASSERT_TRUE(ttb.has_value());
+  EXPECT_DOUBLE_EQ(*ttb, 2.0);
+}
+
+TEST(TtfTest, ConsistentWithTtbThroughFrameInversion) {
+  const Fixture f;
+  const SolutionStats stats = f.stats();
+  const double target_fer = 1e-4;
+  const auto ttf = time_to_fer_us(stats, target_fer, 1500, 1.0, 1.0, 1 << 22);
+  ASSERT_TRUE(ttf.has_value());
+  // At the returned time's anneal count, the FER target must be met.
+  const std::size_t na = static_cast<std::size_t>(*ttf);
+  EXPECT_LE(stats.expected_fer(na, 1500), target_fer * (1 + 1e-9));
+}
+
+TEST(TtfTest, LargerFramesNeedMoreTime) {
+  const Fixture f;
+  const SolutionStats stats = f.stats();
+  const auto small = time_to_fer_us(stats, 1e-3, 50, 1.0, 1.0, 1 << 22);
+  const auto large = time_to_fer_us(stats, 1e-3, 1500, 1.0, 1.0, 1 << 22);
+  ASSERT_TRUE(small.has_value());
+  ASSERT_TRUE(large.has_value());
+  EXPECT_LE(*small, *large);
+}
+
+}  // namespace
+}  // namespace quamax::metrics

@@ -1,0 +1,224 @@
+// Constellation and bit-mapping tests (paper §3.2.1, Fig. 2): bijectivity,
+// Gray adjacency, the exact Fig. 2 translation tables, and the equivalence
+// of the paper's two-step post-translation with per-dimension binary->Gray.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <set>
+
+#include "quamax/common/rng.hpp"
+#include "quamax/wireless/modulation.hpp"
+
+namespace quamax::wireless {
+namespace {
+
+const Modulation kAllMods[] = {Modulation::kBpsk, Modulation::kQpsk,
+                               Modulation::kQam16, Modulation::kQam64};
+
+BitVec bits_of(unsigned code, int nbits) {
+  BitVec bits(nbits);
+  for (int i = 0; i < nbits; ++i) bits[i] = (code >> (nbits - 1 - i)) & 1u;
+  return bits;
+}
+
+class PerModulationTest : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(PerModulationTest, BasicParametersAreConsistent) {
+  const Modulation mod = GetParam();
+  EXPECT_EQ(constellation_size(mod), 1 << bits_per_symbol(mod));
+  if (mod != Modulation::kBpsk) {
+    EXPECT_EQ(2 * bits_per_dimension(mod), bits_per_symbol(mod));
+  }
+}
+
+TEST_P(PerModulationTest, GrayMapIsABijection) {
+  const Modulation mod = GetParam();
+  const int q = bits_per_symbol(mod);
+  std::set<std::pair<double, double>> seen;
+  for (int code = 0; code < (1 << q); ++code) {
+    const cplx v = map_gray(bits_of(code, q), mod);
+    EXPECT_TRUE(seen.insert({v.real(), v.imag()}).second)
+        << "duplicate constellation point for code " << code;
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), constellation_size(mod));
+}
+
+TEST_P(PerModulationTest, QuamaxMapIsABijection) {
+  const Modulation mod = GetParam();
+  const int q = bits_per_symbol(mod);
+  std::set<std::pair<double, double>> seen;
+  for (int code = 0; code < (1 << q); ++code)
+    EXPECT_TRUE(seen
+                    .insert({map_quamax(bits_of(code, q), mod).real(),
+                             map_quamax(bits_of(code, q), mod).imag()})
+                    .second);
+}
+
+TEST_P(PerModulationTest, AverageEnergyMatchesConstellation) {
+  const Modulation mod = GetParam();
+  const int q = bits_per_symbol(mod);
+  double total = 0.0;
+  for (int code = 0; code < (1 << q); ++code)
+    total += std::norm(map_gray(bits_of(code, q), mod));
+  EXPECT_NEAR(total / (1 << q), average_symbol_energy(mod), 1e-12);
+}
+
+TEST_P(PerModulationTest, GrayAdjacencyProperty) {
+  // Constellation points at distance 2 (adjacent grid points) must have
+  // Gray labels differing in exactly one bit.
+  const Modulation mod = GetParam();
+  const int q = bits_per_symbol(mod);
+  std::vector<std::pair<cplx, BitVec>> table;
+  for (int code = 0; code < (1 << q); ++code) {
+    const BitVec b = bits_of(code, q);
+    table.emplace_back(map_gray(b, mod), b);
+  }
+  for (const auto& [va, ba] : table) {
+    for (const auto& [vb, bb] : table) {
+      if (std::abs(va - vb) == 2.0) {
+        int diff = 0;
+        for (int k = 0; k < q; ++k) diff += ba[k] != bb[k];
+        EXPECT_EQ(diff, 1) << "points " << va << " and " << vb;
+      }
+    }
+  }
+}
+
+TEST_P(PerModulationTest, PaperTranslationEqualsPerDimensionGrayConversion) {
+  // §3.2.1's pipeline (column flip + chained differential encoding) must
+  // equal independent per-dimension binary->Gray conversion — the column
+  // flip exists precisely to neutralize the chain crossing the I/Q border.
+  const Modulation mod = GetParam();
+  const int q = bits_per_symbol(mod);
+  for (int code = 0; code < (1 << q); ++code) {
+    const BitVec quamax = bits_of(code, q);
+    EXPECT_EQ(translate_quamax_to_gray_paper(quamax, mod),
+              translate_quamax_to_gray(quamax, mod))
+        << "code " << code;
+  }
+}
+
+TEST_P(PerModulationTest, TranslationRoundTripsAndPreservesTheSymbol) {
+  // Decoding correctness hinges on: the Gray label of a constellation point
+  // equals the translated QuAMax label of the SAME point.
+  const Modulation mod = GetParam();
+  const int q = bits_per_symbol(mod);
+  for (int code = 0; code < (1 << q); ++code) {
+    const BitVec quamax_bits = bits_of(code, q);
+    const cplx point = map_quamax(quamax_bits, mod);
+    const BitVec gray_bits = translate_quamax_to_gray(quamax_bits, mod);
+    EXPECT_EQ(map_gray(gray_bits, mod), point) << "code " << code;
+    EXPECT_EQ(translate_gray_to_quamax(gray_bits, mod), quamax_bits);
+  }
+}
+
+TEST_P(PerModulationTest, NearestDemapInvertsGrayMap) {
+  const Modulation mod = GetParam();
+  const int q = bits_per_symbol(mod);
+  for (int code = 0; code < (1 << q); ++code) {
+    const BitVec b = bits_of(code, q);
+    EXPECT_EQ(demap_gray_nearest(map_gray(b, mod), mod), b);
+  }
+}
+
+TEST_P(PerModulationTest, NearestDemapToleratesSmallNoise) {
+  const Modulation mod = GetParam();
+  const int q = bits_per_symbol(mod);
+  const cplx nudge{0.49, -0.49};  // less than half the level spacing
+  for (int code = 0; code < (1 << q); ++code) {
+    const BitVec b = bits_of(code, q);
+    EXPECT_EQ(demap_gray_nearest(map_gray(b, mod) + nudge, mod), b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModulations, PerModulationTest,
+                         ::testing::ValuesIn(kAllMods),
+                         [](const ::testing::TestParamInfo<Modulation>& info) {
+                           switch (info.param) {
+                             case Modulation::kBpsk: return "BPSK";
+                             case Modulation::kQpsk: return "QPSK";
+                             case Modulation::kQam16: return "QAM16";
+                             default: return "QAM64";
+                           }
+                         });
+
+TEST(Fig2Test, QuamaxTransformMatchesPaper16Qam) {
+  // Fig. 2(a): T(q) = (4q1 + 2q2 - 3) + j (4q3 + 2q4 - 3).
+  for (int code = 0; code < 16; ++code) {
+    const BitVec b = bits_of(static_cast<unsigned>(code), 4);
+    const cplx expected{4.0 * b[0] + 2.0 * b[1] - 3.0, 4.0 * b[2] + 2.0 * b[3] - 3.0};
+    EXPECT_EQ(map_quamax(b, Modulation::kQam16), expected);
+  }
+}
+
+TEST(Fig2Test, PaperWorkedExample1100) {
+  // §3.2.1: QuAMax solution 1100 -> intermediate 1111 -> Gray 1000.
+  const BitVec quamax{1, 1, 0, 0};
+  EXPECT_EQ(translate_quamax_to_gray_paper(quamax, Modulation::kQam16),
+            (BitVec{1, 0, 0, 0}));
+}
+
+TEST(Fig2Test, GrayCodeTableMatchesFig2d) {
+  // Spot-check the published Gray constellation (Fig. 2(d)), bottom row
+  // (Q = -3): labels 0000, 0100, 1100, 1000 at I = -3, -1, +1, +3.
+  EXPECT_EQ(map_gray(BitVec{0, 0, 0, 0}, Modulation::kQam16), cplx(-3, -3));
+  EXPECT_EQ(map_gray(BitVec{0, 1, 0, 0}, Modulation::kQam16), cplx(-1, -3));
+  EXPECT_EQ(map_gray(BitVec{1, 1, 0, 0}, Modulation::kQam16), cplx(+1, -3));
+  EXPECT_EQ(map_gray(BitVec{1, 0, 0, 0}, Modulation::kQam16), cplx(+3, -3));
+  // And one interior point: 1111 at (+1, +1).
+  EXPECT_EQ(map_gray(BitVec{1, 1, 1, 1}, Modulation::kQam16), cplx(+1, +1));
+}
+
+TEST(Fig2Test, BpskAndQpskTranslationIsIdentity) {
+  EXPECT_EQ(translate_quamax_to_gray(BitVec{1}, Modulation::kBpsk), (BitVec{1}));
+  EXPECT_EQ(translate_quamax_to_gray(BitVec{0, 1}, Modulation::kQpsk),
+            (BitVec{0, 1}));
+}
+
+TEST(ModulateTest, VectorModulationConcatenatesUsers) {
+  const BitVec bits{1, 0, 0, 1};  // two QPSK users
+  const CVec v = modulate_gray(bits, Modulation::kQpsk);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], map_gray(BitVec{1, 0}, Modulation::kQpsk));
+  EXPECT_EQ(v[1], map_gray(BitVec{0, 1}, Modulation::kQpsk));
+}
+
+TEST(ModulateTest, DemodulateGrayInvertsModulateGray) {
+  Rng rng{99};
+  for (const Modulation mod : kAllMods) {
+    const int q = bits_per_symbol(mod);
+    BitVec bits(static_cast<std::size_t>(q) * 5);
+    for (auto& b : bits) b = rng.coin();
+    EXPECT_EQ(demodulate_gray(modulate_gray(bits, mod), mod), bits);
+  }
+}
+
+TEST(ModulateTest, WrongBitCountThrows) {
+  EXPECT_THROW(map_gray(BitVec{1, 0}, Modulation::kQam16), InvalidArgument);
+  EXPECT_THROW(modulate_gray(BitVec{1, 0, 1}, Modulation::kQpsk), InvalidArgument);
+}
+
+TEST(PamTest, BinaryAndGrayLevelTables) {
+  // nbits = 2: binary 00,01,10,11 -> -3,-1,+1,+3; Gray 00,01,11,10 -> same.
+  EXPECT_EQ(pam_level_binary(0, 2), -3);
+  EXPECT_EQ(pam_level_binary(1, 2), -1);
+  EXPECT_EQ(pam_level_binary(2, 2), +1);
+  EXPECT_EQ(pam_level_binary(3, 2), +3);
+  EXPECT_EQ(pam_level_gray(0b00, 2), -3);
+  EXPECT_EQ(pam_level_gray(0b01, 2), -1);
+  EXPECT_EQ(pam_level_gray(0b11, 2), +1);
+  EXPECT_EQ(pam_level_gray(0b10, 2), +3);
+  // nbits = 3 Gray: reflected code order.
+  EXPECT_EQ(pam_level_gray(0b000, 3), -7);
+  EXPECT_EQ(pam_level_gray(0b001, 3), -5);
+  EXPECT_EQ(pam_level_gray(0b011, 3), -3);
+  EXPECT_EQ(pam_level_gray(0b010, 3), -1);
+  EXPECT_EQ(pam_level_gray(0b110, 3), +1);
+  EXPECT_EQ(pam_level_gray(0b111, 3), +3);
+  EXPECT_EQ(pam_level_gray(0b101, 3), +5);
+  EXPECT_EQ(pam_level_gray(0b100, 3), +7);
+}
+
+}  // namespace
+}  // namespace quamax::wireless

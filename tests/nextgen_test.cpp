@@ -1,0 +1,146 @@
+// Next-generation chip tests (paper §8): the generalized shore-size graph,
+// its clique embedding (chains of ceil(N/shore)+1), and end-to-end decoding
+// through the shore-12 chip.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "quamax/anneal/annealer.hpp"
+#include "quamax/core/detector.hpp"
+#include "quamax/sim/runner.hpp"
+
+namespace quamax::chimera {
+namespace {
+
+TEST(NextGenGraphTest, InventoryMatchesSection8Description) {
+  const ChimeraGraph g = ChimeraGraph::next_generation();
+  EXPECT_EQ(g.shore_size(), 12u);
+  EXPECT_EQ(g.grid_size(), 13u);
+  EXPECT_EQ(g.num_qubits(), 13u * 13u * 24u);  // 4,056 ~ 2x the 2000Q
+  // Degree roughly doubles: intra-cell 12 + up to 2 inter-cell, vs 4 + 2.
+  const auto nbrs = g.neighbors(g.qubit_id(6, 6, 0, 3));
+  EXPECT_EQ(nbrs.size(), 12u + 2u);
+}
+
+TEST(NextGenGraphTest, CellStructureIsCompleteBipartite) {
+  const ChimeraGraph g(3, 12);
+  for (int kv = 0; kv < 12; kv += 3)
+    for (int kh = 0; kh < 12; kh += 3)
+      EXPECT_TRUE(g.has_coupler(g.qubit_id(1, 1, 0, kv), g.qubit_id(1, 1, 1, kh)));
+  EXPECT_FALSE(g.has_coupler(g.qubit_id(1, 1, 0, 0), g.qubit_id(1, 1, 0, 5)));
+}
+
+TEST(NextGenGraphTest, CoordsRoundTripAtShore12) {
+  const ChimeraGraph g(4, 12);
+  for (Qubit q = 0; q < g.num_qubits(); q += 7) {
+    const auto c = g.coords(q);
+    EXPECT_EQ(g.qubit_id(c.row, c.col, c.side, c.k), q);
+  }
+}
+
+class NextGenEmbeddingTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NextGenEmbeddingTest, ChainsFollowTheShore12Formula) {
+  const std::size_t n = GetParam();
+  const ChimeraGraph g = ChimeraGraph::next_generation();
+  const Embedding e = find_clique_embedding(n, g);
+  const std::size_t expected_len = (n + 11) / 12 + 1;  // ceil(N/12) + 1 (§8)
+  std::set<Qubit> used;
+  for (const auto& chain : e.chains) {
+    EXPECT_EQ(chain.size(), expected_len);
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i)
+      EXPECT_TRUE(g.has_coupler(chain[i], chain[i + 1]));
+    for (Qubit q : chain) EXPECT_TRUE(used.insert(q).second);
+  }
+  // Full logical connectivity.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      bool found = false;
+      for (Qubit a : e.chains[i]) {
+        for (Qubit b : e.chains[j])
+          if (g.has_coupler(a, b)) {
+            found = true;
+            break;
+          }
+        if (found) break;
+      }
+      EXPECT_TRUE(found) << "pair " << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NextGenEmbeddingTest,
+                         ::testing::Values(5u, 36u, 120u, 156u));
+
+TEST(NextGenFootprintTest, CapacityExpandsAsSection8Expects) {
+  const ChimeraGraph current(16);
+  const ChimeraGraph nextgen = ChimeraGraph::next_generation();
+
+  // 120-user BPSK: infeasible today, feasible next-gen.
+  EXPECT_FALSE(qubit_footprint(120, 1, current).feasible);
+  EXPECT_TRUE(qubit_footprint(120, 1, nextgen).feasible);
+
+  // 60-user QPSK (N = 120): infeasible today (needs 30 cell rows), feasible
+  // next-gen (10 rows, 120 * 11 = 1,320 qubits).
+  EXPECT_FALSE(qubit_footprint(60, 2, current).feasible);
+  EXPECT_TRUE(qubit_footprint(60, 2, nextgen).feasible);
+
+  // Parallelization multiplies: an N=36 problem uses chains of 4 instead of
+  // 10 -> 4,056/144 vs 2,048/360.
+  EXPECT_GT(parallelization_factor(36, nextgen),
+            2.0 * parallelization_factor(36, current));
+}
+
+TEST(NextGenEndToEndTest, DecodesThroughTheShore12Chip) {
+  Rng rng{0x12357};
+  anneal::AnnealerConfig config;
+  config.schedule.anneal_time_us = 2.0;
+  config.chip_size = 13;
+  config.chip_shore = 12;
+  config.embed.jf = 1.0;
+  anneal::ChimeraAnnealer annealer(config);
+  core::QuAMaxDetector detector(annealer, {.num_anneals = 120});
+
+  std::size_t ok = 0;
+  for (int t = 0; t < 5; ++t) {
+    const auto use =
+        wireless::make_noise_free_use(12, wireless::Modulation::kBpsk, rng);
+    ok += (detector.detect(use, rng).bits == use.tx_bits);
+  }
+  EXPECT_GE(ok, 4u);
+}
+
+TEST(NextGenEndToEndTest, ShorterChainsRaiseGroundStateProbability) {
+  Rng rng{0x12359};
+  const sim::Instance inst = sim::make_instance(
+      {.users = 36, .mod = wireless::Modulation::kBpsk, .kind = {}, .snr_db = {}},
+      rng);
+
+  double p0_current = 0.0, p0_nextgen = 0.0;
+  for (const bool next : {false, true}) {
+    anneal::AnnealerConfig config;
+    config.schedule.anneal_time_us = 1.0;
+    config.schedule.pause_time_us = 1.0;
+    config.embed.improved_range = true;
+    config.embed.jf = 0.5;
+    if (next) {
+      config.chip_size = 13;
+      config.chip_shore = 12;
+    }
+    anneal::ChimeraAnnealer annealer(config);
+    const sim::RunOutcome outcome = sim::run_instance(inst, annealer, 300, rng);
+    (next ? p0_nextgen : p0_current) = outcome.stats.p0();
+  }
+  EXPECT_GE(p0_nextgen, p0_current);
+}
+
+TEST(NextGenConfigTest, DefectMaskLimitedToShore4) {
+  anneal::AnnealerConfig config;
+  config.chip_shore = 12;
+  config.chip_defects = 5;
+  EXPECT_THROW(anneal::ChimeraAnnealer{config}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace quamax::chimera

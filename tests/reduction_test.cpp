@@ -1,0 +1,223 @@
+// Tests for the ML->Ising/QUBO reduction (paper §3.2, Appendix A/C).
+//
+// The load-bearing invariant: for EVERY candidate bit string q,
+//   ising.energy(s(q)) + offset == ||y - H T(q)||^2.
+// If this holds, minimizing the Ising objective IS ML detection.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+
+#include "quamax/core/reduction.hpp"
+#include "quamax/core/transform.hpp"
+#include "quamax/wireless/channel.hpp"
+
+namespace quamax {
+namespace {
+
+using core::MlProblem;
+using linalg::CMat;
+using linalg::CVec;
+using wireless::ChannelKind;
+using wireless::Modulation;
+
+/// Enumerates all spin configurations of size n (n <= 20) into `visit`.
+template <typename Visitor>
+void for_all_spins(std::size_t n, Visitor visit) {
+  ASSERT_LE(n, 20u);
+  const std::uint64_t total = 1ull << n;
+  qubo::SpinVec spins(n);
+  for (std::uint64_t code = 0; code < total; ++code) {
+    for (std::size_t i = 0; i < n; ++i)
+      spins[i] = ((code >> i) & 1ull) ? 1 : -1;
+    visit(spins);
+  }
+}
+
+double ml_metric_direct(const CMat& h, const CVec& y, const qubo::SpinVec& spins,
+                        std::size_t nt, Modulation mod) {
+  const CVec v = core::symbols_from_spins(spins, nt, mod);
+  return linalg::norm_sq(linalg::residual(y, h, v));
+}
+
+struct ReductionCase {
+  std::size_t nt;
+  Modulation mod;
+};
+
+class ReductionInvariantTest : public ::testing::TestWithParam<ReductionCase> {};
+
+TEST_P(ReductionInvariantTest, GenericReductionMatchesMlMetricExhaustively) {
+  const auto [nt, mod] = GetParam();
+  Rng rng{0xA11CE + static_cast<std::uint64_t>(nt) * 7 +
+          static_cast<std::uint64_t>(mod)};
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto use = wireless::make_channel_use(nt + 1, nt, mod,
+                                                ChannelKind::kRayleigh, 15.0, rng);
+    const MlProblem problem = core::reduce_ml_to_ising(use.h, use.y, mod);
+    for_all_spins(problem.num_vars(), [&](const qubo::SpinVec& spins) {
+      const double direct = ml_metric_direct(use.h, use.y, spins, nt, mod);
+      const double via_ising = problem.ising.absolute_energy(spins);
+      EXPECT_NEAR(direct, via_ising, 1e-7 * (1.0 + direct));
+    });
+  }
+}
+
+TEST_P(ReductionInvariantTest, QuboFormMatchesMlMetricExhaustively) {
+  const auto [nt, mod] = GetParam();
+  Rng rng{0xB0B + static_cast<std::uint64_t>(nt)};
+  const auto use =
+      wireless::make_channel_use(nt, nt, mod, ChannelKind::kRayleigh, 20.0, rng);
+  const qubo::QuboModel q = core::reduce_ml_to_qubo(use.h, use.y, mod);
+  for_all_spins(q.num_vars(), [&](const qubo::SpinVec& spins) {
+    const double direct = ml_metric_direct(use.h, use.y, spins, nt, mod);
+    const double via_qubo = q.absolute_energy(qubo::bits_from_spins(spins));
+    EXPECT_NEAR(direct, via_qubo, 1e-7 * (1.0 + direct));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallProblems, ReductionInvariantTest,
+    ::testing::Values(ReductionCase{2, Modulation::kBpsk},
+                      ReductionCase{5, Modulation::kBpsk},
+                      ReductionCase{12, Modulation::kBpsk},
+                      ReductionCase{2, Modulation::kQpsk},
+                      ReductionCase{4, Modulation::kQpsk},
+                      ReductionCase{6, Modulation::kQpsk},
+                      ReductionCase{1, Modulation::kQam16},
+                      ReductionCase{2, Modulation::kQam16},
+                      ReductionCase{3, Modulation::kQam16},
+                      ReductionCase{1, Modulation::kQam64},
+                      ReductionCase{2, Modulation::kQam64}),
+    [](const ::testing::TestParamInfo<ReductionCase>& info) {
+      return std::to_string(info.param.nt) + "x" + std::to_string(info.param.nt) +
+             "_" +
+             std::string(info.param.mod == Modulation::kBpsk    ? "BPSK"
+                         : info.param.mod == Modulation::kQpsk  ? "QPSK"
+                         : info.param.mod == Modulation::kQam16 ? "QAM16"
+                                                                : "QAM64");
+    });
+
+class ClosedFormTest : public ::testing::TestWithParam<ReductionCase> {};
+
+TEST_P(ClosedFormTest, ClosedFormEqualsGenericReduction) {
+  const auto [nt, mod] = GetParam();
+  Rng rng{0xC10 + static_cast<std::uint64_t>(nt) * 31};
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto use = wireless::make_channel_use(nt + 2, nt, mod,
+                                                ChannelKind::kRayleigh, 10.0, rng);
+    const MlProblem generic = core::reduce_ml_to_ising(use.h, use.y, mod);
+    const MlProblem closed =
+        core::reduce_ml_to_ising_closed_form(use.h, use.y, mod);
+
+    ASSERT_EQ(generic.num_vars(), closed.num_vars());
+    for (std::size_t i = 0; i < generic.num_vars(); ++i)
+      EXPECT_NEAR(generic.ising.field(i), closed.ising.field(i), 1e-9)
+          << "field " << i;
+
+    // Compare coupling maps (both are coalesced upper-triangular).
+    auto as_map = [](const qubo::IsingModel& m) {
+      std::map<std::pair<std::uint32_t, std::uint32_t>, double> out;
+      for (const auto& c : m.couplings()) out[{c.i, c.j}] += c.g;
+      return out;
+    };
+    const auto gm = as_map(generic.ising);
+    const auto cm = as_map(closed.ising);
+    for (const auto& [key, g] : gm) {
+      const auto it = cm.find(key);
+      const double closed_g = (it == cm.end()) ? 0.0 : it->second;
+      EXPECT_NEAR(g, closed_g, 1e-9)
+          << "coupling (" << key.first << "," << key.second << ")";
+    }
+    for (const auto& [key, g] : cm) {
+      if (gm.find(key) == gm.end()) {
+        EXPECT_NEAR(g, 0.0, 1e-9);
+      }
+    }
+
+    EXPECT_NEAR(generic.ising.offset(), closed.ising.offset(), 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperEquations, ClosedFormTest,
+                         ::testing::Values(ReductionCase{2, Modulation::kBpsk},
+                                           ReductionCase{8, Modulation::kBpsk},
+                                           ReductionCase{3, Modulation::kQpsk},
+                                           ReductionCase{9, Modulation::kQpsk},
+                                           ReductionCase{2, Modulation::kQam16},
+                                           ReductionCase{5, Modulation::kQam16}),
+                         [](const ::testing::TestParamInfo<ReductionCase>& info) {
+                           return "N" + std::to_string(info.param.nt) + "_mod" +
+                                  std::to_string(static_cast<int>(info.param.mod));
+                         });
+
+TEST(ReductionTest, NoiseFreeTransmittedConfigurationIsGroundState) {
+  Rng rng{42};
+  for (const Modulation mod : {Modulation::kBpsk, Modulation::kQpsk,
+                               Modulation::kQam16}) {
+    const std::size_t nt = (mod == Modulation::kQam16) ? 2u : 4u;
+    const auto use = wireless::make_noise_free_use(nt, mod, rng);
+    const MlProblem problem = core::reduce_ml_to_ising(use.h, use.y, mod);
+    const qubo::SpinVec tx = core::spins_for_gray_bits(use.tx_bits, nt, mod);
+
+    // Zero residual: absolute energy of the transmitted configuration is 0.
+    EXPECT_NEAR(problem.ising.absolute_energy(tx), 0.0, 1e-7);
+
+    // And nothing beats it (exhaustive check).
+    const double tx_energy = problem.ising.energy(tx);
+    for_all_spins(problem.num_vars(), [&](const qubo::SpinVec& spins) {
+      EXPECT_GE(problem.ising.energy(spins), tx_energy - 1e-9);
+    });
+  }
+}
+
+TEST(ReductionTest, QpskSameSymbolIandQSpinsAreUncoupled) {
+  // Paper §3.2.2: "the coupler strength between s_{2n-1} and s_{2n} is 0".
+  Rng rng{7};
+  const auto use = wireless::make_channel_use(6, 6, Modulation::kQpsk,
+                                              ChannelKind::kRayleigh, 12.0, rng);
+  const MlProblem p =
+      core::reduce_ml_to_ising_closed_form(use.h, use.y, Modulation::kQpsk);
+  for (const auto& c : p.ising.couplings()) {
+    const bool same_user_pair = (c.j == c.i + 1) && (c.i % 2 == 0);
+    EXPECT_FALSE(same_user_pair && c.g != 0.0)
+        << "spins " << c.i << "," << c.j << " should be uncoupled";
+  }
+}
+
+TEST(ReductionTest, Qam16SameSymbolCrossDimensionSpinsAreUncoupled) {
+  // Appendix C: couplers between a user's I pair and Q pair are 0.
+  Rng rng{8};
+  const auto use = wireless::make_channel_use(4, 4, Modulation::kQam16,
+                                              ChannelKind::kRayleigh, 12.0, rng);
+  const MlProblem p =
+      core::reduce_ml_to_ising_closed_form(use.h, use.y, Modulation::kQam16);
+  for (const auto& c : p.ising.couplings()) {
+    const bool same_user = (c.i / 4 == c.j / 4);
+    if (!same_user) continue;
+    const bool i_in_i_dim = (c.i % 4) < 2;
+    const bool j_in_i_dim = (c.j % 4) < 2;
+    if (i_in_i_dim != j_in_i_dim) {
+      EXPECT_DOUBLE_EQ(c.g, 0.0) << "spins " << c.i << "," << c.j;
+    }
+  }
+}
+
+TEST(ReductionTest, RejectsMismatchedDimensions) {
+  const CMat h(4, 2);
+  const CVec y(3);
+  EXPECT_THROW(core::reduce_ml_to_ising(h, y, Modulation::kBpsk), InvalidArgument);
+}
+
+TEST(ReductionTest, ClosedFormRejectsQam64) {
+  Rng rng{9};
+  const auto use = wireless::make_channel_use(2, 2, Modulation::kQam64,
+                                              ChannelKind::kRayleigh, 25.0, rng);
+  EXPECT_THROW(
+      core::reduce_ml_to_ising_closed_form(use.h, use.y, Modulation::kQam64),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace quamax

@@ -1,0 +1,159 @@
+// Reverse-annealing tests (paper §8 future work, [68]): schedule shape,
+// warm-start plumbing through the embedded pipeline, and the end-to-end
+// property motivating the technique — starting near a good solution beats
+// starting from scratch.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "quamax/anneal/annealer.hpp"
+#include "quamax/core/transform.hpp"
+#include "quamax/detect/linear.hpp"
+#include "quamax/sim/runner.hpp"
+
+namespace quamax::anneal {
+namespace {
+
+TEST(ReverseScheduleTest, BetasDipAndRecover) {
+  Schedule s;
+  s.anneal_time_us = 10.0;
+  s.sweeps_per_us = 10.0;
+  s.reverse = true;
+  s.reverse_depth = 0.4;
+  const std::vector<double> betas = s.betas();
+  ASSERT_GE(betas.size(), 2u);
+
+  // Starts and ends at the frozen end of the schedule.
+  EXPECT_NEAR(betas.front(), s.beta_final, 1e-9);
+  EXPECT_NEAR(betas.back(), s.beta_final, 1e-9);
+
+  // Dips to beta(reverse_depth) = beta_i * (beta_f/beta_i)^depth.
+  const double expected_dip =
+      s.beta_initial * std::pow(s.beta_final / s.beta_initial, 0.4);
+  const double dip = *std::min_element(betas.begin(), betas.end());
+  EXPECT_NEAR(dip, expected_dip, 1e-6);
+
+  // Monotone down then monotone up (single valley).
+  const auto min_it = std::min_element(betas.begin(), betas.end());
+  for (auto it = betas.begin(); it != min_it; ++it) EXPECT_GE(*it, *(it + 1));
+  for (auto it = min_it; it + 1 != betas.end(); ++it) EXPECT_LE(*it, *(it + 1));
+}
+
+TEST(ReverseScheduleTest, PauseExtendsTheValley) {
+  Schedule s;
+  s.anneal_time_us = 4.0;
+  s.sweeps_per_us = 10.0;
+  s.reverse = true;
+  s.pause_time_us = 2.0;
+  const std::size_t without = [&] {
+    Schedule t = s;
+    t.pause_time_us = 0.0;
+    return t.betas().size();
+  }();
+  EXPECT_EQ(s.betas().size(), without + 20u);
+  EXPECT_DOUBLE_EQ(s.duration_us(), 6.0);
+}
+
+TEST(ReverseScheduleTest, DepthValidation) {
+  Schedule s;
+  s.reverse = true;
+  s.reverse_depth = 0.0;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+  s.reverse_depth = 1.0;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+}
+
+TEST(SaEngineWarmStartTest, FrozenScheduleKeepsTheSeedState) {
+  // At huge beta and a seed in a strict local minimum, nothing moves.
+  qubo::IsingModel m(4);
+  for (std::size_t i = 0; i + 1 < 4; ++i) m.add_coupling(i, i + 1, -1.0);
+  const SaEngine engine(m);
+  const std::vector<double> frozen(10, 1e6);
+  const qubo::SpinVec seed{1, 1, 1, 1};
+  Rng rng{1};
+  EXPECT_EQ(engine.anneal(frozen, rng, &seed), seed);
+}
+
+TEST(SaEngineWarmStartTest, SizeMismatchThrows) {
+  qubo::IsingModel m(4);
+  const SaEngine engine(m);
+  const qubo::SpinVec bad{1, 1};
+  Rng rng{1};
+  EXPECT_THROW(engine.anneal({1.0}, rng, &bad), InvalidArgument);
+}
+
+TEST(ReverseAnnealerTest, RequiresInitialState) {
+  AnnealerConfig config;
+  config.schedule.reverse = true;
+  ChimeraAnnealer annealer(config);
+  qubo::IsingModel problem(4);
+  problem.add_coupling(0, 1, -1.0);
+  Rng rng{2};
+  EXPECT_THROW(annealer.sample(problem, 1, rng), InvalidArgument);
+
+  annealer.set_initial_state(qubo::SpinVec{1, 1});  // wrong size
+  EXPECT_THROW(annealer.sample(problem, 1, rng), InvalidArgument);
+}
+
+TEST(ReverseAnnealerTest, WarmStartFromGroundStateStaysNearIt) {
+  // Seeding reverse annealing with the true (noise-free) solution should
+  // return it with much higher probability than forward annealing finds it.
+  Rng rng{3};
+  const sim::Instance inst = sim::make_instance(
+      {.users = 18, .mod = wireless::Modulation::kQpsk, .kind = {}, .snr_db = {}},
+      rng);
+
+  AnnealerConfig forward;
+  forward.schedule.anneal_time_us = 1.0;
+  forward.embed.jf = 0.5;
+  forward.embed.improved_range = true;
+  ChimeraAnnealer forward_annealer(forward);
+  const sim::RunOutcome fwd = sim::run_instance(inst, forward_annealer, 150, rng);
+
+  AnnealerConfig reverse = forward;
+  reverse.schedule.reverse = true;
+  reverse.schedule.reverse_depth = 0.85;
+  ChimeraAnnealer reverse_annealer(reverse);
+  reverse_annealer.set_initial_state(inst.tx_spins);
+  const sim::RunOutcome rev = sim::run_instance(inst, reverse_annealer, 150, rng);
+
+  EXPECT_GT(rev.stats.p0(), fwd.stats.p0());
+  EXPECT_GT(rev.stats.p0(), 0.5);
+}
+
+TEST(ReverseAnnealerTest, MmseWarmStartImprovesOnForwardAnnealing) {
+  // The §8 use case: seed with a linear detector's solution.  Aggregated
+  // over instances, reverse-from-MMSE must find the ground state at least
+  // as often as forward annealing from scratch.
+  Rng rng{4};
+  double fwd_p0 = 0.0, rev_p0 = 0.0;
+  const int trials = 4;
+  for (int t = 0; t < trials; ++t) {
+    const sim::Instance inst =
+        sim::make_instance({.users = 18,
+                            .mod = wireless::Modulation::kQpsk,
+                            .kind = wireless::ChannelKind::kRandomPhase,
+                            .snr_db = 16.0},
+                           rng);
+
+    AnnealerConfig forward;
+    forward.schedule.anneal_time_us = 1.0;
+    forward.embed.jf = 0.5;
+    forward.embed.improved_range = true;
+    ChimeraAnnealer forward_annealer(forward);
+    fwd_p0 += sim::run_instance(inst, forward_annealer, 120, rng).stats.p0();
+
+    AnnealerConfig reverse = forward;
+    reverse.schedule.reverse = true;
+    ChimeraAnnealer reverse_annealer(reverse);
+    const wireless::BitVec mmse_bits = detect::mmse_detect(inst.use);
+    reverse_annealer.set_initial_state(
+        core::spins_for_gray_bits(mmse_bits, inst.use.h.cols(), inst.use.mod));
+    rev_p0 += sim::run_instance(inst, reverse_annealer, 120, rng).stats.p0();
+  }
+  EXPECT_GE(rev_p0, fwd_p0 * 0.9);  // at least comparable; typically better
+}
+
+}  // namespace
+}  // namespace quamax::anneal

@@ -1,0 +1,122 @@
+// Experiment-harness tests: instance construction (ground-state anchoring),
+// run orchestration, and the Fix/Opt sweep aggregation logic of §5.3.2.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+
+#include "quamax/anneal/annealer.hpp"
+#include "quamax/sim/runner.hpp"
+
+namespace quamax::sim {
+namespace {
+
+using wireless::Modulation;
+
+TEST(InstanceTest, NoiseFreeGroundIsTransmittedConfiguration) {
+  Rng rng{1};
+  const ProblemClass cls{.users = 6, .mod = Modulation::kQpsk, .kind = {}, .snr_db = {}};
+  const Instance inst = make_instance(cls, rng);
+  EXPECT_TRUE(inst.ground_is_ml);
+  EXPECT_DOUBLE_EQ(inst.ground_energy, inst.tx_energy);
+  EXPECT_EQ(inst.num_vars(), 12u);
+  // Absolute energy of the ground state is the zero residual.
+  EXPECT_NEAR(inst.tx_energy + inst.problem.ising.offset(), 0.0, 1e-7);
+}
+
+TEST(InstanceTest, NoisyGroundComesFromSphereDecoderAndIsNoHigherThanTx) {
+  Rng rng{2};
+  const ProblemClass cls{.users = 6,
+                         .mod = Modulation::kQpsk,
+                         .kind = wireless::ChannelKind::kRayleigh,
+                         .snr_db = 8.0};
+  const Instance inst = make_instance(cls, rng, /*ml_oracle=*/true);
+  EXPECT_TRUE(inst.ground_is_ml);
+  // ML minimizes the metric, so its energy cannot exceed the transmitted
+  // configuration's energy.
+  EXPECT_LE(inst.ground_energy, inst.tx_energy + 1e-9);
+}
+
+TEST(InstanceTest, OracleCanBeDisabled) {
+  Rng rng{3};
+  const ProblemClass cls{.users = 4,
+                         .mod = Modulation::kBpsk,
+                         .kind = wireless::ChannelKind::kRayleigh,
+                         .snr_db = 10.0};
+  const Instance inst = make_instance(cls, rng, /*ml_oracle=*/false);
+  EXPECT_FALSE(inst.ground_is_ml);
+  EXPECT_DOUBLE_EQ(inst.ground_energy, inst.tx_energy);
+}
+
+TEST(RunnerTest, RunInstanceProducesAnchoredStats) {
+  Rng rng{4};
+  const ProblemClass cls{.users = 4, .mod = Modulation::kBpsk, .kind = {}, .snr_db = {}};
+  const Instance inst = make_instance(cls, rng);
+
+  anneal::AnnealerConfig config;
+  config.schedule.anneal_time_us = 2.0;
+  anneal::ChimeraAnnealer annealer(config);
+
+  const RunOutcome outcome = run_instance(inst, annealer, 100, rng);
+  EXPECT_EQ(outcome.stats.total_anneals(), 100u);
+  EXPECT_DOUBLE_EQ(outcome.duration_us, 2.0);
+  EXPECT_GT(outcome.parallel_factor, 1.0);
+  // Noise-free 4-user BPSK is easy: the ground state shows up.
+  EXPECT_GT(outcome.stats.p0(), 0.0);
+  EXPECT_LT(outcome_tts_us(outcome), std::numeric_limits<double>::infinity());
+}
+
+TEST(RunnerTest, BruteForceOracleYieldsPerfectOutcome) {
+  Rng rng{5};
+  const ProblemClass cls{.users = 5, .mod = Modulation::kBpsk, .kind = {}, .snr_db = {}};
+  const Instance inst = make_instance(cls, rng);
+  anneal::BruteForceSampler oracle;
+  const RunOutcome outcome = run_instance(inst, oracle, 4, rng);
+  EXPECT_DOUBLE_EQ(outcome.stats.p0(), 1.0);
+  EXPECT_DOUBLE_EQ(outcome.stats.expected_ber(1), 0.0);
+  const auto ttb = outcome_ttb_us(outcome, 1e-6, 1 << 10);
+  ASSERT_TRUE(ttb.has_value());
+}
+
+TEST(SweepTest, FixAndOptAggregation) {
+  // 3 settings x 4 instances.
+  const SweepMatrix matrix{
+      {10.0, 20.0, 30.0, 40.0},   // median 25
+      {15.0, 5.0, 50.0, 100.0},   // median 32.5
+      {12.0, 18.0, 28.0, 200.0},  // median 23 -> Fix
+  };
+  EXPECT_EQ(best_fixed_setting(matrix), 2u);
+  EXPECT_EQ(fix_values(matrix), matrix[2]);
+  EXPECT_EQ(opt_per_instance(matrix), (std::vector<double>{10.0, 5.0, 28.0, 40.0}));
+}
+
+TEST(SweepTest, InfinitiesAreHandled) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const SweepMatrix matrix{{inf, inf, inf}, {inf, 3.0, 5.0}};
+  EXPECT_EQ(best_fixed_setting(matrix), 1u);  // median 5 beats median inf
+  EXPECT_EQ(opt_per_instance(matrix), (std::vector<double>{inf, 3.0, 5.0}));
+}
+
+TEST(SweepTest, RaggedMatrixThrows) {
+  EXPECT_THROW(opt_per_instance(SweepMatrix{{1.0, 2.0}, {1.0}}), InvalidArgument);
+  EXPECT_THROW(best_fixed_setting(SweepMatrix{}), InvalidArgument);
+}
+
+TEST(EnvScaleTest, DefaultsAndOverrides) {
+  ::unsetenv("QUAMAX_SCALE");
+  EXPECT_DOUBLE_EQ(env_scale(), 1.0);
+  EXPECT_EQ(scaled(10), 10u);
+
+  ::setenv("QUAMAX_SCALE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(env_scale(), 0.25);
+  EXPECT_EQ(scaled(10), 3u);   // rounded
+  EXPECT_EQ(scaled(1), 1u);    // floored at 1
+
+  ::setenv("QUAMAX_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(env_scale(), 1.0);
+  ::unsetenv("QUAMAX_SCALE");
+}
+
+}  // namespace
+}  // namespace quamax::sim

@@ -1,0 +1,101 @@
+// Spin-transform tests (paper §3.2.1): the linear v = M s property, the
+// spin<->bits<->symbols consistency loop, and ground-truth spin anchoring.
+
+#include <gtest/gtest.h>
+
+#include "quamax/core/transform.hpp"
+#include "quamax/wireless/channel.hpp"
+
+namespace quamax::core {
+namespace {
+
+using wireless::Modulation;
+
+const Modulation kAllMods[] = {Modulation::kBpsk, Modulation::kQpsk,
+                               Modulation::kQam16, Modulation::kQam64};
+
+class TransformTest : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(TransformTest, VariableCountIsNtTimesBitsPerSymbol) {
+  const Modulation mod = GetParam();
+  EXPECT_EQ(num_solution_variables(5, mod),
+            5u * static_cast<std::size_t>(wireless::bits_per_symbol(mod)));
+}
+
+TEST_P(TransformTest, MatrixFormEqualsDirectEvaluation) {
+  const Modulation mod = GetParam();
+  const std::size_t nt = 3;
+  const CMat m = transform_matrix(nt, mod);
+  Rng rng{17};
+  for (int trial = 0; trial < 32; ++trial) {
+    qubo::SpinVec spins(num_solution_variables(nt, mod));
+    for (auto& s : spins) s = rng.coin() ? 1 : -1;
+    const CVec direct = symbols_from_spins(spins, nt, mod);
+    CVec via_matrix(nt, linalg::cplx{0, 0});
+    for (std::size_t u = 0; u < nt; ++u)
+      for (std::size_t b = 0; b < spins.size(); ++b)
+        via_matrix[u] += m(u, b) * static_cast<double>(spins[b]);
+    for (std::size_t u = 0; u < nt; ++u)
+      EXPECT_LT(std::abs(direct[u] - via_matrix[u]), 1e-12);
+  }
+}
+
+TEST_P(TransformTest, SpinsHitEveryConstellationPoint) {
+  // T is a bijection from spin space onto the constellation (per user).
+  const Modulation mod = GetParam();
+  const int q = wireless::bits_per_symbol(mod);
+  std::set<std::pair<double, double>> seen;
+  qubo::SpinVec spins(static_cast<std::size_t>(q));
+  for (int code = 0; code < (1 << q); ++code) {
+    for (int b = 0; b < q; ++b)
+      spins[static_cast<std::size_t>(b)] = ((code >> b) & 1) ? 1 : -1;
+    const CVec v = symbols_from_spins(spins, 1, mod);
+    EXPECT_TRUE(seen.insert({v[0].real(), v[0].imag()}).second);
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), wireless::constellation_size(mod));
+}
+
+TEST_P(TransformTest, GrayBitsRoundTripThroughSpins) {
+  const Modulation mod = GetParam();
+  const std::size_t nt = 4;
+  Rng rng{23};
+  for (int trial = 0; trial < 16; ++trial) {
+    wireless::BitVec gray(nt * static_cast<std::size_t>(wireless::bits_per_symbol(mod)));
+    for (auto& b : gray) b = rng.coin();
+    const qubo::SpinVec spins = spins_for_gray_bits(gray, nt, mod);
+    EXPECT_EQ(gray_bits_from_spins(spins, nt, mod), gray);
+  }
+}
+
+TEST_P(TransformTest, GroundTruthSpinsReproduceTransmittedSymbols) {
+  // The spin configuration for the transmitted Gray bits must map back to
+  // exactly the transmitted symbol vector — this is what makes it the
+  // noise-free Ising ground state.
+  const Modulation mod = GetParam();
+  Rng rng{29};
+  const auto use = wireless::make_noise_free_use(5, mod, rng);
+  const qubo::SpinVec spins = spins_for_gray_bits(use.tx_bits, 5, mod);
+  const CVec v = symbols_from_spins(spins, 5, mod);
+  for (std::size_t u = 0; u < 5; ++u)
+    EXPECT_LT(std::abs(v[u] - use.tx_symbols[u]), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModulations, TransformTest,
+                         ::testing::ValuesIn(kAllMods),
+                         [](const ::testing::TestParamInfo<Modulation>& info) {
+                           return wireless::to_string(info.param) == "16-QAM"
+                                      ? std::string("QAM16")
+                                  : wireless::to_string(info.param) == "64-QAM"
+                                      ? std::string("QAM64")
+                                      : wireless::to_string(info.param);
+                         });
+
+TEST(TransformTest, SizeValidation) {
+  EXPECT_THROW(symbols_from_spins(qubo::SpinVec{1, 1, 1}, 2, Modulation::kQpsk),
+               InvalidArgument);
+  EXPECT_THROW(spins_for_gray_bits(wireless::BitVec{1}, 2, Modulation::kBpsk),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace quamax::core
