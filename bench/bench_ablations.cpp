@@ -27,6 +27,9 @@ namespace {
 using namespace quamax;
 using wireless::Modulation;
 
+// Batch-runtime lanes, set once in main from --threads / QUAMAX_THREADS.
+std::size_t g_threads = 1;
+
 std::vector<sim::Instance> make_instances(std::size_t users, Modulation mod,
                                           std::size_t count, std::uint64_t seed) {
   Rng rng{seed};
@@ -39,6 +42,7 @@ std::vector<sim::Instance> make_instances(std::size_t users, Modulation mod,
 
 anneal::AnnealerConfig fix_config() {
   anneal::AnnealerConfig config;
+  config.num_threads = g_threads;
   config.schedule.anneal_time_us = 1.0;
   config.schedule.pause_time_us = 1.0;
   config.embed.improved_range = true;
@@ -48,7 +52,8 @@ anneal::AnnealerConfig fix_config() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_threads = sim::cli_threads(argc, argv);
   const std::size_t instances = sim::scaled(6);
   const std::size_t num_anneals = sim::scaled(400);
   sim::print_banner("Ablations", "DESIGN.md §5 (not a paper artifact)",
@@ -78,6 +83,7 @@ int main() {
     {
       anneal::LogicalAnnealerConfig config;
       config.schedule = fix_config().schedule;
+      config.num_threads = g_threads;
       anneal::LogicalAnnealer annealer(config);
       std::vector<double> p0, tts;
       for (const auto& inst : insts) {

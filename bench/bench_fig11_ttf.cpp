@@ -15,7 +15,8 @@
 #include "quamax/sim/report.hpp"
 #include "quamax/sim/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   using namespace quamax;
   using wireless::Modulation;
 
@@ -32,6 +33,7 @@ int main() {
   const std::vector<double> jf_grid{0.35, 0.5, 0.75};  // Opt searches these
 
   anneal::AnnealerConfig config;
+  config.num_threads = threads;
   config.schedule.anneal_time_us = 1.0;
   config.schedule.pause_time_us = 1.0;
   config.embed.improved_range = true;

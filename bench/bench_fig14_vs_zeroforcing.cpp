@@ -19,7 +19,8 @@
 #include "quamax/sim/report.hpp"
 #include "quamax/sim/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   using namespace quamax;
   using wireless::Modulation;
 
@@ -44,6 +45,7 @@ int main() {
       {14, Modulation::kQpsk, 11.0}, {16, Modulation::kQpsk, 11.0}};
 
   anneal::AnnealerConfig annealer_config;
+  annealer_config.num_threads = threads;
   annealer_config.schedule.anneal_time_us = 1.0;
   annealer_config.schedule.pause_time_us = 1.0;
   annealer_config.embed.improved_range = true;

@@ -17,7 +17,8 @@
 #include "quamax/sim/runner.hpp"
 #include "quamax/wireless/trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   using namespace quamax;
   using wireless::Modulation;
 
@@ -33,6 +34,7 @@ int main() {
   const std::vector<double> jf_grid{0.35, 0.5, 0.75};
 
   anneal::AnnealerConfig config;
+  config.num_threads = threads;
   config.schedule.anneal_time_us = 1.0;
   config.schedule.pause_time_us = 1.0;
   config.embed.improved_range = true;

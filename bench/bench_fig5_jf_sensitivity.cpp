@@ -24,7 +24,8 @@ using wireless::Modulation;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   const std::size_t instances = sim::scaled(8);
   const std::size_t num_anneals = sim::scaled(400);
   sim::print_banner(
@@ -54,6 +55,7 @@ int main() {
             {.users = users, .mod = mod, .kind = {}, .snr_db = {}}, rng));
 
       anneal::AnnealerConfig config;
+      config.num_threads = threads;
       config.schedule.anneal_time_us = 1.0;
       config.embed.improved_range = improved;
       anneal::ChimeraAnnealer annealer(config);

@@ -15,7 +15,8 @@
 #include "quamax/sim/report.hpp"
 #include "quamax/sim/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   using namespace quamax;
   using wireless::Modulation;
 
@@ -39,6 +40,7 @@ int main() {
           rng));
 
     anneal::AnnealerConfig config;
+    config.num_threads = threads;
     config.embed.improved_range = true;
     anneal::ChimeraAnnealer annealer(config);
 

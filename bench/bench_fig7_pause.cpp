@@ -15,7 +15,8 @@
 #include "quamax/sim/report.hpp"
 #include "quamax/sim/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   using namespace quamax;
   using wireless::Modulation;
 
@@ -33,6 +34,7 @@ int main() {
         {.users = 18, .mod = Modulation::kQpsk, .kind = {}, .snr_db = {}}, rng));
 
   anneal::AnnealerConfig config;
+  config.num_threads = threads;
   config.schedule.anneal_time_us = 1.0;
   config.embed.improved_range = true;
   anneal::ChimeraAnnealer annealer(config);

@@ -30,7 +30,8 @@ struct Setting {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   const std::size_t instances = sim::scaled(10);
   const std::size_t num_anneals = sim::scaled(600);
   sim::print_banner("BER vs anneals and vs time: pause against no-pause",
@@ -52,6 +53,7 @@ int main() {
   }
 
   anneal::AnnealerConfig config;
+  config.num_threads = threads;
   config.schedule.anneal_time_us = 1.0;
   config.embed.improved_range = true;
   anneal::ChimeraAnnealer annealer(config);

@@ -16,7 +16,8 @@
 #include "quamax/sim/report.hpp"
 #include "quamax/sim/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   using namespace quamax;
   using wireless::Modulation;
 
@@ -34,6 +35,7 @@ int main() {
       {4, Modulation::kQam16}, {5, Modulation::kQam16}, {6, Modulation::kQam16}};
 
   anneal::AnnealerConfig config;
+  config.num_threads = threads;
   config.schedule.anneal_time_us = 1.0;
   config.schedule.pause_time_us = 1.0;
   config.embed.improved_range = true;

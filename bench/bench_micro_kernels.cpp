@@ -113,6 +113,7 @@ BENCHMARK(BM_ZeroForcing)->Arg(12)->Arg(30)->Arg(60);
 void BM_Eq9ExpectedBer(benchmark::State& state) {
   Rng rng{3};
   anneal::AnnealerConfig config;
+  config.num_threads = sim::env_threads();  // BENCHMARK_MAIN owns argv
   anneal::ChimeraAnnealer annealer(config);
   const sim::Instance inst = sim::make_instance(
       {.users = 16, .mod = Modulation::kBpsk, .kind = {}, .snr_db = {}}, rng);

@@ -18,7 +18,8 @@
 #include "quamax/sim/report.hpp"
 #include "quamax/sim/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   using namespace quamax;
   using wireless::Modulation;
 
@@ -93,6 +94,7 @@ int main() {
 
     for (const bool use_nextgen : {false, true}) {
       anneal::AnnealerConfig config;
+      config.num_threads = threads;
       config.schedule.anneal_time_us = 1.0;
       config.schedule.pause_time_us = 1.0;
       config.embed.improved_range = true;

@@ -22,7 +22,8 @@
 #include "quamax/sim/report.hpp"
 #include "quamax/sim/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   using namespace quamax;
   using wireless::Modulation;
 
@@ -53,6 +54,7 @@ int main() {
                                rng);
 
         anneal::AnnealerConfig forward;
+        forward.num_threads = threads;
         forward.schedule.anneal_time_us = 1.0;
         forward.schedule.pause_time_us = 1.0;
         forward.embed.jf = 0.5;

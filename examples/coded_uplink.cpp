@@ -21,8 +21,10 @@
 #include "quamax/core/detector.hpp"
 #include "quamax/fec/convolutional.hpp"
 #include "quamax/sim/report.hpp"
+#include "quamax/sim/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   using namespace quamax;
 
   Rng rng{0xC0DE};
@@ -39,6 +41,7 @@ int main() {
   const std::size_t payload_bits = fec::ConvolutionalCode::payload_bits(coded_bits);
 
   anneal::AnnealerConfig config;
+  config.num_threads = threads;
   config.schedule.anneal_time_us = 1.0;
   config.schedule.pause_time_us = 1.0;
   config.embed.improved_range = true;

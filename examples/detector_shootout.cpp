@@ -13,8 +13,10 @@
 #include "quamax/detect/linear.hpp"
 #include "quamax/detect/sphere.hpp"
 #include "quamax/sim/report.hpp"
+#include "quamax/sim/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   using namespace quamax;
 
   Rng rng{31337};
@@ -23,6 +25,7 @@ int main() {
   const auto mod = wireless::Modulation::kBpsk;
 
   anneal::AnnealerConfig config;
+  config.num_threads = threads;
   config.schedule.anneal_time_us = 1.0;
   config.schedule.pause_time_us = 1.0;
   config.embed.improved_range = true;

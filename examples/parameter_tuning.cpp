@@ -5,10 +5,9 @@
 // per setting, and prints the Fix recommendation (best median) — exactly how
 // the paper arrives at its default parameter set (improved range, Tp = 1 us).
 //
-// Build & run:  ./examples/parameter_tuning [users] [bpsk|qpsk|qam16]
+// Build & run:  ./examples/parameter_tuning [users] [bpsk|qpsk|qam16] [--threads N]
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -18,17 +17,22 @@
 #include "quamax/sim/runner.hpp"
 
 int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   using namespace quamax;
+
+  // Positionals: [users] [modulation], with --threads [N] allowed anywhere.
+  const std::vector<std::string> positional = sim::positional_args(argc, argv);
 
   std::size_t users = 12;
   wireless::Modulation mod = wireless::Modulation::kQpsk;
-  if (argc > 1) users = static_cast<std::size_t>(std::atoi(argv[1]));
-  if (argc > 2) {
-    if (std::strcmp(argv[2], "bpsk") == 0) mod = wireless::Modulation::kBpsk;
-    else if (std::strcmp(argv[2], "qpsk") == 0) mod = wireless::Modulation::kQpsk;
-    else if (std::strcmp(argv[2], "qam16") == 0) mod = wireless::Modulation::kQam16;
+  if (positional.size() > 0)
+    users = static_cast<std::size_t>(std::atoi(positional[0].c_str()));
+  if (positional.size() > 1) {
+    if (positional[1] == "bpsk") mod = wireless::Modulation::kBpsk;
+    else if (positional[1] == "qpsk") mod = wireless::Modulation::kQpsk;
+    else if (positional[1] == "qam16") mod = wireless::Modulation::kQam16;
     else {
-      std::fprintf(stderr, "unknown modulation '%s'\n", argv[2]);
+      std::fprintf(stderr, "unknown modulation '%s'\n", positional[1].c_str());
       return 2;
     }
   }
@@ -46,6 +50,7 @@ int main(int argc, char** argv) {
         {.users = users, .mod = mod, .kind = {}, .snr_db = {}}, rng));
 
   anneal::AnnealerConfig config;
+  config.num_threads = threads;
   config.schedule.anneal_time_us = 1.0;
   config.embed.improved_range = true;
   anneal::ChimeraAnnealer annealer(config);

@@ -18,8 +18,10 @@
 #include "quamax/anneal/annealer.hpp"
 #include "quamax/core/detector.hpp"
 #include "quamax/detect/sphere.hpp"
+#include "quamax/sim/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   using namespace quamax;
 
   Rng rng{2024};
@@ -42,6 +44,7 @@ int main() {
 
   // --- 3. Anneal on the simulated D-Wave 2000Q ---------------------------
   anneal::AnnealerConfig annealer_config;
+  annealer_config.num_threads = threads;
   annealer_config.schedule.anneal_time_us = 1.0;   // Ta
   annealer_config.schedule.pause_time_us = 1.0;    // Tp (the paper's pick)
   annealer_config.embed.improved_range = true;

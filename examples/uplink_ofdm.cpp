@@ -15,8 +15,10 @@
 
 #include "quamax/anneal/annealer.hpp"
 #include "quamax/core/detector.hpp"
+#include "quamax/sim/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   using namespace quamax;
 
   Rng rng{7};
@@ -26,6 +28,7 @@ int main() {
   const auto mod = wireless::Modulation::kQpsk;
 
   anneal::AnnealerConfig config;
+  config.num_threads = threads;
   config.schedule.anneal_time_us = 1.0;
   config.schedule.pause_time_us = 1.0;
   config.embed.improved_range = true;

@@ -13,6 +13,14 @@ ChimeraAnnealer::ChimeraAnnealer(AnnealerConfig config)
   config_.schedule.validate();
 }
 
+core::ParallelBatchSampler& ChimeraAnnealer::batch() {
+  if (batch_ == nullptr || batch_threads_ != config_.num_threads) {
+    batch_ = std::make_unique<core::ParallelBatchSampler>(config_.num_threads);
+    batch_threads_ = config_.num_threads;
+  }
+  return *batch_;
+}
+
 void ChimeraAnnealer::set_config(const AnnealerConfig& config) {
   require(config.chip_size == config_.chip_size &&
               config.chip_shore == config_.chip_shore &&
@@ -65,27 +73,35 @@ std::vector<qubo::SpinVec> ChimeraAnnealer::sample(const qubo::IsingModel& probl
   ice.suppress_bias =
       ice.suppress_bias || (config_.gauge_averaging && !config_.embed.improved_range);
 
-  std::vector<double> fields;
-  std::vector<double> couplings;
-  std::vector<qubo::SpinVec> logical_samples;
-  logical_samples.reserve(num_anneals);
+  // Fan the anneals across the batch runtime: each anneal draws its ICE
+  // realization, SA trajectory, and tie-breaks from its own counter-derived
+  // stream, writing into its own slot — the engine is shared read-only.
+  std::vector<qubo::SpinVec> raw(num_anneals);
+  std::vector<std::size_t> broken(num_anneals, 0);
+  batch().run(num_anneals, rng, [&](std::size_t a, Rng& stream) {
+    // Lane-local scratch: perturb_* overwrites every element, so reuse
+    // across anneals is safe and keeps the hot loop allocation-free.
+    thread_local std::vector<double> fields;
+    thread_local std::vector<double> couplings;
+    ice.perturb_fields(engine.base_fields(), fields, stream);
+    ice.perturb_couplings(engine.base_couplings(), couplings, stream);
+    const qubo::SpinVec physical =
+        engine.anneal_with(betas, fields, couplings, stream, initial);
+    raw[a] = chimera::unembed(physical, embedded, stream, &broken[a]);
+  });
 
   std::size_t broken_total = 0;
-  for (std::size_t a = 0; a < num_anneals; ++a) {
-    ice.perturb_fields(engine.base_fields(), fields, rng);
-    ice.perturb_couplings(engine.base_couplings(), couplings, rng);
-    const qubo::SpinVec physical =
-        engine.anneal_with(betas, fields, couplings, rng, initial);
-    std::size_t broken = 0;
-    qubo::SpinVec logical = chimera::unembed(physical, embedded, rng, &broken);
-    broken_total += broken;
-    if (config_.discard_broken_chain_samples && broken > 0) continue;
-    logical_samples.push_back(std::move(logical));
-  }
+  for (const std::size_t b : broken) broken_total += b;
   last_broken_chain_fraction_ =
       static_cast<double>(broken_total) /
       static_cast<double>(num_anneals * problem.num_spins());
-  return logical_samples;
+
+  if (!config_.discard_broken_chain_samples) return raw;
+  std::vector<qubo::SpinVec> kept;
+  kept.reserve(num_anneals);
+  for (std::size_t a = 0; a < num_anneals; ++a)
+    if (broken[a] == 0) kept.push_back(std::move(raw[a]));
+  return kept;
 }
 
 std::vector<std::vector<qubo::SpinVec>> ChimeraAnnealer::sample_batch(
@@ -109,7 +125,6 @@ std::vector<std::vector<qubo::SpinVec>> ChimeraAnnealer::sample_batch(
       ice.suppress_bias || (config_.gauge_averaging && !config_.embed.improved_range);
 
   std::vector<std::vector<qubo::SpinVec>> results(problems.size());
-  for (auto& r : results) r.reserve(num_anneals);
 
   // Process the problems in waves of |slots| instances per chip anneal.
   for (std::size_t wave_start = 0; wave_start < problems.size();
@@ -148,23 +163,28 @@ std::vector<std::vector<qubo::SpinVec>> ChimeraAnnealer::sample_batch(
     SaEngine engine(merged);
     if (config_.chain_collective_moves) engine.set_groups(merged_chains);
 
-    std::vector<double> fields;
-    std::vector<double> couplings;
-    qubo::SpinVec slice;
-    for (std::size_t a = 0; a < num_anneals; ++a) {
-      ice.perturb_fields(engine.base_fields(), fields, rng);
-      ice.perturb_couplings(engine.base_couplings(), couplings, rng);
+    // One chip anneal decodes the whole wave; the anneal loop fans across
+    // the batch runtime with per-anneal streams, each writing slot `a` of
+    // every problem in the wave.
+    for (std::size_t s = 0; s < wave_size; ++s)
+      results[wave_start + s].resize(num_anneals);
+    batch().run(num_anneals, rng, [&](std::size_t a, Rng& stream) {
+      thread_local std::vector<double> fields;
+      thread_local std::vector<double> couplings;
+      ice.perturb_fields(engine.base_fields(), fields, stream);
+      ice.perturb_couplings(engine.base_couplings(), couplings, stream);
       const qubo::SpinVec physical =
-          engine.anneal_with(betas, fields, couplings, rng);
+          engine.anneal_with(betas, fields, couplings, stream);
+      qubo::SpinVec slice;
       for (std::size_t s = 0; s < wave_size; ++s) {
         const auto& ep = embedded[s];
         slice.assign(physical.begin() + static_cast<std::ptrdiff_t>(offsets[s]),
                      physical.begin() + static_cast<std::ptrdiff_t>(
                                             offsets[s] +
                                             ep.physical.num_spins()));
-        results[wave_start + s].push_back(chimera::unembed(slice, ep, rng));
+        results[wave_start + s][a] = chimera::unembed(slice, ep, stream);
       }
-    }
+    });
   }
   return results;
 }
@@ -190,19 +210,21 @@ std::vector<qubo::SpinVec> LogicalAnnealer::sample(const qubo::IsingModel& probl
   const SaEngine engine(scaled);
   const std::vector<double> betas = config_.schedule.betas();
 
-  std::vector<double> fields;
-  std::vector<double> couplings;
-  std::vector<qubo::SpinVec> samples;
-  samples.reserve(num_anneals);
-  for (std::size_t a = 0; a < num_anneals; ++a) {
+  if (batch_ == nullptr)
+    batch_ = std::make_unique<core::ParallelBatchSampler>(config_.num_threads);
+
+  std::vector<qubo::SpinVec> samples(num_anneals);
+  batch_->run(num_anneals, rng, [&](std::size_t a, Rng& stream) {
     if (config_.ice.enabled) {
-      config_.ice.perturb_fields(engine.base_fields(), fields, rng);
-      config_.ice.perturb_couplings(engine.base_couplings(), couplings, rng);
-      samples.push_back(engine.anneal_with(betas, fields, couplings, rng));
+      thread_local std::vector<double> fields;
+      thread_local std::vector<double> couplings;
+      config_.ice.perturb_fields(engine.base_fields(), fields, stream);
+      config_.ice.perturb_couplings(engine.base_couplings(), couplings, stream);
+      samples[a] = engine.anneal_with(betas, fields, couplings, stream);
     } else {
-      samples.push_back(engine.anneal(betas, rng));
+      samples[a] = engine.anneal(betas, stream);
     }
-  }
+  });
   return samples;
 }
 

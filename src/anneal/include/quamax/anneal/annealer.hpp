@@ -25,6 +25,7 @@
 #include "quamax/anneal/schedule.hpp"
 #include "quamax/chimera/embedding.hpp"
 #include "quamax/chimera/graph.hpp"
+#include "quamax/core/parallel_sampler.hpp"
 #include "quamax/core/sampler.hpp"
 
 namespace quamax::anneal {
@@ -49,6 +50,10 @@ struct AnnealerConfig {
   /// any anneal containing a broken chain entirely.  sample() then may
   /// return fewer configurations than requested.
   bool discard_broken_chain_samples = false;
+  /// Lanes for the batch-anneal runtime: 1 = serial baseline, 0 = one lane
+  /// per hardware thread, N = exactly N.  Anneals use counter-derived RNG
+  /// streams, so samples for a fixed seed are bit-identical at any setting.
+  std::size_t num_threads = 1;
 };
 
 class ChimeraAnnealer final : public core::IsingSampler {
@@ -96,17 +101,22 @@ class ChimeraAnnealer final : public core::IsingSampler {
   }
 
  private:
+  core::ParallelBatchSampler& batch();
+
   AnnealerConfig config_;
   chimera::ChimeraGraph graph_;
   std::map<std::size_t, chimera::Embedding> embedding_cache_;
   std::optional<qubo::SpinVec> initial_state_;
   double last_broken_chain_fraction_ = 0.0;
+  std::unique_ptr<core::ParallelBatchSampler> batch_;
+  std::size_t batch_threads_ = 0;  ///< requested lanes batch_ was built with
 };
 
 struct LogicalAnnealerConfig {
   Schedule schedule;
   IceConfig ice{.enabled = false};  ///< ICE is a hardware artifact; off by default
   bool normalize = true;            ///< rescale to unit max |coefficient|
+  std::size_t num_threads = 1;      ///< batch-runtime lanes (see AnnealerConfig)
 };
 
 class LogicalAnnealer final : public core::IsingSampler {
@@ -122,6 +132,7 @@ class LogicalAnnealer final : public core::IsingSampler {
 
  private:
   LogicalAnnealerConfig config_;
+  std::unique_ptr<core::ParallelBatchSampler> batch_;
 };
 
 class BruteForceSampler final : public core::IsingSampler {

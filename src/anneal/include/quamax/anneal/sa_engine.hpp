@@ -21,6 +21,12 @@
 // re-draw the coefficient arrays each anneal without touching the graph
 // structure.  Local fields are maintained incrementally; a sweep costs
 // O(sum of degrees) with no allocation.
+//
+// Thread safety: after construction (and any set_groups() call), the engine
+// is immutable — anneal()/anneal_with() are const, keep all mutable state in
+// locals, and may be called concurrently from any number of threads with
+// per-thread Rngs.  The batch-anneal runtime (core::ParallelBatchSampler)
+// relies on this to share one engine across all lanes.
 #pragma once
 
 #include <cstddef>

@@ -96,6 +96,17 @@ class Rng {
   /// Derives an independent child generator (for parallel / per-instance streams).
   Rng split() noexcept { return Rng{(*this)()}; }
 
+  /// Counter-derived stream `i` of the family keyed by `key`: the generator
+  /// for (key, i) is a pure function of its arguments, so a batch of anneals
+  /// can hand stream a to anneal a and obtain the SAME draws no matter which
+  /// thread runs it or in what order.  The counter is decorrelated through a
+  /// splitmix64 step before keying so that adjacent stream ids do not yield
+  /// related xoshiro states.
+  static Rng for_stream(std::uint64_t key, std::uint64_t stream) noexcept {
+    std::uint64_t s = stream;
+    return Rng{splitmix64(s) ^ key};
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

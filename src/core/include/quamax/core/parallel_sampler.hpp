@@ -1,0 +1,71 @@
+// Deterministic multi-threaded batch-anneal runtime.
+//
+// The paper's machine gets throughput from running many independent anneals
+// (and, via §4 parallel embeddings, many problems) per unit time; the
+// classical stand-in gets the same from cores.  Each anneal is an i.i.d.
+// draw, so the fan-out is embarrassingly parallel — the only coupling
+// between anneals in the serial code is the shared Rng.  This runtime cuts
+// that coupling with counter-derived streams: it draws ONE 64-bit key from
+// the caller's generator, hands anneal `a` the generator Rng::for_stream(key,
+// a), and writes results into per-index slots.  The output is therefore a
+// pure function of (seed, problem, count) — bit-identical at any thread
+// count, which parallel_sampler_test.cpp checks property-style.
+//
+// Samplers use run() internally to fan their own anneal loops (the SA
+// kernel is const and shares read-only state across lanes); sample_problems()
+// is the multi-problem front end used by sweep drivers, where each worker
+// lane owns a private sampler instance built by the caller's factory.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "quamax/common/rng.hpp"
+#include "quamax/core/sampler.hpp"
+#include "quamax/core/thread_pool.hpp"
+#include "quamax/qubo/ising.hpp"
+
+namespace quamax::core {
+
+class ParallelBatchSampler {
+ public:
+  /// `num_threads`: 1 = serial baseline (no threads spawned), 0 = one lane
+  /// per hardware thread, N = exactly N lanes.
+  explicit ParallelBatchSampler(std::size_t num_threads = 1);
+
+  std::size_t num_threads() const noexcept { return pool_.size(); }
+
+  /// The deterministic fan-out primitive.  Draws one key from `rng` (exactly
+  /// one draw, regardless of thread count), then runs job(a, stream_a) for
+  /// every a in [0, count) with stream_a = Rng::for_stream(key, a).  Jobs
+  /// must confine writes to per-index slots; under that contract the result
+  /// does not depend on thread count or scheduling.  Blocks until done; the
+  /// first exception thrown by a job is rethrown.
+  void run(std::size_t count, Rng& rng,
+           const std::function<void(std::size_t, Rng&)>& job);
+
+  /// Builds a sampler for one problem's job.  Factories are invoked
+  /// concurrently and must be callable from any thread.  Configure the
+  /// produced samplers with num_threads = 1: the pool already parallelizes
+  /// across problems, and nested lanes only oversubscribe the cores.
+  using SamplerFactory = std::function<std::unique_ptr<IsingSampler>()>;
+
+  /// Fans `problems` across the pool: problem p is drawn `num_anneals` times
+  /// with stream p by a PRIVATE sampler built on the worker by `factory`
+  /// (samplers are stateful — embedding caches, diagnostics — so they are
+  /// never shared between concurrent jobs).  One sampler is constructed per
+  /// problem, so per-sampler caches are not amortized across the batch yet
+  /// (a lane-local sampler cache is a ROADMAP item).  Returns one sample set
+  /// per problem, in input order.
+  std::vector<std::vector<qubo::SpinVec>> sample_problems(
+      const SamplerFactory& factory,
+      const std::vector<const qubo::IsingModel*>& problems,
+      std::size_t num_anneals, Rng& rng);
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace quamax::core

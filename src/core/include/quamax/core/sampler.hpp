@@ -20,6 +20,15 @@ class IsingSampler {
   /// Draws `num_anneals` independent spin configurations for `problem`.
   /// Configurations are expressed over the LOGICAL problem variables
   /// (implementations that embed must unembed before returning).
+  ///
+  /// Concurrency contract: sampler instances are stateful (embedding
+  /// caches, diagnostics) and need NOT be safe for concurrent sample()
+  /// calls; multi-problem fan-out goes through
+  /// ParallelBatchSampler::sample_problems, which gives each worker lane a
+  /// private instance.  Implementations parallelize INTERNALLY over their
+  /// anneal loop (see AnnealerConfig::num_threads), and must draw all
+  /// randomness through counter-derived streams of `rng` so that output is
+  /// bit-identical for a fixed seed at any thread count.
   virtual std::vector<qubo::SpinVec> sample(const qubo::IsingModel& problem,
                                             std::size_t num_anneals,
                                             Rng& rng) = 0;

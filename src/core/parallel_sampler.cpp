@@ -1,0 +1,36 @@
+#include "quamax/core/parallel_sampler.hpp"
+
+#include "quamax/common/error.hpp"
+
+namespace quamax::core {
+
+ParallelBatchSampler::ParallelBatchSampler(std::size_t num_threads)
+    : pool_(num_threads) {}
+
+void ParallelBatchSampler::run(std::size_t count, Rng& rng,
+                               const std::function<void(std::size_t, Rng&)>& job) {
+  if (count == 0) return;
+  const std::uint64_t key = rng();
+  pool_.parallel_for(count, [&](std::size_t a) {
+    Rng stream = Rng::for_stream(key, a);
+    job(a, stream);
+  });
+}
+
+std::vector<std::vector<qubo::SpinVec>> ParallelBatchSampler::sample_problems(
+    const SamplerFactory& factory,
+    const std::vector<const qubo::IsingModel*>& problems,
+    std::size_t num_anneals, Rng& rng) {
+  require(static_cast<bool>(factory), "sample_problems: null sampler factory");
+  for (const auto* p : problems)
+    require(p != nullptr, "sample_problems: null problem pointer");
+
+  std::vector<std::vector<qubo::SpinVec>> results(problems.size());
+  run(problems.size(), rng, [&](std::size_t p, Rng& stream) {
+    const std::unique_ptr<IsingSampler> sampler = factory();
+    results[p] = sampler->sample(*problems[p], num_anneals, stream);
+  });
+  return results;
+}
+
+}  // namespace quamax::core

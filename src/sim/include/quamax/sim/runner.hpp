@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "quamax/anneal/annealer.hpp"
@@ -70,5 +71,22 @@ double env_scale();
 
 /// scale-adjusted count: max(1, round(base * env_scale())).
 std::size_t scaled(std::size_t base);
+
+/// Reads the QUAMAX_THREADS environment variable: lanes for the batch-anneal
+/// runtime (AnnealerConfig::num_threads).  Default 1 (serial baseline);
+/// 0 means one lane per hardware thread.  Results are bit-identical at any
+/// setting, so this only trades wall clock.
+std::size_t env_threads();
+
+/// The bench/example `--threads N` knob (also `--threads=N`); falls back to
+/// env_threads() when the flag is absent.  Throws InvalidArgument on a
+/// malformed value.
+std::size_t cli_threads(int argc, char** argv);
+
+/// argv entries that are not part of the --threads flag (program name
+/// excluded), in order.  Binaries with positional arguments parse these
+/// instead of argv so their positional handling cannot drift out of sync
+/// with cli_threads' flag spellings.
+std::vector<std::string> positional_args(int argc, char** argv);
 
 }  // namespace quamax::sim

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <string>
 
+#include "quamax/common/error.hpp"
 #include "quamax/common/stats.hpp"
 
 namespace quamax::sim {
@@ -99,6 +101,83 @@ double env_scale() {
 std::size_t scaled(std::size_t base) {
   const double v = std::round(static_cast<double>(base) * env_scale());
   return static_cast<std::size_t>(std::max(1.0, v));
+}
+
+namespace {
+
+std::size_t parse_thread_count(const std::string& text) {
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  // stoull accepts and wraps a leading '-'; reject it up front.
+  const bool negative = !text.empty() && text.front() == '-';
+  try {
+    v = std::stoull(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  require(!negative && pos == text.size() && !text.empty(),
+          "--threads / QUAMAX_THREADS: expected a non-negative integer, got '" +
+              text + "'");
+  require(v <= 4096,
+          "--threads / QUAMAX_THREADS: " + text + " lanes is not plausible");
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+std::size_t env_threads() {
+  const char* raw = std::getenv("QUAMAX_THREADS");
+  if (raw == nullptr) return 1;
+  return parse_thread_count(raw);
+}
+
+namespace {
+
+/// Recognizes both --threads spellings at argv[i].  Single source of truth
+/// for the flag syntax, shared by cli_threads and positional_args.  Returns
+/// the raw value and how many argv entries the flag occupies.
+bool threads_flag_at(int argc, char** argv, int i, std::string& value,
+                     int& consumed) {
+  const std::string arg = argv[i];
+  if (arg == "--threads") {
+    require(i + 1 < argc, "--threads: missing value");
+    value = argv[i + 1];
+    consumed = 2;
+    return true;
+  }
+  if (arg.rfind("--threads=", 0) == 0) {
+    value = arg.substr(std::string("--threads=").size());
+    consumed = 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t cli_threads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (threads_flag_at(argc, argv, i, value, consumed))
+      return parse_thread_count(value);
+  }
+  return env_threads();
+}
+
+std::vector<std::string> positional_args(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 1; i < argc;) {
+    std::string value;
+    int consumed = 0;
+    if (threads_flag_at(argc, argv, i, value, consumed)) {
+      i += consumed;
+      continue;
+    }
+    out.emplace_back(argv[i]);
+    ++i;
+  }
+  return out;
 }
 
 }  // namespace quamax::sim

@@ -1,0 +1,139 @@
+// Edge cases for the common layer: stats on degenerate samples (empty,
+// single-element, extreme percentiles, infinite entries) and independence of
+// the Rng stream-splitting primitives the batch runtime is built on.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "quamax/common/rng.hpp"
+#include "quamax/common/stats.hpp"
+
+namespace quamax {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(StatsEdgeTest, EmptyInputYieldsNanOrZeroCount) {
+  EXPECT_TRUE(std::isnan(percentile({}, 50.0)));
+  EXPECT_TRUE(std::isnan(median({})));
+  EXPECT_TRUE(std::isnan(mean({})));
+  EXPECT_EQ(stddev({}), 0.0);
+
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(StatsEdgeTest, SingleSampleIsEveryPercentile) {
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 100.0})
+    EXPECT_EQ(percentile({3.5}, p), 3.5);
+  EXPECT_EQ(median({3.5}), 3.5);
+  EXPECT_EQ(mean({3.5}), 3.5);
+  EXPECT_EQ(stddev({3.5}), 0.0);
+
+  const Summary s = summarize({3.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 3.5);
+  EXPECT_EQ(s.max, 3.5);
+  EXPECT_EQ(s.median, 3.5);
+  EXPECT_EQ(s.p05, 3.5);
+  EXPECT_EQ(s.p95, 3.5);
+}
+
+TEST(StatsEdgeTest, PercentileZeroAndHundredAreMinAndMax) {
+  const std::vector<double> v{9.0, -2.0, 4.0, 7.0, 0.0};
+  EXPECT_EQ(percentile(v, 0.0), -2.0);
+  EXPECT_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(StatsEdgeTest, PercentileInterpolatesLinearly) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  // rank = p/100 * (n-1); p=25 -> rank 0.75 -> 1 + 0.75 * (2-1).
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 3.25);
+}
+
+TEST(StatsEdgeTest, InfiniteEntriesDoNotPoisonPercentiles) {
+  // Infinite TTS entries are legitimate sweep-matrix values; the guard in
+  // percentile_sorted must keep inf - inf and 0 * inf out of the result.
+  EXPECT_EQ(percentile({kInf, kInf}, 50.0), kInf);
+  EXPECT_EQ(percentile({1.0, kInf}, 75.0), kInf);
+  EXPECT_EQ(percentile({1.0, kInf}, 0.0), 1.0);
+  EXPECT_EQ(median({1.0, 2.0, kInf}), 2.0);
+}
+
+TEST(RngStreamTest, ForStreamIsAPureFunctionOfKeyAndCounter) {
+  Rng a = Rng::for_stream(0xFEED, 5);
+  Rng b = Rng::for_stream(0xFEED, 5);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngStreamTest, DistinctCountersYieldDistinctStreams) {
+  std::set<std::uint64_t> first_draws;
+  for (std::uint64_t i = 0; i < 4096; ++i)
+    first_draws.insert(Rng::for_stream(0xABCDEF, i)());
+  EXPECT_EQ(first_draws.size(), 4096u);
+}
+
+TEST(RngStreamTest, AdjacentStreamsAreBitwiseDecorrelated) {
+  // Counter-derived neighbors must not produce related xoshiro states: the
+  // XOR of their outputs should look like random 64-bit words (popcount
+  // mean 32).  A linear relation between streams would show up here.
+  double popcount_sum = 0.0;
+  const int kStreams = 2048;
+  for (int i = 0; i < kStreams; ++i) {
+    Rng a = Rng::for_stream(42, static_cast<std::uint64_t>(i));
+    Rng b = Rng::for_stream(42, static_cast<std::uint64_t>(i) + 1);
+    popcount_sum += std::popcount(a() ^ b());
+  }
+  const double mean_bits = popcount_sum / kStreams;
+  EXPECT_NEAR(mean_bits, 32.0, 1.0);
+}
+
+TEST(RngStreamTest, SplitChildDivergesFromParent) {
+  Rng parent{2024};
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent() == child());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngStreamTest, SplitChildrenAreMutuallyDistinct) {
+  Rng parent{7};
+  std::set<std::uint64_t> first_draws;
+  for (int i = 0; i < 1024; ++i) first_draws.insert(parent.split()());
+  EXPECT_EQ(first_draws.size(), 1024u);
+}
+
+TEST(RngStreamTest, StreamsPassAMeanAndCorrelationSanityCheck) {
+  // Pairwise sample correlation between two streams of uniforms should be
+  // tiny; their means should match the uniform mean.
+  Rng a = Rng::for_stream(99, 0);
+  Rng b = Rng::for_stream(99, 1);
+  const int n = 100000;
+  double sa = 0.0, sb = 0.0, sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.uniform();
+    const double y = b.uniform();
+    sa += x; sb += y; sab += x * y; saa += x * x; sbb += y * y;
+  }
+  const double ma = sa / n, mb = sb / n;
+  const double cov = sab / n - ma * mb;
+  const double var_a = saa / n - ma * ma;
+  const double var_b = sbb / n - mb * mb;
+  const double corr = cov / std::sqrt(var_a * var_b);
+  EXPECT_NEAR(ma, 0.5, 0.01);
+  EXPECT_NEAR(mb, 0.5, 0.01);
+  EXPECT_LT(std::abs(corr), 0.02);
+}
+
+}  // namespace
+}  // namespace quamax
