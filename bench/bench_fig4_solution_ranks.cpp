@@ -42,6 +42,7 @@ void run_instance_report(const sim::Instance& inst, anneal::ChimeraAnnealer& ann
 
 int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
+  const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
   const std::size_t num_anneals = sim::scaled(3000);
   sim::print_banner("Energy-ranked solution distributions",
                     "Figure 4 (six 36-logical-qubit noise-free instances)",
@@ -50,6 +51,7 @@ int main(int argc, char** argv) {
 
   anneal::AnnealerConfig config;
   config.num_threads = threads;
+  config.batch_replicas = replicas;
   config.schedule.anneal_time_us = 1.0;
   config.schedule.pause_time_us = 1.0;  // the Fix default (§5.3.2)
   config.embed.improved_range = true;

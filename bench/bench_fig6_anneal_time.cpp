@@ -17,6 +17,7 @@
 
 int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
+  const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
   using namespace quamax;
   using wireless::Modulation;
 
@@ -25,7 +26,8 @@ int main(int argc, char** argv) {
   sim::print_banner("TTS vs anneal time Ta",
                     "Figure 6 (QPSK, improved dynamic range)",
                     "instances = " + std::to_string(instances) +
-                        ", Ta in {1, 10, 100} us, |J_F| scatter");
+                        ", Ta in {1, 10, 100} us, |J_F| scatter, " +
+                        std::to_string(replicas) + " replicas/batch");
 
   const std::vector<double> ta_grid{1.0, 10.0, 100.0};
   const std::vector<double> jf_grid{0.35, 0.5, 0.75, 1.0};
@@ -41,6 +43,7 @@ int main(int argc, char** argv) {
 
     anneal::AnnealerConfig config;
     config.num_threads = threads;
+    config.batch_replicas = replicas;
     config.embed.improved_range = true;
     anneal::ChimeraAnnealer annealer(config);
 

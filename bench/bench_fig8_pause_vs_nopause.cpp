@@ -32,6 +32,7 @@ struct Setting {
 
 int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
+  const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
   const std::size_t instances = sim::scaled(10);
   const std::size_t num_anneals = sim::scaled(600);
   sim::print_banner("BER vs anneals and vs time: pause against no-pause",
@@ -54,6 +55,7 @@ int main(int argc, char** argv) {
 
   anneal::AnnealerConfig config;
   config.num_threads = threads;
+  config.batch_replicas = replicas;
   config.schedule.anneal_time_us = 1.0;
   config.embed.improved_range = true;
   anneal::ChimeraAnnealer annealer(config);

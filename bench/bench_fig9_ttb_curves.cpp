@@ -18,6 +18,7 @@
 
 int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
+  const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
   using namespace quamax;
   using wireless::Modulation;
 
@@ -27,7 +28,8 @@ int main(int argc, char** argv) {
                     "Figure 9 (BER vs time; median/mean across instances)",
                     "instances = " + std::to_string(instances) +
                         ", anneals = " + std::to_string(num_anneals) +
-                        ", pause Tp = 1 us, Fix parameters");
+                        ", pause Tp = 1 us, Fix parameters, " +
+                        std::to_string(replicas) + " replicas/batch");
 
   const std::vector<std::pair<std::size_t, Modulation>> classes{
       {48, Modulation::kBpsk}, {54, Modulation::kBpsk}, {60, Modulation::kBpsk},
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
 
   anneal::AnnealerConfig config;
   config.num_threads = threads;
+  config.batch_replicas = replicas;
   config.schedule.anneal_time_us = 1.0;
   config.schedule.pause_time_us = 1.0;
   config.embed.improved_range = true;

@@ -4,7 +4,10 @@
 //     cheap ("computational time ... can be neglected") — compare generic
 //     norm expansion against the closed forms;
 //   * embedding compilation and unembedding costs;
-//   * the SA substitute's per-anneal cost (the classical analog of Ta);
+//   * the SA substitute's per-anneal cost (the classical analog of Ta), in
+//     both the scalar and the multi-replica batched kernel (BM_SaSweep*:
+//     the items/s column is spin-updates per second, so the batched-kernel
+//     speedup is the ratio of the two at equal replica count);
 //   * baseline detector costs (Sphere Decoder, zero-forcing).
 
 #include <benchmark/benchmark.h>
@@ -80,6 +83,100 @@ void BM_SaAnnealEmbedded(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(engine.anneal(betas, rng));
 }
 BENCHMARK(BM_SaAnnealEmbedded)->Arg(16)->Arg(36)->Arg(60);
+
+// The merged-wave problem ChimeraAnnealer::sample_batch anneals: as many
+// disjoint 16-variable clique embeddings as fit on the chip, compiled and
+// merged into ONE chip-wide Ising model (chimera::merge_embedded — the
+// exact code path sample_batch uses) with all chains registered as
+// collective-move groups.  This is the hottest input shape in the system
+// (every §4-parallelized decode sweeps it), so it is the throughput yard-
+// stick for the scalar-vs-batched kernel comparison.
+const chimera::MergedWave& merged_wave_problem() {
+  static const chimera::MergedWave wave = [] {
+    const chimera::ChimeraGraph chip(16);
+    const std::size_t n = 16;  // logical variables per slot (16-user BPSK)
+    const auto slots = chimera::find_parallel_embeddings(n, 64, chip);
+    Rng rng{0x3A7E};
+    std::vector<chimera::EmbeddedProblem> embedded;
+    for (const auto& slot : slots) {
+      // One random clique instance per slot ("identical or not" — §4).
+      qubo::IsingModel logical(n);
+      for (std::size_t i = 0; i < n; ++i) logical.field(i) = rng.normal();
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+          logical.add_coupling(i, j, rng.normal());
+      embedded.push_back(chimera::embed(logical, slot, chip, chimera::EmbedParams{}));
+    }
+    return chimera::merge_embedded(embedded);
+  }();
+  return wave;
+}
+
+const anneal::SaEngine& merged_wave_engine() {
+  static const anneal::SaEngine engine = [] {
+    anneal::SaEngine e(merged_wave_problem().physical);
+    e.set_groups(merged_wave_problem().chains);
+    return e;
+  }();
+  return engine;
+}
+
+// R scalar anneal() calls on the merged wave — the per-sample baseline the
+// annealers used before the batched kernel.  items/s = spin-updates/s.
+void BM_SaSweepScalar(benchmark::State& state) {
+  const auto R = static_cast<std::size_t>(state.range(0));
+  const anneal::SaEngine& engine = merged_wave_engine();
+  const std::vector<double> betas = anneal::Schedule{}.betas();
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < R; ++r) {
+      Rng stream = Rng::for_stream(round, r);
+      benchmark::DoNotOptimize(engine.anneal(betas, stream));
+    }
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * R * betas.size() * engine.num_spins()));
+}
+BENCHMARK(BM_SaSweepScalar)->Arg(1)->Arg(8)->Arg(16);
+
+// The same R replicas through one anneal_batch() call (bit-identical output;
+// batch_replica_test proves it).  Compare items/s against BM_SaSweepScalar
+// at the same R for the batched-kernel sweep-throughput speedup.
+void BM_SaSweepBatched(benchmark::State& state) {
+  const auto R = static_cast<std::size_t>(state.range(0));
+  const anneal::SaEngine& engine = merged_wave_engine();
+  const std::vector<double> betas = anneal::Schedule{}.betas();
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    std::vector<Rng> streams;
+    streams.reserve(R);
+    for (std::size_t r = 0; r < R; ++r)
+      streams.push_back(Rng::for_stream(round, r));
+    benchmark::DoNotOptimize(engine.anneal_batch(betas, streams));
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * R * betas.size() * engine.num_spins()));
+}
+BENCHMARK(BM_SaSweepBatched)->Arg(1)->Arg(8)->Arg(16)->Arg(32);
+
+// The full batched decode path at bench scale: ChimeraAnnealer::sample with
+// the configured replica block size (QUAMAX_REPLICAS; BENCHMARK_MAIN owns
+// argv, so only the environment knob applies here).
+void BM_ChimeraSampleBatchedPath(benchmark::State& state) {
+  Rng rng{0xBA7C};
+  anneal::AnnealerConfig config;
+  config.num_threads = sim::env_threads();
+  config.batch_replicas = sim::env_replicas();
+  anneal::ChimeraAnnealer annealer(config);
+  const auto use = make_use(16, Modulation::kBpsk, 20.0);
+  const auto problem = core::reduce_ml_to_ising(use.h, use.y, use.mod);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(annealer.sample(problem.ising, 64, rng));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 64));
+}
+BENCHMARK(BM_ChimeraSampleBatchedPath);
 
 void BM_Unembed(benchmark::State& state) {
   const chimera::ChimeraGraph chip(16);

@@ -24,6 +24,7 @@
 
 int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
+  const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
   using namespace quamax;
   using wireless::Modulation;
 
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
 
         anneal::AnnealerConfig forward;
         forward.num_threads = threads;
+        forward.batch_replicas = replicas;
         forward.schedule.anneal_time_us = 1.0;
         forward.schedule.pause_time_us = 1.0;
         forward.embed.jf = 0.5;

@@ -1,6 +1,38 @@
 #include "quamax/anneal/annealer.hpp"
 
+#include <algorithm>
+
 namespace quamax::anneal {
+namespace {
+
+/// Packs one ICE realization per replica into replica-major coefficient
+/// blocks for SaEngine::anneal_batch_with: replica j draws its fields then
+/// its couplings from streams[j], exactly the scalar path's order, so the
+/// batched samples stay bit-identical to per-sample anneals.  `fields` /
+/// `couplings` receive the blocks; `f1` / `c1` are per-replica scratch —
+/// callers pass lane-local thread_locals to keep the hot loop
+/// allocation-free.
+void perturb_replica_blocks(const IceConfig& ice, const SaEngine& engine,
+                            std::vector<Rng>& streams,
+                            std::vector<double>& fields,
+                            std::vector<double>& couplings,
+                            std::vector<double>& f1, std::vector<double>& c1) {
+  const std::size_t nf = engine.base_fields().size();
+  const std::size_t nc = engine.base_couplings().size();
+  const std::size_t R = streams.size();
+  fields.resize(R * nf);
+  couplings.resize(R * nc);
+  for (std::size_t j = 0; j < R; ++j) {
+    ice.perturb_fields(engine.base_fields(), f1, streams[j]);
+    ice.perturb_couplings(engine.base_couplings(), c1, streams[j]);
+    std::copy(f1.begin(), f1.end(),
+              fields.begin() + static_cast<std::ptrdiff_t>(j * nf));
+    std::copy(c1.begin(), c1.end(),
+              couplings.begin() + static_cast<std::ptrdiff_t>(j * nc));
+  }
+}
+
+}  // namespace
 
 ChimeraAnnealer::ChimeraAnnealer(AnnealerConfig config)
     : config_(config),
@@ -73,22 +105,25 @@ std::vector<qubo::SpinVec> ChimeraAnnealer::sample(const qubo::IsingModel& probl
   ice.suppress_bias =
       ice.suppress_bias || (config_.gauge_averaging && !config_.embed.improved_range);
 
-  // Fan the anneals across the batch runtime: each anneal draws its ICE
-  // realization, SA trajectory, and tie-breaks from its own counter-derived
-  // stream, writing into its own slot — the engine is shared read-only.
+  // Fan the anneals across the batch runtime in replica blocks: anneal `a`
+  // draws its ICE realization, SA trajectory, and tie-breaks from stream
+  // `a` whatever block it lands in, so samples are bit-identical at any
+  // batch_replicas/num_threads setting — the engine is shared read-only.
   std::vector<qubo::SpinVec> raw(num_anneals);
   std::vector<std::size_t> broken(num_anneals, 0);
-  batch().run(num_anneals, rng, [&](std::size_t a, Rng& stream) {
-    // Lane-local scratch: perturb_* overwrites every element, so reuse
-    // across anneals is safe and keeps the hot loop allocation-free.
-    thread_local std::vector<double> fields;
-    thread_local std::vector<double> couplings;
-    ice.perturb_fields(engine.base_fields(), fields, stream);
-    ice.perturb_couplings(engine.base_couplings(), couplings, stream);
-    const qubo::SpinVec physical =
-        engine.anneal_with(betas, fields, couplings, stream, initial);
-    raw[a] = chimera::unembed(physical, embedded, stream, &broken[a]);
-  });
+  batch().run_blocks(
+      num_anneals, config_.batch_replicas, rng,
+      [&](std::size_t begin, std::vector<Rng>& streams) {
+        // Lane-local scratch: every element is overwritten per block, so
+        // reuse across blocks is safe and keeps the hot loop allocation-free.
+        thread_local std::vector<double> fields, couplings, f1, c1;
+        perturb_replica_blocks(ice, engine, streams, fields, couplings, f1, c1);
+        const std::vector<qubo::SpinVec> physical =
+            engine.anneal_batch_with(betas, fields, couplings, streams, initial);
+        for (std::size_t j = 0; j < streams.size(); ++j)
+          raw[begin + j] = chimera::unembed(physical[j], embedded, streams[j],
+                                            &broken[begin + j]);
+      });
 
   std::size_t broken_total = 0;
   for (const std::size_t b : broken) broken_total += b;
@@ -134,57 +169,42 @@ std::vector<std::vector<qubo::SpinVec>> ChimeraAnnealer::sample_batch(
 
     // Compile every slot and merge into one chip-wide Ising problem.
     std::vector<chimera::EmbeddedProblem> embedded;
-    std::vector<std::size_t> offsets;
-    std::size_t total_spins = 0;
-    for (std::size_t s = 0; s < wave_size; ++s) {
+    for (std::size_t s = 0; s < wave_size; ++s)
       embedded.push_back(chimera::embed(*problems[wave_start + s], slots[s],
                                         graph_, config_.embed));
-      offsets.push_back(total_spins);
-      total_spins += embedded.back().physical.num_spins();
-    }
-    qubo::IsingModel merged(total_spins);
-    std::vector<std::vector<std::uint32_t>> merged_chains;
-    for (std::size_t s = 0; s < wave_size; ++s) {
-      const auto& ep = embedded[s];
-      const std::size_t off = offsets[s];
-      for (std::size_t i = 0; i < ep.physical.num_spins(); ++i)
-        merged.field(off + i) = ep.physical.field(i);
-      for (const qubo::Coupling& c : ep.physical.couplings())
-        merged.add_coupling(off + c.i, off + c.j, c.g);
-      for (const auto& chain : ep.chains) {
-        std::vector<std::uint32_t> shifted;
-        shifted.reserve(chain.size());
-        for (const std::uint32_t q : chain)
-          shifted.push_back(static_cast<std::uint32_t>(off + q));
-        merged_chains.push_back(std::move(shifted));
-      }
-    }
+    const chimera::MergedWave wave = chimera::merge_embedded(embedded);
 
-    SaEngine engine(merged);
-    if (config_.chain_collective_moves) engine.set_groups(merged_chains);
+    SaEngine engine(wave.physical);
+    if (config_.chain_collective_moves) engine.set_groups(wave.chains);
 
     // One chip anneal decodes the whole wave; the anneal loop fans across
-    // the batch runtime with per-anneal streams, each writing slot `a` of
-    // every problem in the wave.
+    // the batch runtime in replica blocks of per-anneal streams, each block
+    // writing slots [begin, begin + R) of every problem in the wave.
     for (std::size_t s = 0; s < wave_size; ++s)
       results[wave_start + s].resize(num_anneals);
-    batch().run(num_anneals, rng, [&](std::size_t a, Rng& stream) {
-      thread_local std::vector<double> fields;
-      thread_local std::vector<double> couplings;
-      ice.perturb_fields(engine.base_fields(), fields, stream);
-      ice.perturb_couplings(engine.base_couplings(), couplings, stream);
-      const qubo::SpinVec physical =
-          engine.anneal_with(betas, fields, couplings, stream);
-      qubo::SpinVec slice;
-      for (std::size_t s = 0; s < wave_size; ++s) {
-        const auto& ep = embedded[s];
-        slice.assign(physical.begin() + static_cast<std::ptrdiff_t>(offsets[s]),
-                     physical.begin() + static_cast<std::ptrdiff_t>(
-                                            offsets[s] +
+    batch().run_blocks(
+        num_anneals, config_.batch_replicas, rng,
+        [&](std::size_t begin, std::vector<Rng>& streams) {
+          thread_local std::vector<double> fields, couplings, f1, c1;
+          perturb_replica_blocks(ice, engine, streams, fields, couplings, f1,
+                                 c1);
+          const std::vector<qubo::SpinVec> physical =
+              engine.anneal_batch_with(betas, fields, couplings, streams);
+          qubo::SpinVec slice;
+          for (std::size_t j = 0; j < streams.size(); ++j) {
+            for (std::size_t s = 0; s < wave_size; ++s) {
+              const auto& ep = embedded[s];
+              slice.assign(
+                  physical[j].begin() +
+                      static_cast<std::ptrdiff_t>(wave.offsets[s]),
+                  physical[j].begin() + static_cast<std::ptrdiff_t>(
+                                            wave.offsets[s] +
                                             ep.physical.num_spins()));
-        results[wave_start + s][a] = chimera::unembed(slice, ep, stream);
-      }
-    });
+              results[wave_start + s][begin + j] =
+                  chimera::unembed(slice, ep, streams[j]);
+            }
+          }
+        });
   }
   return results;
 }
@@ -214,17 +234,21 @@ std::vector<qubo::SpinVec> LogicalAnnealer::sample(const qubo::IsingModel& probl
     batch_ = std::make_unique<core::ParallelBatchSampler>(config_.num_threads);
 
   std::vector<qubo::SpinVec> samples(num_anneals);
-  batch_->run(num_anneals, rng, [&](std::size_t a, Rng& stream) {
-    if (config_.ice.enabled) {
-      thread_local std::vector<double> fields;
-      thread_local std::vector<double> couplings;
-      config_.ice.perturb_fields(engine.base_fields(), fields, stream);
-      config_.ice.perturb_couplings(engine.base_couplings(), couplings, stream);
-      samples[a] = engine.anneal_with(betas, fields, couplings, stream);
-    } else {
-      samples[a] = engine.anneal(betas, stream);
-    }
-  });
+  batch_->run_blocks(
+      num_anneals, config_.batch_replicas, rng,
+      [&](std::size_t begin, std::vector<Rng>& streams) {
+        std::vector<qubo::SpinVec> block;
+        if (config_.ice.enabled) {
+          thread_local std::vector<double> fields, couplings, f1, c1;
+          perturb_replica_blocks(config_.ice, engine, streams, fields,
+                                 couplings, f1, c1);
+          block = engine.anneal_batch_with(betas, fields, couplings, streams);
+        } else {
+          block = engine.anneal_batch(betas, streams);
+        }
+        for (std::size_t j = 0; j < streams.size(); ++j)
+          samples[begin + j] = std::move(block[j]);
+      });
   return samples;
 }
 

@@ -54,6 +54,13 @@ struct AnnealerConfig {
   /// per hardware thread, N = exactly N.  Anneals use counter-derived RNG
   /// streams, so samples for a fixed seed are bit-identical at any setting.
   std::size_t num_threads = 1;
+  /// Replicas per SaEngine::anneal_batch_with call: each lane's anneal quota
+  /// is served in blocks of up to this many replicas swept together by the
+  /// batched kernel (1 = the scalar per-sample path).  Sample `a` always
+  /// draws from Rng::for_stream stream `a`, so samples for a fixed seed are
+  /// bit-identical at ANY replica count — this knob only trades sweep
+  /// throughput (see bench_micro_kernels' BM_SaSweep* pair).
+  std::size_t batch_replicas = 8;
 };
 
 class ChimeraAnnealer final : public core::IsingSampler {
@@ -78,7 +85,9 @@ class ChimeraAnnealer final : public core::IsingSampler {
     return chimera::parallelization_factor(num_logical, graph_);
   }
 
+  /// The simulated chip graph (fixed for the annealer's lifetime).
   const chimera::ChimeraGraph& graph() const noexcept { return graph_; }
+  /// The active configuration (see set_config for what may change).
   const AnnealerConfig& config() const noexcept { return config_; }
 
   /// Replaces annealing parameters (used by the Fig. 5-7 parameter sweeps)
@@ -117,6 +126,7 @@ struct LogicalAnnealerConfig {
   IceConfig ice{.enabled = false};  ///< ICE is a hardware artifact; off by default
   bool normalize = true;            ///< rescale to unit max |coefficient|
   std::size_t num_threads = 1;      ///< batch-runtime lanes (see AnnealerConfig)
+  std::size_t batch_replicas = 8;   ///< replicas per batched kernel call (ditto)
 };
 
 class LogicalAnnealer final : public core::IsingSampler {

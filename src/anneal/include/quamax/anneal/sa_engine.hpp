@@ -1,10 +1,27 @@
 // Metropolis simulated-annealing engine over an arbitrary Ising model.
 //
-// This is the compute kernel standing in for the quantum chip: one call to
-// anneal() is one "anneal cycle" — it starts from a uniformly random spin
-// configuration (the classical analog of the initial uniform superposition)
-// and runs sequential Metropolis sweeps along the supplied inverse-
-// temperature schedule.
+// This is the compute kernel standing in for the quantum chip.  One "anneal
+// cycle" starts from a uniformly random spin configuration (the classical
+// analog of the initial uniform superposition) and runs sequential
+// Metropolis sweeps along the supplied inverse-temperature schedule.  The
+// engine exposes that cycle at two granularities:
+//
+//  * anneal()/anneal_with() — ONE replica per call (the R = 1
+//    specialization of the batched kernel below);
+//  * anneal_batch()/anneal_batch_with() — R independent replicas per call,
+//    swept together by one batched kernel.  The kernel keeps all replica
+//    state in contiguous arrays with the replica index fastest-varying
+//    (spins[i*R + r], hloc[i*R + r]), walks the CSR adjacency ONCE per spin
+//    per temperature step, and updates every replica's local fields in the
+//    inner loop — so the row's neighbor/coupling indices are loaded once for
+//    all replicas, the per-neighbor local-field updates hit one cache line
+//    per R <= 8 replicas, and the compiler can vectorize across replicas.
+//    Replica r draws every random number (initial spins, Metropolis accepts,
+//    tie-breaks) from its OWN generator rngs[r], in exactly the order a
+//    scalar anneal with that generator would, and all floating-point
+//    accumulation per replica happens in the scalar path's order; the
+//    batched result is therefore BIT-IDENTICAL to R scalar anneal() calls
+//    with matched generators (batch_replica_test.cpp enforces this).
 //
 // Collective (group) moves: single-spin dynamics cannot serve embedded
 // problems — once the ferromagnetic chains freeze, flipping a logical
@@ -15,18 +32,22 @@
 // embedding's chains), each accepted on the exact collective energy change.
 // Chain *breaking* — the small-|J_F| failure mode — still happens through
 // the single-spin pass, so the embedding trade-offs the paper studies
-// remain visible.
+// remain visible.  Group moves run in both the scalar and the batched path.
 //
 // The adjacency is prebuilt in CSR form with coupling *indices*, so ICE can
 // re-draw the coefficient arrays each anneal without touching the graph
-// structure.  Local fields are maintained incrementally; a sweep costs
-// O(sum of degrees) with no allocation.
+// structure; the batched entry points take per-replica coefficient blocks
+// for exactly that purpose.  Local fields are maintained incrementally; a
+// sweep costs O(R * sum of degrees) with no allocation inside the sweep
+// loop.
 //
 // Thread safety: after construction (and any set_groups() call), the engine
-// is immutable — anneal()/anneal_with() are const, keep all mutable state in
-// locals, and may be called concurrently from any number of threads with
-// per-thread Rngs.  The batch-anneal runtime (core::ParallelBatchSampler)
-// relies on this to share one engine across all lanes.
+// is immutable — anneal(), anneal_with(), anneal_batch(), and
+// anneal_batch_with() are const, keep all mutable state in locals, and may
+// be called concurrently from any number of threads with per-thread Rngs.
+// The batch-anneal runtime (core::ParallelBatchSampler) relies on this to
+// share one engine across all lanes, each lane annealing its own replica
+// block.
 #pragma once
 
 #include <cstddef>
@@ -42,7 +63,9 @@ class SaEngine {
  public:
   explicit SaEngine(const qubo::IsingModel& problem);
 
+  /// Number of spins N of the underlying problem.
   std::size_t num_spins() const noexcept { return fields_.size(); }
+  /// Number of couplings M of the underlying problem.
   std::size_t num_couplings() const noexcept { return coupling_values_.size(); }
 
   /// Registers spin groups for collective moves (typically the embedding's
@@ -50,10 +73,12 @@ class SaEngine {
   /// whole spin set or only part of it.  Pass an empty vector to disable.
   void set_groups(std::vector<std::vector<std::uint32_t>> groups);
 
+  /// Whether collective-move groups are registered.
   bool has_groups() const noexcept { return !groups_.empty(); }
 
-  /// Base (unperturbed) coefficient arrays, in the layout anneal_with expects.
+  /// Base (unperturbed) field array, in the layout anneal_with expects.
   const std::vector<double>& base_fields() const noexcept { return fields_; }
+  /// Base (unperturbed) coupling array, in the layout anneal_with expects.
   const std::vector<double>& base_couplings() const noexcept {
     return coupling_values_;
   }
@@ -74,11 +99,52 @@ class SaEngine {
                             const std::vector<double>& couplings, Rng& rng,
                             const qubo::SpinVec* initial = nullptr) const;
 
+  /// Batched anneal: runs rngs.size() independent replicas of the problem's
+  /// own coefficients in one kernel call, replica r drawing all randomness
+  /// from rngs[r].  Returns one configuration per replica; replica r is
+  /// bit-identical to `anneal(betas, rngs[r], initial)` (and rngs[r] is left
+  /// in the same state).  `initial`, when non-null, warm-starts EVERY
+  /// replica from the same configuration, as R scalar calls would.
+  std::vector<qubo::SpinVec> anneal_batch(
+      const std::vector<double>& betas, std::vector<Rng>& rngs,
+      const qubo::SpinVec* initial = nullptr) const;
+
+  /// Batched anneal with per-replica coefficient blocks (the ICE path: each
+  /// replica carries its own perturbed realization).  `fields` holds R
+  /// replica-major blocks of num_spins() entries (replica r's fields are
+  /// fields[r*N .. (r+1)*N)), `couplings` R blocks of num_couplings()
+  /// entries, with R == rngs.size().  Replica r is bit-identical to
+  /// `anneal_with(betas, fields_r, couplings_r, rngs[r], initial)`.
+  std::vector<qubo::SpinVec> anneal_batch_with(
+      const std::vector<double>& betas, const std::vector<double>& fields,
+      const std::vector<double>& couplings, std::vector<Rng>& rngs,
+      const qubo::SpinVec* initial = nullptr) const;
+
  private:
   struct Group {
     std::vector<std::uint32_t> members;
     std::vector<std::uint32_t> internal_edges;  ///< coupling ids inside the group
   };
+
+  /// The batched sweep kernel behind every public entry point.  `fields_il`
+  /// and `couplings_il` are replica-interleaved (entry index*R + r), `rngs`
+  /// points at R generator pointers, and the result is written replica-
+  /// interleaved into `spins_il` (R*num_spins() entries).  For R == 1 the
+  /// interleaved layout degenerates to the plain scalar arrays.
+  void run_batch_kernel(std::size_t num_replicas,
+                        const std::vector<double>& betas,
+                        const double* fields_il, const double* couplings_il,
+                        Rng* const* rngs, const qubo::SpinVec* initial,
+                        std::int8_t* spins_il) const;
+
+  /// Shared front end of the two anneal_batch* entry points: interleaves the
+  /// coefficient blocks, runs the kernel, and splits the result per replica.
+  std::vector<qubo::SpinVec> batch_dispatch(const std::vector<double>& betas,
+                                            const double* fields_rm,
+                                            const double* couplings_rm,
+                                            bool replicated_coefficients,
+                                            std::vector<Rng>& rngs,
+                                            const qubo::SpinVec* initial) const;
 
   // CSR adjacency: spin i's incident edges are entries
   // [row_offset_[i], row_offset_[i+1]) of neighbor_/coupling_index_.

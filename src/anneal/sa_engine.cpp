@@ -56,77 +56,239 @@ void SaEngine::set_groups(std::vector<std::vector<std::uint32_t>> groups) {
   }
 }
 
+// The batched sweep kernel.  Every array is replica-interleaved (entry
+// index*R + r) so that at a fixed spin/edge the R replica values are
+// contiguous: the CSR row indices are loaded once per spin for ALL replicas
+// and the per-replica inner loops run over adjacent memory.  Bit-identity
+// with the scalar path is preserved by (a) drawing replica r's randomness
+// only from rngs[r], under exactly the scalar path's conditions and order,
+// and (b) performing each replica's floating-point accumulations in the
+// scalar path's order (edges within a CSR row, members within a group).
+void SaEngine::run_batch_kernel(std::size_t num_replicas,
+                                const std::vector<double>& betas,
+                                const double* fields_il,
+                                const double* couplings_il, Rng* const* rngs,
+                                const qubo::SpinVec* initial,
+                                std::int8_t* spins_il) const {
+  const std::size_t n = num_spins();
+  const std::size_t R = num_replicas;
+
+  if (initial != nullptr) {
+    require(initial->size() == n, "SaEngine: initial state size");
+    for (std::size_t i = 0; i < n; ++i)  // warm start: broadcast to all replicas
+      for (std::size_t r = 0; r < R; ++r) spins_il[i * R + r] = (*initial)[i];
+  } else {
+    // Random initial configuration (uniform superposition analog); replica r
+    // draws its N coins in spin order, as the scalar path does.
+    for (std::size_t r = 0; r < R; ++r)
+      for (std::size_t i = 0; i < n; ++i)
+        spins_il[i * R + r] = rngs[r]->coin() ? 1 : -1;
+  }
+
+  // hloc[i*R+r] = f_i^(r) + sum_j J_ij^(r) s_j^(r); flipping spin i of
+  // replica r changes its energy by -2 s_i hloc.  Scratch is thread_local
+  // so the per-lane sampling loops reuse capacity across blocks and the
+  // kernel allocates nothing after a lane's first call (every element is
+  // overwritten below; the engine itself stays immutable and shareable).
+  thread_local std::vector<double> hloc;
+  thread_local std::vector<double> acc;
+  hloc.resize(n * R);
+  acc.resize(R);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t begin = row_offset_[i];
+    const std::uint32_t end = row_offset_[i + 1];
+    for (std::size_t r = 0; r < R; ++r) acc[r] = 0.0;
+    for (std::uint32_t e = begin; e < end; ++e) {
+      const double* ce = couplings_il + std::size_t{coupling_index_[e]} * R;
+      const std::int8_t* sn = spins_il + std::size_t{neighbor_[e]} * R;
+      for (std::size_t r = 0; r < R; ++r) acc[r] += ce[r] * sn[r];
+    }
+    for (std::size_t r = 0; r < R; ++r)
+      hloc[i * R + r] = fields_il[i * R + r] + acc[r];
+  }
+
+  // Exact bookkeeping for flipping spin i of the replicas in
+  // flipped[0..num_flipped): negate the spin, then push the change into the
+  // neighbors' local fields (no Metropolis test here).  The all-replicas
+  // case is split out so the common early-schedule sweeps (almost every
+  // replica flips) run a dense, vectorizable inner loop.
+  thread_local std::vector<std::uint32_t> flipped;
+  flipped.resize(R);
+  const auto flip_replicas = [&](std::size_t i, std::size_t num_flipped) {
+    const std::size_t base = i * R;
+    for (std::size_t k = 0; k < num_flipped; ++k) {
+      const std::uint32_t r = flipped[k];
+      spins_il[base + r] = static_cast<std::int8_t>(-spins_il[base + r]);
+    }
+    const std::uint32_t begin = row_offset_[i];
+    const std::uint32_t end = row_offset_[i + 1];
+    const std::int8_t* si = spins_il + base;
+    for (std::uint32_t e = begin; e < end; ++e) {
+      double* hn = hloc.data() + std::size_t{neighbor_[e]} * R;
+      const double* ce = couplings_il + std::size_t{coupling_index_[e]} * R;
+      if (num_flipped == R) {
+        for (std::size_t r = 0; r < R; ++r)
+          hn[r] += 2.0 * ce[r] * static_cast<double>(si[r]);
+      } else {
+        for (std::size_t k = 0; k < num_flipped; ++k) {
+          const std::uint32_t r = flipped[k];
+          hn[r] += 2.0 * ce[r] * static_cast<double>(si[r]);
+        }
+      }
+    }
+  };
+
+  thread_local std::vector<double> sum_local;
+  thread_local std::vector<double> sum_internal;
+  sum_local.resize(R);
+  sum_internal.resize(R);
+
+  for (const double beta : betas) {
+    // Single-spin Metropolis pass: one CSR-row walk per spin serves every
+    // replica that accepted a flip.
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t base = i * R;
+      std::size_t num_flipped = 0;
+      for (std::size_t r = 0; r < R; ++r) {
+        const double delta_e =
+            -2.0 * spins_il[base + r] * hloc[base + r];
+        // Zero-cost flips are taken with probability 1/2: accepting them
+        // deterministically makes domain walls translate in lock-step with
+        // the sequential sweep and orbit forever instead of
+        // diffusing/annihilating.
+        if (delta_e > 0.0 &&
+            rngs[r]->uniform() >= std::exp(-beta * delta_e))
+          continue;
+        if (delta_e == 0.0 && rngs[r]->coin()) continue;
+        flipped[num_flipped++] = static_cast<std::uint32_t>(r);
+      }
+      if (num_flipped != 0) flip_replicas(i, num_flipped);
+    }
+
+    // Collective pass: Metropolis over whole groups (embedded chains).
+    // Flipping every member leaves internal edges invariant, so
+    //   dE = -2 (sum_{i in G} s_i hloc_i - 2 sum_{(i,j) internal} J_ij s_i s_j).
+    for (const Group& group : groups_) {
+      for (std::size_t r = 0; r < R; ++r) sum_local[r] = 0.0;
+      for (const std::uint32_t m : group.members) {
+        const std::int8_t* sm = spins_il + std::size_t{m} * R;
+        const double* hm = hloc.data() + std::size_t{m} * R;
+        for (std::size_t r = 0; r < R; ++r)
+          sum_local[r] += static_cast<double>(sm[r]) * hm[r];
+      }
+      for (std::size_t r = 0; r < R; ++r) sum_internal[r] = 0.0;
+      for (const std::uint32_t e : group.internal_edges) {
+        const double* ce = couplings_il + std::size_t{e} * R;
+        const std::int8_t* si = spins_il + std::size_t{edge_i_[e]} * R;
+        const std::int8_t* sj = spins_il + std::size_t{edge_j_[e]} * R;
+        for (std::size_t r = 0; r < R; ++r)
+          sum_internal[r] += ce[r] * static_cast<double>(si[r]) *
+                             static_cast<double>(sj[r]);
+      }
+      std::size_t num_flipped = 0;
+      for (std::size_t r = 0; r < R; ++r) {
+        const double delta_e = -2.0 * (sum_local[r] - 2.0 * sum_internal[r]);
+        if (delta_e > 0.0 &&
+            rngs[r]->uniform() >= std::exp(-beta * delta_e))
+          continue;
+        if (delta_e == 0.0 && rngs[r]->coin()) continue;
+        flipped[num_flipped++] = static_cast<std::uint32_t>(r);
+      }
+      if (num_flipped == 0) continue;
+      // Members flip in declaration order, exactly as the scalar path's
+      // sequential flip_spin calls, so shared-neighbor local fields
+      // accumulate the member contributions in the same order per replica.
+      const std::size_t keep = num_flipped;
+      for (const std::uint32_t m : group.members) {
+        // flip_replicas consumes flipped[0..keep); the list is unchanged, so
+        // every member flips the same replica set.
+        flip_replicas(m, keep);
+      }
+    }
+  }
+}
+
+std::vector<qubo::SpinVec> SaEngine::batch_dispatch(
+    const std::vector<double>& betas, const double* fields_rm,
+    const double* couplings_rm, bool replicated_coefficients,
+    std::vector<Rng>& rngs, const qubo::SpinVec* initial) const {
+  const std::size_t n = num_spins();
+  const std::size_t m = num_couplings();
+  const std::size_t R = rngs.size();
+  require(R >= 1, "SaEngine::anneal_batch: need at least one replica stream");
+
+  std::vector<Rng*> rng_ptrs(R);
+  for (std::size_t r = 0; r < R; ++r) rng_ptrs[r] = &rngs[r];
+
+  std::vector<qubo::SpinVec> result(R, qubo::SpinVec(n));
+  if (R == 1) {
+    // Scalar specialization: interleaved and flat layouts coincide, so the
+    // caller's arrays feed the kernel directly.
+    run_batch_kernel(1, betas, fields_rm, couplings_rm, rng_ptrs.data(),
+                     initial, result.front().data());
+    return result;
+  }
+
+  // Transpose the replica-major coefficient blocks (or broadcast the shared
+  // base arrays) into the kernel's replica-interleaved layout.  O(R*(N+M))
+  // once per batch — negligible against the sweep loop.  thread_local for
+  // the same reason as the kernel scratch: the per-lane sampling loops call
+  // this once per block and every element is overwritten.
+  thread_local std::vector<double> fields_il;
+  thread_local std::vector<double> couplings_il;
+  fields_il.resize(n * R);
+  couplings_il.resize(m * R);
+  for (std::size_t r = 0; r < R; ++r) {
+    const double* fsrc = replicated_coefficients ? fields_rm + r * n : fields_rm;
+    const double* csrc =
+        replicated_coefficients ? couplings_rm + r * m : couplings_rm;
+    for (std::size_t i = 0; i < n; ++i) fields_il[i * R + r] = fsrc[i];
+    for (std::size_t e = 0; e < m; ++e) couplings_il[e * R + r] = csrc[e];
+  }
+
+  thread_local std::vector<std::int8_t> spins_il;
+  spins_il.resize(n * R);
+  run_batch_kernel(R, betas, fields_il.data(), couplings_il.data(),
+                   rng_ptrs.data(), initial, spins_il.data());
+  for (std::size_t r = 0; r < R; ++r)
+    for (std::size_t i = 0; i < n; ++i) result[r][i] = spins_il[i * R + r];
+  return result;
+}
+
 qubo::SpinVec SaEngine::anneal_with(const std::vector<double>& betas,
                                     const std::vector<double>& fields,
                                     const std::vector<double>& couplings,
                                     Rng& rng,
                                     const qubo::SpinVec* initial) const {
-  const std::size_t n = num_spins();
-  require(fields.size() == n, "SaEngine::anneal_with: field array size mismatch");
-  require(couplings.size() == coupling_values_.size(),
+  require(fields.size() == num_spins(),
+          "SaEngine::anneal_with: field array size mismatch");
+  require(couplings.size() == num_couplings(),
           "SaEngine::anneal_with: coupling array size mismatch");
-
-  qubo::SpinVec spins(n);
-  if (initial != nullptr) {
-    require(initial->size() == n, "SaEngine::anneal_with: initial state size");
-    spins = *initial;  // reverse annealing / warm start
-  } else {
-    // Random initial configuration (uniform superposition analog).
-    for (auto& s : spins) s = rng.coin() ? 1 : -1;
-  }
-
-  // local[i] = f_i + sum_j J_ij s_j; flipping i changes E by -2 s_i local[i].
-  std::vector<double> local(fields.begin(), fields.end());
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint32_t begin = row_offset_[i];
-    const std::uint32_t end = row_offset_[i + 1];
-    double acc = 0.0;
-    for (std::uint32_t e = begin; e < end; ++e)
-      acc += couplings[coupling_index_[e]] * spins[neighbor_[e]];
-    local[i] += acc;
-  }
-
-  // Exact bookkeeping for one spin flip (no Metropolis test).
-  const auto flip_spin = [&](std::size_t i) {
-    const auto flipped = static_cast<std::int8_t>(-spins[i]);
-    spins[i] = flipped;
-    const std::uint32_t begin = row_offset_[i];
-    const std::uint32_t end = row_offset_[i + 1];
-    for (std::uint32_t e = begin; e < end; ++e)
-      local[neighbor_[e]] +=
-          2.0 * couplings[coupling_index_[e]] * static_cast<double>(flipped);
-  };
-
-  for (const double beta : betas) {
-    // Single-spin Metropolis pass.
-    for (std::size_t i = 0; i < n; ++i) {
-      const double delta_e = -2.0 * spins[i] * local[i];
-      // Zero-cost flips are taken with probability 1/2: accepting them
-      // deterministically makes domain walls translate in lock-step with the
-      // sequential sweep and orbit forever instead of diffusing/annihilating.
-      if (delta_e > 0.0 && rng.uniform() >= std::exp(-beta * delta_e)) continue;
-      if (delta_e == 0.0 && rng.coin()) continue;
-      flip_spin(i);
-    }
-
-    // Collective pass: Metropolis over whole groups (embedded chains).
-    // Flipping every member leaves internal edges invariant, so
-    //   dE = -2 (sum_{i in G} s_i local_i - 2 sum_{(i,j) internal} J_ij s_i s_j).
-    for (const Group& group : groups_) {
-      double sum_local = 0.0;
-      for (const std::uint32_t m : group.members)
-        sum_local += static_cast<double>(spins[m]) * local[m];
-      double sum_internal = 0.0;
-      for (const std::uint32_t e : group.internal_edges)
-        sum_internal += couplings[e] * static_cast<double>(spins[edge_i_[e]]) *
-                        static_cast<double>(spins[edge_j_[e]]);
-      const double delta_e = -2.0 * (sum_local - 2.0 * sum_internal);
-      if (delta_e > 0.0 && rng.uniform() >= std::exp(-beta * delta_e)) continue;
-      if (delta_e == 0.0 && rng.coin()) continue;
-      for (const std::uint32_t m : group.members) flip_spin(m);
-    }
-  }
+  qubo::SpinVec spins(num_spins());
+  Rng* rng_ptr = &rng;
+  run_batch_kernel(1, betas, fields.data(), couplings.data(), &rng_ptr,
+                   initial, spins.data());
   return spins;
+}
+
+std::vector<qubo::SpinVec> SaEngine::anneal_batch(
+    const std::vector<double>& betas, std::vector<Rng>& rngs,
+    const qubo::SpinVec* initial) const {
+  return batch_dispatch(betas, fields_.data(), coupling_values_.data(),
+                        /*replicated_coefficients=*/false, rngs, initial);
+}
+
+std::vector<qubo::SpinVec> SaEngine::anneal_batch_with(
+    const std::vector<double>& betas, const std::vector<double>& fields,
+    const std::vector<double>& couplings, std::vector<Rng>& rngs,
+    const qubo::SpinVec* initial) const {
+  const std::size_t R = rngs.size();
+  require(fields.size() == R * num_spins(),
+          "SaEngine::anneal_batch_with: field array size mismatch");
+  require(couplings.size() == R * num_couplings(),
+          "SaEngine::anneal_batch_with: coupling array size mismatch");
+  return batch_dispatch(betas, fields.data(), couplings.data(),
+                        /*replicated_coefficients=*/true, rngs, initial);
 }
 
 }  // namespace quamax::anneal

@@ -198,4 +198,30 @@ double parallelization_factor(std::size_t num_logical, const ChimeraGraph& graph
   return std::max(1.0, static_cast<double>(graph.num_qubits()) / used);
 }
 
+MergedWave merge_embedded(const std::vector<EmbeddedProblem>& embedded) {
+  MergedWave wave;
+  std::size_t total_spins = 0;
+  for (const EmbeddedProblem& ep : embedded) {
+    wave.offsets.push_back(total_spins);
+    total_spins += ep.physical.num_spins();
+  }
+  wave.physical = qubo::IsingModel(total_spins);
+  for (std::size_t s = 0; s < embedded.size(); ++s) {
+    const EmbeddedProblem& ep = embedded[s];
+    const std::size_t off = wave.offsets[s];
+    for (std::size_t i = 0; i < ep.physical.num_spins(); ++i)
+      wave.physical.field(off + i) = ep.physical.field(i);
+    for (const qubo::Coupling& c : ep.physical.couplings())
+      wave.physical.add_coupling(off + c.i, off + c.j, c.g);
+    for (const auto& chain : ep.chains) {
+      std::vector<std::uint32_t> shifted;
+      shifted.reserve(chain.size());
+      for (const std::uint32_t q : chain)
+        shifted.push_back(static_cast<std::uint32_t>(off + q));
+      wave.chains.push_back(std::move(shifted));
+    }
+  }
+  return wave;
+}
+
 }  // namespace quamax::chimera

@@ -81,6 +81,23 @@ struct EmbeddedProblem {
 EmbeddedProblem embed(const qubo::IsingModel& logical, const Embedding& embedding,
                       const ChimeraGraph& graph, const EmbedParams& params);
 
+/// A wave of compiled embeddings merged into one chip-wide Ising model —
+/// the §4-parallelized input shape ChimeraAnnealer::sample_batch anneals
+/// (and the SA kernel's throughput yardstick in bench_micro_kernels).
+struct MergedWave {
+  qubo::IsingModel physical{0};
+  /// Every problem's chains shifted into the merged index space (the
+  /// collective-move groups for the merged problem).
+  std::vector<std::vector<std::uint32_t>> chains;
+  /// Problem s's physical spins occupy indices [offsets[s], offsets[s] +
+  /// embedded[s].physical.num_spins()) of `physical`.
+  std::vector<std::size_t> offsets;
+};
+
+/// Merges disjointly-embedded problems (see find_parallel_embeddings) into
+/// one chip-wide model; one anneal of the result advances the whole wave.
+MergedWave merge_embedded(const std::vector<EmbeddedProblem>& embedded);
+
 /// Majority-vote unembedding (paper §3.3): each logical spin is the majority
 /// of its chain; exact ties are randomized.  `broken_chains`, when non-null,
 /// receives the number of chains that were not unanimous.

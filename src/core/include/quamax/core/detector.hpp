@@ -28,7 +28,7 @@ struct DetectionResult {
   qubo::SpinVec best_spins;   ///< best configuration in solution space
   double best_energy = 0.0;   ///< its Ising energy (excluding offset)
   double best_metric = 0.0;   ///< its ML metric ||y - Hv||^2
-  std::size_t num_anneals = 0;
+  std::size_t num_anneals = 0;  ///< N_a actually run for this result
   /// All per-anneal configurations, in anneal order (for rank statistics).
   std::vector<qubo::SpinVec> samples;
   /// Per-anneal Ising energies, aligned with `samples`.
@@ -55,6 +55,7 @@ class QuAMaxDetector {
   /// reduce once and re-run many parameter settings).
   DetectionResult run(const MlProblem& problem, Rng& rng) const;
 
+  /// The configuration the detector was built with.
   const DetectorConfig& config() const noexcept { return config_; }
 
  private:

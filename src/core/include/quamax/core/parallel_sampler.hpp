@@ -11,10 +11,13 @@
 // pure function of (seed, problem, count) — bit-identical at any thread
 // count, which parallel_sampler_test.cpp checks property-style.
 //
-// Samplers use run() internally to fan their own anneal loops (the SA
-// kernel is const and shares read-only state across lanes); sample_problems()
-// is the multi-problem front end used by sweep drivers, where each worker
-// lane owns a private sampler instance built by the caller's factory.
+// Samplers use run_blocks() internally to fan their anneal loops in
+// replica-sized blocks over the SA kernel's batched entry points (the
+// engine is const and shares read-only state across lanes);
+// sample_problems() is the multi-problem front end used by sweep drivers,
+// where worker lanes draw sampler instances from a lane-local cache keyed
+// by problem shape so per-sampler embedding work is amortized across the
+// batch.
 #pragma once
 
 #include <cstddef>
@@ -35,6 +38,7 @@ class ParallelBatchSampler {
   /// per hardware thread, N = exactly N lanes.
   explicit ParallelBatchSampler(std::size_t num_threads = 1);
 
+  /// Lanes available to run(), run_blocks(), and sample_problems().
   std::size_t num_threads() const noexcept { return pool_.size(); }
 
   /// The deterministic fan-out primitive.  Draws one key from `rng` (exactly
@@ -46,6 +50,20 @@ class ParallelBatchSampler {
   void run(std::size_t count, Rng& rng,
            const std::function<void(std::size_t, Rng&)>& job);
 
+  /// Blocked fan-out for replica-batched kernels: partitions [0, count)
+  /// into contiguous blocks of at most `max_block` indices and runs
+  /// job(begin, streams) once per block, where streams[j] ==
+  /// Rng::for_stream(key, begin + j) for j in [0, streams.size()) — the
+  /// SAME per-index streams run() would hand out, and again exactly one
+  /// draw from `rng`.  A job that feeds its streams to
+  /// SaEngine::anneal_batch* therefore produces per-index results
+  /// bit-identical to per-index run() jobs, for any block size and thread
+  /// count.  Jobs must confine writes to the slots [begin, begin +
+  /// streams.size()).  max_block == 1 degenerates to run().
+  void run_blocks(
+      std::size_t count, std::size_t max_block, Rng& rng,
+      const std::function<void(std::size_t, std::vector<Rng>&)>& job);
+
   /// Builds a sampler for one problem's job.  Factories are invoked
   /// concurrently and must be callable from any thread.  Configure the
   /// produced samplers with num_threads = 1: the pool already parallelizes
@@ -53,19 +71,30 @@ class ParallelBatchSampler {
   using SamplerFactory = std::function<std::unique_ptr<IsingSampler>()>;
 
   /// Fans `problems` across the pool: problem p is drawn `num_anneals` times
-  /// with stream p by a PRIVATE sampler built on the worker by `factory`
-  /// (samplers are stateful — embedding caches, diagnostics — so they are
-  /// never shared between concurrent jobs).  One sampler is constructed per
-  /// problem, so per-sampler caches are not amortized across the batch yet
-  /// (a lane-local sampler cache is a ROADMAP item).  Returns one sample set
-  /// per problem, in input order.
+  /// with stream p by a sampler built on the worker by `factory` (samplers
+  /// are stateful — embedding caches, diagnostics — so they are never shared
+  /// between concurrent jobs).  Each lane keeps a private sampler cache
+  /// keyed by problem shape (variable count), so a sweep over many
+  /// same-size problems pays a sampler construction + embedding compilation
+  /// once per lane instead of once per problem; samplers are required to be
+  /// pure in (problem, num_anneals, stream), so the cache cannot change
+  /// results (set_sampler_cache(false) restores one fresh sampler per
+  /// problem, and batch_replica_test.cpp checks the two paths coincide).
+  /// The cache lives for one call — factories may differ between calls.
+  /// Returns one sample set per problem, in input order.
   std::vector<std::vector<qubo::SpinVec>> sample_problems(
       const SamplerFactory& factory,
       const std::vector<const qubo::IsingModel*>& problems,
       std::size_t num_anneals, Rng& rng);
 
+  /// Toggles the lane-local sampler cache in sample_problems (default on).
+  void set_sampler_cache(bool enabled) noexcept { cache_samplers_ = enabled; }
+  /// Whether sample_problems reuses cached samplers across same-shape problems.
+  bool sampler_cache() const noexcept { return cache_samplers_; }
+
  private:
   ThreadPool pool_;
+  bool cache_samplers_ = true;
 };
 
 }  // namespace quamax::core

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t lanes = resolve(num_threads);
   workers_.reserve(lanes - 1);
   for (std::size_t i = 0; i + 1 < lanes; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, lane = i + 1] { worker_loop(lane); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -26,13 +26,13 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::drain(const std::function<void(std::size_t)>& body,
-                       std::size_t count) {
+void ThreadPool::drain(const std::function<void(std::size_t, std::size_t)>& body,
+                       std::size_t lane, std::size_t count) {
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= count) return;
     try {
-      body(i);
+      body(lane, i);
     } catch (...) {
       std::lock_guard<std::mutex> lk(mu_);
       if (!error_) error_ = std::current_exception();
@@ -42,10 +42,10 @@ void ThreadPool::drain(const std::function<void(std::size_t)>& body,
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t lane) {
   std::uint64_t seen = 0;
   for (;;) {
-    const std::function<void(std::size_t)>* body = nullptr;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::size_t count = 0;
     {
       std::unique_lock<std::mutex> lk(mu_);
@@ -57,7 +57,7 @@ void ThreadPool::worker_loop() {
       count = count_;
       ++active_;
     }
-    drain(*body, count);
+    drain(*body, lane, count);
     {
       std::lock_guard<std::mutex> lk(mu_);
       --active_;
@@ -68,14 +68,25 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
+  parallel_for_lanes(count, [&body](std::size_t, std::size_t i) { body(i); });
+}
+
+void ThreadPool::parallel_for_lanes(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
-  if (workers_.empty() || count == 1) {
-    // Serial lane: run inline, exceptions propagate directly.
-    for (std::size_t i = 0; i < count; ++i) body(i);
+  if (workers_.empty()) {
+    // Serial pool: run inline, exceptions propagate directly.
+    for (std::size_t i = 0; i < count; ++i) body(0, i);
     return;
   }
 
   std::lock_guard<std::mutex> submit(submit_mu_);
+  if (count == 1) {
+    // Not worth waking workers — but lane 0 exclusivity (the header's
+    // lane-scratch guarantee) still requires holding the submit lock.
+    body(0, 0);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     body_ = &body;
@@ -86,7 +97,7 @@ void ThreadPool::parallel_for(std::size_t count,
   }
   start_cv_.notify_all();
 
-  drain(body, count);  // the caller is a lane too
+  drain(body, 0, count);  // the caller is lane 0
 
   std::exception_ptr error;
   {

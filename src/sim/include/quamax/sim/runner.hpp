@@ -83,10 +83,21 @@ std::size_t env_threads();
 /// malformed value.
 std::size_t cli_threads(int argc, char** argv);
 
-/// argv entries that are not part of the --threads flag (program name
-/// excluded), in order.  Binaries with positional arguments parse these
-/// instead of argv so their positional handling cannot drift out of sync
-/// with cli_threads' flag spellings.
+/// Reads the QUAMAX_REPLICAS environment variable: replicas per batched SA
+/// kernel call (AnnealerConfig::batch_replicas).  Default 8; 1 selects the
+/// scalar per-sample path.  Samples are bit-identical at any setting, so
+/// this only trades sweep throughput (bench_micro_kernels quantifies it).
+std::size_t env_replicas();
+
+/// The bench/example `--replicas N` knob (also `--replicas=N`); falls back
+/// to env_replicas() when the flag is absent.  Throws InvalidArgument on a
+/// malformed or zero value.
+std::size_t cli_replicas(int argc, char** argv);
+
+/// argv entries that are not part of the --threads / --replicas flags
+/// (program name excluded), in order.  Binaries with positional arguments
+/// parse these instead of argv so their positional handling cannot drift
+/// out of sync with the flag spellings.
 std::vector<std::string> positional_args(int argc, char** argv);
 
 }  // namespace quamax::sim

@@ -105,7 +105,7 @@ std::size_t scaled(std::size_t base) {
 
 namespace {
 
-std::size_t parse_thread_count(const std::string& text) {
+std::size_t parse_count(const std::string& text, const std::string& knob) {
   std::size_t pos = 0;
   unsigned long long v = 0;
   // stoull accepts and wraps a leading '-'; reject it up front.
@@ -116,11 +116,46 @@ std::size_t parse_thread_count(const std::string& text) {
     pos = 0;
   }
   require(!negative && pos == text.size() && !text.empty(),
-          "--threads / QUAMAX_THREADS: expected a non-negative integer, got '" +
-              text + "'");
-  require(v <= 4096,
-          "--threads / QUAMAX_THREADS: " + text + " lanes is not plausible");
+          knob + ": expected a non-negative integer, got '" + text + "'");
+  require(v <= 4096, knob + ": " + text + " is not plausible");
   return static_cast<std::size_t>(v);
+}
+
+/// Recognizes both `--<name> V` and `--<name>=V` spellings at argv[i].
+/// Single source of truth for the flag syntax, shared by the cli_* parsers
+/// and positional_args.  Returns the raw value and how many argv entries
+/// the flag occupies.
+bool flag_at(const std::string& name, int argc, char** argv, int i,
+             std::string& value, int& consumed) {
+  const std::string arg = argv[i];
+  const std::string flag = "--" + name;
+  if (arg == flag) {
+    require(i + 1 < argc, flag + ": missing value");
+    value = argv[i + 1];
+    consumed = 2;
+    return true;
+  }
+  if (arg.rfind(flag + "=", 0) == 0) {
+    value = arg.substr(flag.size() + 1);
+    consumed = 1;
+    return true;
+  }
+  return false;
+}
+
+/// Parses `--<name>` from argv when present; only otherwise falls back to
+/// `env_fallback` (lazily, so a malformed environment variable cannot abort
+/// a run that passed a valid explicit flag).
+std::size_t cli_flag_or(const std::string& name, int argc, char** argv,
+                        const std::function<std::size_t()>& env_fallback,
+                        const std::string& knob) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (flag_at(name, argc, argv, i, value, consumed))
+      return parse_count(value, knob);
+  }
+  return env_fallback();
 }
 
 }  // namespace
@@ -128,41 +163,27 @@ std::size_t parse_thread_count(const std::string& text) {
 std::size_t env_threads() {
   const char* raw = std::getenv("QUAMAX_THREADS");
   if (raw == nullptr) return 1;
-  return parse_thread_count(raw);
+  return parse_count(raw, "--threads / QUAMAX_THREADS");
 }
-
-namespace {
-
-/// Recognizes both --threads spellings at argv[i].  Single source of truth
-/// for the flag syntax, shared by cli_threads and positional_args.  Returns
-/// the raw value and how many argv entries the flag occupies.
-bool threads_flag_at(int argc, char** argv, int i, std::string& value,
-                     int& consumed) {
-  const std::string arg = argv[i];
-  if (arg == "--threads") {
-    require(i + 1 < argc, "--threads: missing value");
-    value = argv[i + 1];
-    consumed = 2;
-    return true;
-  }
-  if (arg.rfind("--threads=", 0) == 0) {
-    value = arg.substr(std::string("--threads=").size());
-    consumed = 1;
-    return true;
-  }
-  return false;
-}
-
-}  // namespace
 
 std::size_t cli_threads(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    std::string value;
-    int consumed = 0;
-    if (threads_flag_at(argc, argv, i, value, consumed))
-      return parse_thread_count(value);
-  }
-  return env_threads();
+  return cli_flag_or("threads", argc, argv, env_threads,
+                     "--threads / QUAMAX_THREADS");
+}
+
+std::size_t env_replicas() {
+  const char* raw = std::getenv("QUAMAX_REPLICAS");
+  const std::size_t replicas =
+      raw == nullptr ? 8 : parse_count(raw, "--replicas / QUAMAX_REPLICAS");
+  require(replicas >= 1, "--replicas / QUAMAX_REPLICAS: need at least one");
+  return replicas;
+}
+
+std::size_t cli_replicas(int argc, char** argv) {
+  const std::size_t replicas = cli_flag_or(
+      "replicas", argc, argv, env_replicas, "--replicas / QUAMAX_REPLICAS");
+  require(replicas >= 1, "--replicas / QUAMAX_REPLICAS: need at least one");
+  return replicas;
 }
 
 std::vector<std::string> positional_args(int argc, char** argv) {
@@ -170,7 +191,8 @@ std::vector<std::string> positional_args(int argc, char** argv) {
   for (int i = 1; i < argc;) {
     std::string value;
     int consumed = 0;
-    if (threads_flag_at(argc, argv, i, value, consumed)) {
+    if (flag_at("threads", argc, argv, i, value, consumed) ||
+        flag_at("replicas", argc, argv, i, value, consumed)) {
       i += consumed;
       continue;
     }

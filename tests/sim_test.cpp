@@ -118,5 +118,34 @@ TEST(EnvScaleTest, DefaultsAndOverrides) {
   ::unsetenv("QUAMAX_SCALE");
 }
 
+TEST(CliKnobsTest, ThreadsAndReplicasFlagsParseBothSpellings) {
+  const char* argv1[] = {"bench", "--threads", "4", "--replicas", "16"};
+  EXPECT_EQ(cli_threads(5, const_cast<char**>(argv1)), 4u);
+  EXPECT_EQ(cli_replicas(5, const_cast<char**>(argv1)), 16u);
+
+  const char* argv2[] = {"bench", "--threads=0", "--replicas=1"};
+  EXPECT_EQ(cli_threads(3, const_cast<char**>(argv2)), 0u);
+  EXPECT_EQ(cli_replicas(3, const_cast<char**>(argv2)), 1u);
+}
+
+TEST(CliKnobsTest, MalformedOrZeroReplicasThrow) {
+  const char* negative[] = {"bench", "--replicas", "-2"};
+  EXPECT_THROW(cli_replicas(3, const_cast<char**>(negative)), InvalidArgument);
+  const char* garbage[] = {"bench", "--replicas=lots"};
+  EXPECT_THROW(cli_replicas(2, const_cast<char**>(garbage)), InvalidArgument);
+  const char* zero[] = {"bench", "--replicas", "0"};
+  EXPECT_THROW(cli_replicas(3, const_cast<char**>(zero)), InvalidArgument);
+  const char* missing[] = {"bench", "--replicas"};
+  EXPECT_THROW(cli_replicas(2, const_cast<char**>(missing)), InvalidArgument);
+}
+
+TEST(CliKnobsTest, PositionalArgsSkipBothFlags) {
+  const char* argv[] = {"bench", "alpha", "--threads", "2", "beta",
+                        "--replicas=8", "gamma"};
+  const std::vector<std::string> positional =
+      positional_args(7, const_cast<char**>(argv));
+  EXPECT_EQ(positional, (std::vector<std::string>{"alpha", "beta", "gamma"}));
+}
+
 }  // namespace
 }  // namespace quamax::sim

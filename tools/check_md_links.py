@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repo's Markdown files resolve.
+
+Usage: check_md_links.py [repo_root]
+
+Scans README.md and docs/*.md for inline links/images `[text](target)` and
+reference definitions `[label]: target`, and fails (exit 1, one line per
+problem) when a relative target does not exist on disk.  External links
+(http/https/mailto), pure in-page anchors (#...), and absolute paths are
+skipped — the job is catching renamed/deleted files and typos, offline.
+
+Wired into CTest as `docs_links` and into the CI docs job, so a PR that
+moves a file without fixing the docs fails fast.
+"""
+
+import pathlib
+import re
+import sys
+
+# Inline [text](target) and ![alt](target); target ends at ')' or ' "title"'.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference definitions: [label]: target
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+FENCE = re.compile(r"^(```|~~~)")
+
+
+def targets_in(text: str):
+    # Drop fenced code blocks: shell snippets legitimately contain (...)
+    # sequences that are not links.
+    kept, fenced = [], False
+    for line in text.splitlines():
+        if FENCE.match(line.strip()):
+            fenced = not fenced
+            continue
+        if not fenced:
+            kept.append(line)
+    text = "\n".join(kept)
+    for pattern in (INLINE_LINK, REFERENCE_DEF):
+        for match in pattern.finditer(text):
+            yield match.group(1)
+
+
+def is_checkable(target: str) -> bool:
+    if target.startswith(("http://", "https://", "mailto:", "#", "/")):
+        return False
+    return not re.match(r"^[a-z][a-z0-9+.-]*:", target)  # any other scheme
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    sources = sorted([root / "README.md", *root.glob("docs/*.md")])
+    problems = []
+    checked = 0
+    for source in sources:
+        if not source.is_file():
+            continue
+        for target in targets_in(source.read_text(encoding="utf-8")):
+            if not is_checkable(target):
+                continue
+            checked += 1
+            path = target.split("#", 1)[0]  # file.md#anchor -> file.md
+            if not (source.parent / path).exists():
+                problems.append(f"{source.relative_to(root)}: broken link -> {target}")
+    for problem in problems:
+        print(problem)
+    print(f"check_md_links: {checked} relative links in {len(sources)} files, "
+          f"{len(problems)} broken")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
