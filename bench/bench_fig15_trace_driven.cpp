@@ -6,13 +6,21 @@
 // BPSK (an 8-logical-qubit problem, parallelization factor ~85) reaches the
 // same within an amortized ~2 us — i.e. the minimum Ta + Tp, enabled by
 // running many identical/different problems on the chip at once.
+//
+// This bench exercises the §4 multi-problem runtime end to end: all channel
+// uses of a sweep point decode through
+// ParallelBatchSampler::sample_problems (lane-local ChimeraAnnealer workers
+// sharing one shape-keyed embedding cache), with counter-derived per-problem
+// streams — so output is bit-identical at any --threads setting.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "quamax/anneal/annealer.hpp"
 #include "quamax/common/stats.hpp"
+#include "quamax/core/parallel_sampler.hpp"
 #include "quamax/sim/report.hpp"
 #include "quamax/sim/runner.hpp"
 #include "quamax/wireless/trace.hpp"
@@ -35,12 +43,18 @@ int main(int argc, char** argv) {
   const std::vector<double> jf_grid{0.35, 0.5, 0.75};
 
   anneal::AnnealerConfig config;
-  config.num_threads = threads;
+  config.num_threads = 1;  // the batch runtime parallelizes ACROSS problems
   config.batch_replicas = replicas;
   config.schedule.anneal_time_us = 1.0;
   config.schedule.pause_time_us = 1.0;
   config.embed.improved_range = true;
-  anneal::ChimeraAnnealer annealer(config);
+
+  // One probe annealer pins the chip graph and donates its shape-keyed
+  // embedding cache to every worker the sweep's factories build.
+  anneal::ChimeraAnnealer probe(config);
+  const std::shared_ptr<chimera::EmbeddingCache> cache = probe.embedding_cache();
+
+  core::ParallelBatchSampler batch(threads);
 
   Rng rng{0xF175};
   for (const Modulation mod : {Modulation::kBpsk, Modulation::kQpsk}) {
@@ -52,13 +66,18 @@ int main(int argc, char** argv) {
 
     sim::SweepMatrix ttb, ttf;
     for (const double jf : jf_grid) {
-      auto updated = annealer.config();
-      updated.embed.jf = jf;
-      annealer.set_config(updated);
+      anneal::AnnealerConfig setting = config;
+      setting.embed.jf = jf;
+      const auto factory = [&setting, &cache]() -> std::unique_ptr<core::IsingSampler> {
+        auto annealer = std::make_unique<anneal::ChimeraAnnealer>(setting);
+        annealer->set_embedding_cache(cache);
+        return annealer;
+      };
+      const std::vector<sim::RunOutcome> outcomes =
+          sim::run_instances(insts, batch, factory, num_anneals, rng);
+
       std::vector<double> ttb_row, ttf_row;
-      for (const sim::Instance& inst : insts) {
-        const sim::RunOutcome outcome =
-            sim::run_instance(inst, annealer, num_anneals, rng);
+      for (const sim::RunOutcome& outcome : outcomes) {
         ttb_row.push_back(sim::outcome_ttb_us(outcome, 1e-6, 1 << 24)
                               .value_or(std::numeric_limits<double>::infinity()));
         ttf_row.push_back(
@@ -78,7 +97,7 @@ int main(int argc, char** argv) {
                 wireless::to_string(mod).c_str(),
                 core::num_solution_variables(8, mod),
                 chimera::parallelization_factor(
-                    core::num_solution_variables(8, mod), annealer.graph()));
+                    core::num_solution_variables(8, mod), probe.graph()));
     sim::print_columns({"metric", "median us", "mean us", "p85 us"});
     const auto row = [&](const char* name, const std::vector<double>& v) {
       const Summary s = summarize(v);

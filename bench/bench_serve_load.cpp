@@ -1,0 +1,158 @@
+// Offered-load sweep of the C-RAN decode service (paper §2/§7 deployment
+// story; Kasi et al.'s throughput-per-deadline framing).
+//
+// One modeled QA device serves Poisson decode traffic of 8-user BPSK
+// subframe jobs under a hard per-job deadline, once with §4 wave packing
+// DISABLED (one job per chip anneal batch — the unamortized baseline) and
+// once ENABLED (first-fit packing up to the chip's parallel-embedding
+// capacity).  For each offered load the sweep reports achieved throughput,
+// deadline-goodput, miss rate, mean wave occupancy, and total-latency
+// percentiles; it then locates each mode's sustained load (the largest
+// offered load with miss rate <= 1%) and prints the packing gain — the
+// acceptance bar is >= 2x.
+//
+// Every printed number derives from the service's virtual clock and
+// counter-derived decode streams, so output is BIT-IDENTICAL at any
+// --threads / --replicas setting (CI diffs two thread counts in smoke
+// mode).  `bench_serve_load smoke` runs a trivial load only and exits
+// non-zero if ANY deadline is missed — the always-on CI regression gate.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "quamax/serve/load_gen.hpp"
+#include "quamax/serve/service.hpp"
+#include "quamax/sim/report.hpp"
+#include "quamax/sim/runner.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
+  const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
+  using namespace quamax;
+
+  bool smoke = false;
+  for (const std::string& arg : sim::positional_args(argc, argv))
+    if (arg == "smoke") smoke = true;
+
+  const std::size_t jobs_per_point = sim::scaled(smoke ? 150 : 600);
+  const std::size_t num_anneals = sim::scaled(40);
+  const std::vector<double> loads =
+      smoke ? std::vector<double>{1.0}
+            : std::vector<double>{4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0};
+
+  sim::print_banner(
+      "C-RAN decode service under offered load",
+      "serve subsystem (ISSUE 3); throughput-per-deadline curves",
+      "jobs/point = " + std::to_string(jobs_per_point) +
+          ", anneals/wave = " + std::to_string(num_anneals) +
+          ", deadline = 500 us, 8x8 BPSK noise-free, Poisson arrivals" +
+          (smoke ? " [smoke]" : ""));
+
+  serve::ServiceConfig base;
+  base.annealer.schedule.anneal_time_us = 1.0;
+  base.annealer.schedule.pause_time_us = 0.0;
+  base.annealer.batch_replicas = replicas;
+  base.num_anneals = num_anneals;
+  base.num_threads = threads;
+  base.num_devices = 1;
+  base.program_overhead_us = 10.0;
+
+  serve::LoadConfig load_base;
+  load_base.users = 8;
+  load_base.deadline_us = 500.0;
+  load_base.problem.users = 8;
+  load_base.problem.mod = wireless::Modulation::kBpsk;
+  load_base.problem.kind = wireless::ChannelKind::kRandomPhase;
+  load_base.problem.snr_db = std::nullopt;
+
+  {
+    serve::DecodeService probe(base);
+    std::printf(
+        "\nwave service time = %.1f us (overhead + anneals); chip capacity "
+        "for shape 8 = %zu jobs/wave\n",
+        probe.wave_service_us(), probe.wave_capacity(8));
+  }
+
+  struct Point {
+    double offered = 0.0;
+    double achieved = 0.0;
+    double goodput = 0.0;
+    double miss_rate = 0.0;
+    double occupancy = 0.0;
+  };
+  std::vector<std::vector<Point>> curves(2);
+  std::size_t smoke_misses = 0;
+
+  for (const bool packing : {false, true}) {
+    std::printf("\n=== wave packing %s ===\n", packing ? "ENABLED" : "DISABLED");
+    sim::print_columns({"offered j/ms", "achieved j/ms", "goodput j/ms",
+                        "miss rate", "occupancy", "p50 us", "p99 us"});
+    for (const double offered : loads) {
+      serve::LoadConfig load_cfg = load_base;
+      load_cfg.offered_load_jobs_per_ms = offered;
+      // One seed for the whole sweep: instances depend only on the job
+      // index, so every (mode, load) point decodes the same channel uses —
+      // a paired comparison.
+      serve::LoadGenerator generator(load_cfg, 0xB5E0);
+
+      serve::ServiceConfig cfg = base;
+      cfg.packing = packing;
+      serve::DecodeService service(cfg);
+      const serve::ServiceReport report =
+          service.run(generator.open_loop(jobs_per_point));
+
+      const serve::LatencySummary total = report.stats.total();
+      sim::print_row({sim::fmt_double(offered, 1),
+                      sim::fmt_double(report.stats.achieved_jobs_per_ms(), 1),
+                      sim::fmt_double(report.stats.goodput_jobs_per_ms(), 1),
+                      sim::fmt_double(report.stats.miss_rate(), 4),
+                      sim::fmt_double(report.stats.mean_wave_occupancy(), 2),
+                      sim::fmt_us(total.p50_us), sim::fmt_us(total.p99_us)});
+      curves[packing ? 1 : 0].push_back(
+          Point{offered, report.stats.achieved_jobs_per_ms(),
+                report.stats.goodput_jobs_per_ms(), report.stats.miss_rate(),
+                report.stats.mean_wave_occupancy()});
+      smoke_misses += report.stats.misses();
+      if (smoke) {
+        std::printf("\nServiceStats digest (packing %s):\n%s",
+                    packing ? "on" : "off", report.stats.digest().c_str());
+      }
+    }
+  }
+
+  if (smoke) {
+    if (smoke_misses != 0) {
+      std::fprintf(stderr,
+                   "SMOKE FAILURE: %zu deadline misses at trivial load\n",
+                   smoke_misses);
+      return 1;
+    }
+    std::printf("\nsmoke OK: zero deadline misses at trivial load\n");
+    return 0;
+  }
+
+  // Sustained load: the largest offered load holding miss rate <= 1%.
+  const auto sustained = [](const std::vector<Point>& curve) {
+    const Point* best = nullptr;
+    for (const Point& p : curve)
+      if (p.miss_rate <= 0.01 && (best == nullptr || p.offered > best->offered))
+        best = &p;
+    return best;
+  };
+  const Point* unpacked = sustained(curves[0]);
+  const Point* packed = sustained(curves[1]);
+  if (unpacked == nullptr || packed == nullptr) {
+    std::fprintf(stderr, "no sustained point found for one of the modes\n");
+    return 1;
+  }
+  const double gain = packed->goodput / unpacked->goodput;
+  std::printf(
+      "\nsustained (miss rate <= 1%%): unpacked %.1f j/ms @ offered %.1f; "
+      "packed %.1f j/ms @ offered %.1f\n",
+      unpacked->goodput, unpacked->offered, packed->goodput, packed->offered);
+  std::printf("wave-packing throughput gain at fixed miss rate: %.2fx %s\n",
+              gain, gain >= 2.0 ? "(acceptance: >= 2x, PASS)"
+                                : "(acceptance: >= 2x, FAIL)");
+  return gain >= 2.0 ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Walkthrough: a centralized-RAN decode service on measured-like traffic
+// (paper §2 deployment story + §5.5 trace evaluation, served end to end).
+//
+// A base-station cluster submits one QPSK detection job per user per LTE
+// subframe, with channels drawn from the synthetic Argos-like 96-antenna
+// trace campaign.  One modeled QA device decodes the cluster: jobs queue,
+// the first-fit packer merges same-shape jobs into chip waves, and every
+// job's queueing/service/total latency is scored against a HARQ-style
+// deadline.  The run then repeats with packing disabled to show what §4
+// parallelization buys a serving system.
+//
+// All output derives from the virtual clock + counter-derived streams:
+// re-running at any --threads / --replicas setting prints identical text.
+
+#include <cstdio>
+#include <vector>
+
+#include "quamax/serve/load_gen.hpp"
+#include "quamax/serve/service.hpp"
+#include "quamax/sim/report.hpp"
+#include "quamax/sim/runner.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t threads = quamax::sim::cli_threads(argc, argv);
+  const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
+  using namespace quamax;
+
+  const std::size_t num_jobs = sim::scaled(160);
+  sim::print_banner("C-RAN decode service walkthrough",
+                    "serve subsystem on trace-driven subframe traffic",
+                    "8 users x QPSK over Argos-like traces, " +
+                        std::to_string(num_jobs) + " jobs, 1 ms subframes");
+
+  // Traffic: one job per user per 1 ms subframe, channels from the trace
+  // campaign, 600 us decode deadline (a HARQ-tight budget).
+  serve::LoadConfig load;
+  load.arrivals = serve::ArrivalKind::kSubframe;
+  load.subframe_period_us = 1000.0;
+  load.users = 8;
+  load.deadline_us = 600.0;
+  load.trace_channels = true;
+  load.trace_pick = 8;
+  load.trace_mod = wireless::Modulation::kQpsk;
+
+  // Service: the paper's 2000Q-like chip, 1 us anneals, 40 anneals per wave.
+  serve::ServiceConfig cfg;
+  cfg.annealer.schedule.anneal_time_us = 1.0;
+  cfg.annealer.batch_replicas = replicas;
+  cfg.annealer.embed.improved_range = true;  // §5.5 trace setting
+  cfg.num_anneals = sim::scaled(40);
+  cfg.num_threads = threads;
+  cfg.program_overhead_us = 10.0;
+
+  for (const bool packing : {true, false}) {
+    cfg.packing = packing;
+    serve::DecodeService service(cfg);
+    serve::LoadGenerator generator(load, 0xA2905);
+    const serve::ServiceReport report =
+        service.run(generator.open_loop(num_jobs));
+
+    std::printf("\n=== packing %s ===\n", packing ? "ON" : "OFF");
+    std::printf("capacity for QPSK shape %zu: %zu jobs/wave; wave service %.1f us\n",
+                std::size_t{16}, service.wave_capacity(16),
+                service.wave_service_us());
+    std::printf("%s", report.stats.digest().c_str());
+
+    if (packing) {
+      std::printf("\nfirst subframe, job by job:\n");
+      sim::print_columns(
+          {"job", "user", "arrive us", "dispatch us", "done us", "wave", "errs"});
+      for (std::size_t j = 0; j < std::min<std::size_t>(8, report.jobs.size());
+           ++j) {
+        const serve::JobRecord& rec = report.jobs[j];
+        sim::print_row({sim::fmt_count(rec.job_id), sim::fmt_count(rec.user),
+                        sim::fmt_us(rec.arrival_us), sim::fmt_us(rec.dispatch_us),
+                        sim::fmt_us(rec.completion_us),
+                        sim::fmt_count(rec.wave_id),
+                        sim::fmt_count(rec.bit_errors)});
+      }
+    }
+  }
+
+  std::printf(
+      "\nReading: with packing ON, the 8 users of each subframe share one\n"
+      "chip wave, so the whole cluster decodes in one anneal batch and the\n"
+      "deadline holds with a wide margin; with packing OFF each job queues\n"
+      "behind its neighbors' full service times — the §4 parallelization is\n"
+      "what makes one annealer a plausible cluster-scale decode appliance.\n");
+  return 0;
+}

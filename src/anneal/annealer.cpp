@@ -43,6 +43,15 @@ ChimeraAnnealer::ChimeraAnnealer(AnnealerConfig config)
   require(config.chip_defects == 0 || config.chip_shore == 4,
           "ChimeraAnnealer: defect masks are modeled for the shore-4 chip");
   config_.schedule.validate();
+  embeddings_ = std::make_shared<chimera::EmbeddingCache>(graph_);
+}
+
+void ChimeraAnnealer::set_embedding_cache(
+    std::shared_ptr<chimera::EmbeddingCache> cache) {
+  require(cache != nullptr, "set_embedding_cache: null cache");
+  require(cache->graph().same_topology(graph_),
+          "set_embedding_cache: cache was compiled for a different chip");
+  embeddings_ = std::move(cache);
 }
 
 core::ParallelBatchSampler& ChimeraAnnealer::batch() {
@@ -69,15 +78,10 @@ std::vector<qubo::SpinVec> ChimeraAnnealer::sample(const qubo::IsingModel& probl
                                                    Rng& rng) {
   require(num_anneals >= 1, "ChimeraAnnealer::sample: need at least one anneal");
 
-  auto it = embedding_cache_.find(problem.num_spins());
-  if (it == embedding_cache_.end()) {
-    it = embedding_cache_
-             .emplace(problem.num_spins(),
-                      chimera::find_clique_embedding(problem.num_spins(), graph_))
-             .first;
-  }
+  const std::shared_ptr<const chimera::Embedding> embedding =
+      embeddings_->clique(problem.num_spins());
   const chimera::EmbeddedProblem embedded =
-      chimera::embed(problem, it->second, graph_, config_.embed);
+      chimera::embed(problem, *embedding, graph_, config_.embed);
 
   SaEngine engine(embedded.physical);
   // Chain-collective moves: the classical counterpart of the annealer's
@@ -114,12 +118,22 @@ std::vector<qubo::SpinVec> ChimeraAnnealer::sample(const qubo::IsingModel& probl
   batch().run_blocks(
       num_anneals, config_.batch_replicas, rng,
       [&](std::size_t begin, std::vector<Rng>& streams) {
-        // Lane-local scratch: every element is overwritten per block, so
-        // reuse across blocks is safe and keeps the hot loop allocation-free.
-        thread_local std::vector<double> fields, couplings, f1, c1;
-        perturb_replica_blocks(ice, engine, streams, fields, couplings, f1, c1);
-        const std::vector<qubo::SpinVec> physical =
-            engine.anneal_batch_with(betas, fields, couplings, streams, initial);
+        std::vector<qubo::SpinVec> physical;
+        if (ice.enabled) {
+          // Lane-local scratch: every element is overwritten per block, so
+          // reuse across blocks is safe and keeps the hot loop
+          // allocation-free.
+          thread_local std::vector<double> fields, couplings, f1, c1;
+          perturb_replica_blocks(ice, engine, streams, fields, couplings, f1,
+                                 c1);
+          physical =
+              engine.anneal_batch_with(betas, fields, couplings, streams, initial);
+        } else {
+          // ICE off: disabled perturbation copies the base arrays and draws
+          // no RNG, so the shared-coefficient fast path is bit-identical
+          // while skipping the O(R*(N+M)) block copies.
+          physical = engine.anneal_batch(betas, streams, initial);
+        }
         for (std::size_t j = 0; j < streams.size(); ++j)
           raw[begin + j] = chimera::unembed(physical[j], embedded, streams[j],
                                             &broken[begin + j]);
@@ -151,8 +165,12 @@ std::vector<std::vector<qubo::SpinVec>> ChimeraAnnealer::sample_batch(
   require(!config_.schedule.reverse,
           "sample_batch: reverse annealing is single-problem only");
 
-  const std::vector<chimera::Embedding> slots =
-      chimera::find_parallel_embeddings(n, problems.size(), graph_);
+  // Placements come from the shape-keyed cache at full chip capacity; a
+  // prefix of the maximal tiling equals what a smaller compilation would
+  // return, so only min(capacity, wave size) slots are used per wave.
+  const std::shared_ptr<const std::vector<chimera::Embedding>> slots_all =
+      embeddings_->parallel(n);
+  const std::size_t num_slots = std::min(slots_all->size(), problems.size());
   const std::vector<double> betas = config_.schedule.betas();
 
   IceConfig ice = config_.ice;
@@ -161,17 +179,20 @@ std::vector<std::vector<qubo::SpinVec>> ChimeraAnnealer::sample_batch(
 
   std::vector<std::vector<qubo::SpinVec>> results(problems.size());
 
-  // Process the problems in waves of |slots| instances per chip anneal.
+  // Process the problems in waves of `num_slots` instances per chip anneal.
   for (std::size_t wave_start = 0; wave_start < problems.size();
-       wave_start += slots.size()) {
+       wave_start += num_slots) {
     const std::size_t wave_size =
-        std::min(slots.size(), problems.size() - wave_start);
+        std::min(num_slots, problems.size() - wave_start);
 
-    // Compile every slot and merge into one chip-wide Ising problem.
-    std::vector<chimera::EmbeddedProblem> embedded;
-    for (std::size_t s = 0; s < wave_size; ++s)
-      embedded.push_back(chimera::embed(*problems[wave_start + s], slots[s],
-                                        graph_, config_.embed));
+    // Compile every slot (fanned across the batch runtime: each slot's
+    // compilation is a pure function of its problem and placement, written
+    // to a per-index slot) and merge into one chip-wide Ising problem.
+    std::vector<chimera::EmbeddedProblem> embedded(wave_size);
+    batch().for_each(wave_size, [&](std::size_t s) {
+      embedded[s] = chimera::embed(*problems[wave_start + s], (*slots_all)[s],
+                                   graph_, config_.embed);
+    });
     const chimera::MergedWave wave = chimera::merge_embedded(embedded);
 
     SaEngine engine(wave.physical);
@@ -185,11 +206,16 @@ std::vector<std::vector<qubo::SpinVec>> ChimeraAnnealer::sample_batch(
     batch().run_blocks(
         num_anneals, config_.batch_replicas, rng,
         [&](std::size_t begin, std::vector<Rng>& streams) {
-          thread_local std::vector<double> fields, couplings, f1, c1;
-          perturb_replica_blocks(ice, engine, streams, fields, couplings, f1,
-                                 c1);
-          const std::vector<qubo::SpinVec> physical =
-              engine.anneal_batch_with(betas, fields, couplings, streams);
+          std::vector<qubo::SpinVec> physical;
+          if (ice.enabled) {
+            thread_local std::vector<double> fields, couplings, f1, c1;
+            perturb_replica_blocks(ice, engine, streams, fields, couplings, f1,
+                                   c1);
+            physical = engine.anneal_batch_with(betas, fields, couplings, streams);
+          } else {
+            // Same fast-path equivalence as sample() above.
+            physical = engine.anneal_batch(betas, streams);
+          }
           qubo::SpinVec slice;
           for (std::size_t j = 0; j < streams.size(); ++j) {
             for (std::size_t s = 0; s < wave_size; ++s) {

@@ -16,7 +16,6 @@
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <memory>
 #include <optional>
 
@@ -24,6 +23,7 @@
 #include "quamax/anneal/sa_engine.hpp"
 #include "quamax/anneal/schedule.hpp"
 #include "quamax/chimera/embedding.hpp"
+#include "quamax/chimera/embedding_cache.hpp"
 #include "quamax/chimera/graph.hpp"
 #include "quamax/core/parallel_sampler.hpp"
 #include "quamax/core/sampler.hpp"
@@ -94,6 +94,18 @@ class ChimeraAnnealer final : public core::IsingSampler {
   /// without discarding the cached embeddings.
   void set_config(const AnnealerConfig& config);
 
+  /// Shares a shape-keyed embedding cache with this annealer (placements
+  /// only — coefficients are compiled per problem).  The cache's graph must
+  /// have the same topology as this annealer's chip.  serve::DecodeService
+  /// wires one cache into every worker so a fleet of annealers compiles each
+  /// problem shape once; by default each annealer owns a private cache.
+  void set_embedding_cache(std::shared_ptr<chimera::EmbeddingCache> cache);
+
+  /// The active embedding cache (never null).
+  const std::shared_ptr<chimera::EmbeddingCache>& embedding_cache() const noexcept {
+    return embeddings_;
+  }
+
   /// Fraction of chains broken (non-unanimous) across the last sample()
   /// call — the embedding-health diagnostic used when tuning |J_F|.
   double last_broken_chain_fraction() const noexcept {
@@ -114,7 +126,7 @@ class ChimeraAnnealer final : public core::IsingSampler {
 
   AnnealerConfig config_;
   chimera::ChimeraGraph graph_;
-  std::map<std::size_t, chimera::Embedding> embedding_cache_;
+  std::shared_ptr<chimera::EmbeddingCache> embeddings_;
   std::optional<qubo::SpinVec> initial_state_;
   double last_broken_chain_fraction_ = 0.0;
   std::unique_ptr<core::ParallelBatchSampler> batch_;

@@ -126,11 +126,16 @@ class SaEngine {
     std::vector<std::uint32_t> internal_edges;  ///< coupling ids inside the group
   };
 
-  /// The batched sweep kernel behind every public entry point.  `fields_il`
-  /// and `couplings_il` are replica-interleaved (entry index*R + r), `rngs`
-  /// points at R generator pointers, and the result is written replica-
-  /// interleaved into `spins_il` (R*num_spins() entries).  For R == 1 the
-  /// interleaved layout degenerates to the plain scalar arrays.
+  /// The batched sweep kernel behind every public entry point.  With
+  /// SharedCoeffs == false, `fields_il` and `couplings_il` are replica-
+  /// interleaved (entry index*R + r); with SharedCoeffs == true they are the
+  /// plain flat arrays (num_spins() / num_couplings() entries) read by every
+  /// replica — the ICE-off fast path that skips the O(R*(N+M)) broadcast
+  /// copy per call.  `rngs` points at R generator pointers, and the result
+  /// is written replica-interleaved into `spins_il` (R*num_spins() entries).
+  /// For R == 1 the interleaved layout degenerates to the plain scalar
+  /// arrays, so the scalar entry points use SharedCoeffs == false.
+  template <bool SharedCoeffs>
   void run_batch_kernel(std::size_t num_replicas,
                         const std::vector<double>& betas,
                         const double* fields_il, const double* couplings_il,

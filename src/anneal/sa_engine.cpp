@@ -56,14 +56,20 @@ void SaEngine::set_groups(std::vector<std::vector<std::uint32_t>> groups) {
   }
 }
 
-// The batched sweep kernel.  Every array is replica-interleaved (entry
-// index*R + r) so that at a fixed spin/edge the R replica values are
-// contiguous: the CSR row indices are loaded once per spin for ALL replicas
-// and the per-replica inner loops run over adjacent memory.  Bit-identity
-// with the scalar path is preserved by (a) drawing replica r's randomness
-// only from rngs[r], under exactly the scalar path's conditions and order,
-// and (b) performing each replica's floating-point accumulations in the
-// scalar path's order (edges within a CSR row, members within a group).
+// The batched sweep kernel.  State arrays (spins, local fields) are
+// replica-interleaved (entry index*R + r) so that at a fixed spin/edge the R
+// replica values are contiguous: the CSR row indices are loaded once per
+// spin for ALL replicas and the per-replica inner loops run over adjacent
+// memory.  Coefficients are replica-interleaved too (the ICE path, one
+// perturbed realization per replica) unless SharedCoeffs, in which case all
+// replicas read the same flat base arrays — identical values, so the two
+// modes are bit-identical whenever the per-replica blocks are copies of the
+// base arrays.  Bit-identity with the scalar path is preserved by (a)
+// drawing replica r's randomness only from rngs[r], under exactly the
+// scalar path's conditions and order, and (b) performing each replica's
+// floating-point accumulations in the scalar path's order (edges within a
+// CSR row, members within a group).
+template <bool SharedCoeffs>
 void SaEngine::run_batch_kernel(std::size_t num_replicas,
                                 const std::vector<double>& betas,
                                 const double* fields_il,
@@ -99,12 +105,19 @@ void SaEngine::run_batch_kernel(std::size_t num_replicas,
     const std::uint32_t end = row_offset_[i + 1];
     for (std::size_t r = 0; r < R; ++r) acc[r] = 0.0;
     for (std::uint32_t e = begin; e < end; ++e) {
-      const double* ce = couplings_il + std::size_t{coupling_index_[e]} * R;
       const std::int8_t* sn = spins_il + std::size_t{neighbor_[e]} * R;
-      for (std::size_t r = 0; r < R; ++r) acc[r] += ce[r] * sn[r];
+      if constexpr (SharedCoeffs) {
+        const double c = couplings_il[coupling_index_[e]];
+        for (std::size_t r = 0; r < R; ++r) acc[r] += c * sn[r];
+      } else {
+        const double* ce = couplings_il + std::size_t{coupling_index_[e]} * R;
+        for (std::size_t r = 0; r < R; ++r) acc[r] += ce[r] * sn[r];
+      }
     }
+    const double* fi =
+        SharedCoeffs ? fields_il + i : fields_il + i * R;
     for (std::size_t r = 0; r < R; ++r)
-      hloc[i * R + r] = fields_il[i * R + r] + acc[r];
+      hloc[i * R + r] = fi[SharedCoeffs ? 0 : r] + acc[r];
   }
 
   // Exact bookkeeping for flipping spin i of the replicas in
@@ -125,14 +138,19 @@ void SaEngine::run_batch_kernel(std::size_t num_replicas,
     const std::int8_t* si = spins_il + base;
     for (std::uint32_t e = begin; e < end; ++e) {
       double* hn = hloc.data() + std::size_t{neighbor_[e]} * R;
-      const double* ce = couplings_il + std::size_t{coupling_index_[e]} * R;
+      const auto coeff = [&](std::size_t r) {
+        if constexpr (SharedCoeffs)
+          return couplings_il[coupling_index_[e]];
+        else
+          return couplings_il[std::size_t{coupling_index_[e]} * R + r];
+      };
       if (num_flipped == R) {
         for (std::size_t r = 0; r < R; ++r)
-          hn[r] += 2.0 * ce[r] * static_cast<double>(si[r]);
+          hn[r] += 2.0 * coeff(r) * static_cast<double>(si[r]);
       } else {
         for (std::size_t k = 0; k < num_flipped; ++k) {
           const std::uint32_t r = flipped[k];
-          hn[r] += 2.0 * ce[r] * static_cast<double>(si[r]);
+          hn[r] += 2.0 * coeff(r) * static_cast<double>(si[r]);
         }
       }
     }
@@ -178,12 +196,19 @@ void SaEngine::run_batch_kernel(std::size_t num_replicas,
       }
       for (std::size_t r = 0; r < R; ++r) sum_internal[r] = 0.0;
       for (const std::uint32_t e : group.internal_edges) {
-        const double* ce = couplings_il + std::size_t{e} * R;
         const std::int8_t* si = spins_il + std::size_t{edge_i_[e]} * R;
         const std::int8_t* sj = spins_il + std::size_t{edge_j_[e]} * R;
-        for (std::size_t r = 0; r < R; ++r)
-          sum_internal[r] += ce[r] * static_cast<double>(si[r]) *
-                             static_cast<double>(sj[r]);
+        if constexpr (SharedCoeffs) {
+          const double c = couplings_il[e];
+          for (std::size_t r = 0; r < R; ++r)
+            sum_internal[r] += c * static_cast<double>(si[r]) *
+                               static_cast<double>(sj[r]);
+        } else {
+          const double* ce = couplings_il + std::size_t{e} * R;
+          for (std::size_t r = 0; r < R; ++r)
+            sum_internal[r] += ce[r] * static_cast<double>(si[r]) *
+                               static_cast<double>(sj[r]);
+        }
       }
       std::size_t num_flipped = 0;
       for (std::size_t r = 0; r < R; ++r) {
@@ -224,32 +249,41 @@ std::vector<qubo::SpinVec> SaEngine::batch_dispatch(
   if (R == 1) {
     // Scalar specialization: interleaved and flat layouts coincide, so the
     // caller's arrays feed the kernel directly.
-    run_batch_kernel(1, betas, fields_rm, couplings_rm, rng_ptrs.data(),
-                     initial, result.front().data());
+    run_batch_kernel<false>(1, betas, fields_rm, couplings_rm, rng_ptrs.data(),
+                            initial, result.front().data());
     return result;
-  }
-
-  // Transpose the replica-major coefficient blocks (or broadcast the shared
-  // base arrays) into the kernel's replica-interleaved layout.  O(R*(N+M))
-  // once per batch — negligible against the sweep loop.  thread_local for
-  // the same reason as the kernel scratch: the per-lane sampling loops call
-  // this once per block and every element is overwritten.
-  thread_local std::vector<double> fields_il;
-  thread_local std::vector<double> couplings_il;
-  fields_il.resize(n * R);
-  couplings_il.resize(m * R);
-  for (std::size_t r = 0; r < R; ++r) {
-    const double* fsrc = replicated_coefficients ? fields_rm + r * n : fields_rm;
-    const double* csrc =
-        replicated_coefficients ? couplings_rm + r * m : couplings_rm;
-    for (std::size_t i = 0; i < n; ++i) fields_il[i * R + r] = fsrc[i];
-    for (std::size_t e = 0; e < m; ++e) couplings_il[e * R + r] = csrc[e];
   }
 
   thread_local std::vector<std::int8_t> spins_il;
   spins_il.resize(n * R);
-  run_batch_kernel(R, betas, fields_il.data(), couplings_il.data(),
-                   rng_ptrs.data(), initial, spins_il.data());
+
+  if (!replicated_coefficients) {
+    // Shared-coefficient fast path (the ICE-off workload): every replica
+    // reads the same flat base arrays, so the O(R*(N+M)) broadcast into the
+    // interleaved layout is skipped entirely.  Values are identical, so the
+    // result stays bit-identical to the interleaved path.
+    run_batch_kernel<true>(R, betas, fields_rm, couplings_rm, rng_ptrs.data(),
+                           initial, spins_il.data());
+  } else {
+    // Transpose the replica-major coefficient blocks into the kernel's
+    // replica-interleaved layout.  O(R*(N+M)) once per batch — negligible
+    // against the sweep loop.  thread_local for the same reason as the
+    // kernel scratch: the per-lane sampling loops call this once per block
+    // and every element is overwritten.
+    thread_local std::vector<double> fields_il;
+    thread_local std::vector<double> couplings_il;
+    fields_il.resize(n * R);
+    couplings_il.resize(m * R);
+    for (std::size_t r = 0; r < R; ++r) {
+      const double* fsrc = fields_rm + r * n;
+      const double* csrc = couplings_rm + r * m;
+      for (std::size_t i = 0; i < n; ++i) fields_il[i * R + r] = fsrc[i];
+      for (std::size_t e = 0; e < m; ++e) couplings_il[e * R + r] = csrc[e];
+    }
+    run_batch_kernel<false>(R, betas, fields_il.data(), couplings_il.data(),
+                            rng_ptrs.data(), initial, spins_il.data());
+  }
+
   for (std::size_t r = 0; r < R; ++r)
     for (std::size_t i = 0; i < n; ++i) result[r][i] = spins_il[i * R + r];
   return result;
@@ -266,8 +300,8 @@ qubo::SpinVec SaEngine::anneal_with(const std::vector<double>& betas,
           "SaEngine::anneal_with: coupling array size mismatch");
   qubo::SpinVec spins(num_spins());
   Rng* rng_ptr = &rng;
-  run_batch_kernel(1, betas, fields.data(), couplings.data(), &rng_ptr,
-                   initial, spins.data());
+  run_batch_kernel<false>(1, betas, fields.data(), couplings.data(), &rng_ptr,
+                          initial, spins.data());
   return spins;
 }
 

@@ -1,0 +1,31 @@
+#include "quamax/chimera/embedding_cache.hpp"
+
+namespace quamax::chimera {
+
+std::shared_ptr<const Embedding> EmbeddingCache::clique(std::size_t num_logical) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = clique_[num_logical];
+  if (slot == nullptr)
+    slot = std::make_shared<const Embedding>(
+        find_clique_embedding(num_logical, graph_));
+  return slot;
+}
+
+std::shared_ptr<const std::vector<Embedding>> EmbeddingCache::parallel(
+    std::size_t num_logical) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = parallel_[num_logical];
+  if (slot == nullptr) {
+    // num_qubits() over-counts any possible placement count, so the search
+    // returns every slot the tiling yields — the chip's true capacity.
+    slot = std::make_shared<const std::vector<Embedding>>(
+        find_parallel_embeddings(num_logical, graph_.num_qubits(), graph_));
+  }
+  return slot;
+}
+
+std::size_t EmbeddingCache::capacity(std::size_t num_logical) {
+  return parallel(num_logical)->size();
+}
+
+}  // namespace quamax::chimera

@@ -1,0 +1,61 @@
+// Shape-keyed cache of compiled Chimera embeddings.
+//
+// Embedding compilation (the placement search of find_clique_embedding /
+// find_parallel_embeddings) depends only on the problem SHAPE — its logical
+// variable count — and the chip graph, never on the problem's coefficients.
+// A C-RAN decode service repeats the same handful of shapes (one per
+// modulation x user-count combination) millions of times, so the placements
+// are computed once and shared: by all worker lanes of serve::DecodeService,
+// and by every ChimeraAnnealer wired to the same cache
+// (ChimeraAnnealer::set_embedding_cache).
+//
+// Thread safety: all lookup methods are safe for concurrent callers.  Cached
+// values are immutable and returned as shared_ptr-to-const, so a reference
+// obtained by one lane stays valid while other lanes insert new shapes.
+// Compilation happens under the cache lock — the first caller of a shape
+// pays it, everyone after hits the table.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "quamax/chimera/embedding.hpp"
+#include "quamax/chimera/graph.hpp"
+
+namespace quamax::chimera {
+
+class EmbeddingCache {
+ public:
+  /// Binds the cache to (a copy of) the chip graph all placements target.
+  /// Sharing a cache between annealers requires identical topologies —
+  /// ChimeraGraph::same_topology — which set_embedding_cache enforces.
+  explicit EmbeddingCache(ChimeraGraph graph) : graph_(std::move(graph)) {}
+
+  /// The chip graph the cached placements were compiled for.
+  const ChimeraGraph& graph() const noexcept { return graph_; }
+
+  /// The single triangle clique embedding for `num_logical` variables
+  /// (find_clique_embedding).  Throws CapacityError when it does not fit.
+  std::shared_ptr<const Embedding> clique(std::size_t num_logical);
+
+  /// The maximal set of disjoint clique embeddings for `num_logical`
+  /// variables (find_parallel_embeddings at full chip capacity).  Callers
+  /// wanting fewer slots use a prefix — the tiling is deterministic, so a
+  /// prefix of the maximal set equals a smaller compilation's result.
+  std::shared_ptr<const std::vector<Embedding>> parallel(std::size_t num_logical);
+
+  /// Number of `num_logical`-variable problems one chip anneal can serve —
+  /// parallel(num_logical)->size(); the wave-packing capacity bound.
+  std::size_t capacity(std::size_t num_logical);
+
+ private:
+  ChimeraGraph graph_;
+  std::mutex mu_;
+  std::map<std::size_t, std::shared_ptr<const Embedding>> clique_;
+  std::map<std::size_t, std::shared_ptr<const std::vector<Embedding>>> parallel_;
+};
+
+}  // namespace quamax::chimera

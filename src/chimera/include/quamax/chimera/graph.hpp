@@ -65,6 +65,13 @@ class ChimeraGraph {
   };
   Coords coords(Qubit q) const;
 
+  /// True when `other` is the same chip: same grid, shore, and working-qubit
+  /// mask.  Embeddings compiled for one are valid for the other — the
+  /// compatibility requirement for sharing an EmbeddingCache.
+  bool same_topology(const ChimeraGraph& other) const noexcept {
+    return m_ == other.m_ && shore_ == other.shore_ && working_ == other.working_;
+  }
+
  private:
   bool ideal_edge(Qubit a, Qubit b) const;
 

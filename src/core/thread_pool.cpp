@@ -75,7 +75,11 @@ void ThreadPool::parallel_for_lanes(
     std::size_t count, const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
   if (workers_.empty()) {
-    // Serial pool: run inline, exceptions propagate directly.
+    // Serial pool: run inline, exceptions propagate directly.  The submit
+    // lock is still required — concurrent callers of a 1-lane pool would
+    // otherwise both execute as lane 0, breaking the header's guarantee
+    // that each lane value is held by exactly one thread at a time.
+    std::lock_guard<std::mutex> submit(submit_mu_);
     for (std::size_t i = 0; i < count; ++i) body(0, i);
     return;
   }

@@ -26,6 +26,11 @@
 
 namespace quamax::metrics {
 
+/// Absolute tolerance for "this sampled energy reaches the reference
+/// energy" — the ground-state test behind p0 (and serve's ground_state_rate,
+/// which must agree with it on the same samples).
+inline constexpr double kEnergyTolerance = 1e-9;
+
 /// One distinct solution in energy-rank order (rank 1 = lowest energy seen).
 struct RankedSolution {
   qubo::SpinVec spins;

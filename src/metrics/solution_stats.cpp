@@ -8,11 +8,6 @@
 #include "quamax/core/transform.hpp"
 
 namespace quamax::metrics {
-namespace {
-
-constexpr double kEnergyTolerance = 1e-9;
-
-}  // namespace
 
 SolutionStats SolutionStats::build(const std::vector<qubo::SpinVec>& samples,
                                    const std::vector<double>& energies,

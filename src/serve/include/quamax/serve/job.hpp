@@ -1,0 +1,57 @@
+// Units of work for the C-RAN decode service (paper §2, §7).
+//
+// In the paper's deployment story one quantum annealer in a centralized RAN
+// serves the uplink detection load of many base stations: every (user
+// group, subframe) pair yields one ML detection problem that must be decoded
+// within a HARQ-style latency budget.  A DecodeJob is that unit — a reduced
+// detection instance plus its arrival time and absolute deadline on the
+// service's virtual clock — and a JobRecord is everything the service
+// learned about it: when it was dispatched and completed, whether the
+// deadline held, and how well the decode matched the transmitted bits.
+#pragma once
+
+#include <cstddef>
+
+#include "quamax/sim/instance.hpp"
+
+namespace quamax::serve {
+
+/// One (user stream, subframe) detection job awaiting decode.
+struct DecodeJob {
+  std::size_t id = 0;    ///< unique per service run; indexes RNG streams
+  std::size_t user = 0;  ///< originating uplink stream / base station
+  sim::Instance instance;  ///< channel use + reduced Ising problem + truth
+  double arrival_us = 0.0;   ///< release time (virtual clock, microseconds)
+  double deadline_us = 0.0;  ///< absolute completion deadline (virtual clock)
+
+  /// Problem shape — the wave-packing compatibility key: only jobs with the
+  /// same logical variable count share a chip wave.
+  std::size_t shape() const { return instance.num_vars(); }
+};
+
+/// Completion record for one job, in virtual-clock microseconds.
+struct JobRecord {
+  std::size_t job_id = 0;
+  std::size_t user = 0;
+  std::size_t wave_id = 0;  ///< wave that served it (undefined when dropped)
+  double arrival_us = 0.0;
+  double dispatch_us = 0.0;    ///< when its wave started on a device
+  double completion_us = 0.0;  ///< when its wave finished (== drop time when dropped)
+  double deadline_us = 0.0;
+  /// Admission control rejected the job at dispatch time because it could
+  /// no longer meet its deadline (ServiceConfig::drop_late); never decoded.
+  bool dropped = false;
+
+  // Decode quality (zero-initialized for dropped jobs).
+  std::size_t bit_errors = 0;  ///< decoded Gray bits vs transmitted bits
+  std::size_t num_bits = 0;    ///< bits carried by the job
+  bool ground_state = false;   ///< best sample reached the reference energy
+
+  double queueing_us() const { return dispatch_us - arrival_us; }
+  double service_us() const { return completion_us - dispatch_us; }
+  double total_us() const { return completion_us - arrival_us; }
+  /// A dropped job is a miss by definition (it never completed in time).
+  bool missed_deadline() const { return dropped || completion_us > deadline_us; }
+};
+
+}  // namespace quamax::serve

@@ -1,0 +1,100 @@
+// Deterministic load generation for the decode service.
+//
+// The ROADMAP north star is "heavy traffic from millions of users"; a
+// serving experiment is only trustworthy if the traffic is exactly
+// reproducible.  LoadGenerator therefore derives EVERY stochastic choice —
+// inter-arrival gaps, channel realizations, payload bits — from
+// counter-derived Rng streams keyed by the job index, so a (config, seed)
+// pair pins the entire workload bit-for-bit regardless of who consumes it,
+// in what order, or at what thread count.
+//
+// Two arrival processes:
+//   * kPoisson  — open-loop Poisson arrivals at offered_load_jobs_per_ms
+//     (exponential gaps; job k's gap comes from stream k);
+//   * kSubframe — LTE-style synchronized subframes: every user releases one
+//     job per subframe_period_us tick, modeling the bursty frame-aligned
+//     uplink the paper's C-RAN would actually see.
+//
+// Two instance sources:
+//   * a sim::ProblemClass (random-phase/Rayleigh channels, any modulation,
+//     optional AWGN) — job k's instance is drawn from stream k; or
+//   * the synthetic Argos-like wireless::TraceChannelModel (§5.5): the
+//     fading process advances one frame per job, so instances are produced
+//     sequentially and cached by job index to keep job(k) a pure lookup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "quamax/serve/job.hpp"
+#include "quamax/sim/instance.hpp"
+#include "quamax/wireless/trace.hpp"
+
+namespace quamax::serve {
+
+enum class ArrivalKind {
+  kPoisson,   ///< open-loop Poisson at offered_load_jobs_per_ms
+  kSubframe,  ///< one job per user per subframe_period_us tick
+};
+
+struct LoadConfig {
+  ArrivalKind arrivals = ArrivalKind::kPoisson;
+  double offered_load_jobs_per_ms = 1.0;  ///< Poisson rate (kPoisson)
+  double subframe_period_us = 1000.0;     ///< tick spacing (kSubframe)
+  std::size_t users = 8;     ///< distinct uplink streams (round-robin owners)
+  double deadline_us = 1000.0;   ///< per-job budget: deadline = arrival + this
+  double think_time_us = 0.0;    ///< closed loop: completion -> next release gap
+
+  /// Instance source: trace_channels selects the Argos-like trace campaign,
+  /// otherwise `problem` describes the random instance family.
+  bool trace_channels = false;
+  sim::ProblemClass problem{};
+  wireless::TraceConfig trace{};
+  std::size_t trace_pick = 8;  ///< antennas sampled per trace use (paper: 8 of 96)
+  wireless::Modulation trace_mod = wireless::Modulation::kBpsk;
+  /// Anchor ground energies with the Sphere Decoder on noisy instances
+  /// (classical cost per job; unnecessary for noise-free serving sweeps).
+  bool ml_oracle = false;
+};
+
+class LoadGenerator {
+ public:
+  LoadGenerator(LoadConfig config, std::uint64_t seed);
+
+  const LoadConfig& config() const noexcept { return config_; }
+
+  /// The full open-loop workload: `num_jobs` jobs with ids 0..num_jobs-1 in
+  /// arrival order, owners round-robin over `users`, deadlines at arrival +
+  /// deadline_us.  Pure in (config, seed, num_jobs).
+  std::vector<DecodeJob> open_loop(std::size_t num_jobs);
+
+  /// Job `id` for `user`, released at `release_us` — the closed-loop entry
+  /// point DecodeService::run_closed_loop drives.  Instances are keyed by
+  /// `id` alone, so the job content is independent of the release time the
+  /// service's feedback loop produces.  Trace-mode instances are produced
+  /// sequentially (the fading process has state) and retained in a sliding
+  /// window of the most recent kTraceWindow ids, keeping memory bounded on
+  /// arbitrarily long serving runs; requesting an id that slid out of the
+  /// window throws InvalidArgument.
+  DecodeJob job(std::size_t id, std::size_t user, double release_us);
+
+  /// Trace-mode retention window (see job()).  Far larger than any queue a
+  /// service run sustains — the service consumes ids almost in order.
+  static constexpr std::size_t kTraceWindow = 4096;
+
+ private:
+  sim::Instance instance_for(std::size_t id);
+
+  LoadConfig config_;
+  std::uint64_t arrival_key_ = 0;
+  std::uint64_t instance_key_ = 0;
+  std::unique_ptr<wireless::TraceChannelModel> trace_model_;
+  Rng trace_rng_;
+  std::deque<sim::Instance> trace_window_;  ///< ids [trace_base_, trace_base_ + size)
+  std::size_t trace_base_ = 0;
+};
+
+}  // namespace quamax::serve

@@ -1,0 +1,80 @@
+// First-fit wave packing over the Chimera chip (paper §4, applied to
+// serving).
+//
+// One chip anneal can decode up to capacity(shape) same-shape problems at
+// once (chimera::find_parallel_embeddings' disjoint placements), so the
+// service amortizes anneals by packing queued jobs into full waves.  The
+// packer is a FIFO with first-fit shape matching: a wave is seeded by the
+// oldest pending job and filled with the oldest pending jobs of the SAME
+// shape, up to the chip's capacity for that shape.  Jobs of other shapes
+// keep their queue positions — a later wave serves them.
+//
+// The packer is deliberately pure queueing logic (indices in, indices out,
+// no time, no I/O) so tests can drive it exhaustively; DecodeService owns
+// the clock and the chip.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "quamax/chimera/embedding_cache.hpp"
+
+namespace quamax::serve {
+
+/// One chip wave: same-shape jobs decoded by a single anneal batch.
+struct Wave {
+  std::size_t id = 0;
+  std::size_t shape = 0;            ///< logical variable count of every member
+  std::vector<std::size_t> jobs;    ///< member job indices, FIFO order
+  double dispatch_us = 0.0;         ///< set by the service
+  double completion_us = 0.0;       ///< set by the service
+  std::size_t device = 0;           ///< modeled QA processor that ran it
+};
+
+class WavePacker {
+ public:
+  /// `cache` supplies per-shape chip capacities (and is shared with the
+  /// annealer workers so placements are compiled once).  `max_wave_jobs`
+  /// caps wave size below the chip capacity; 0 means chip capacity, 1
+  /// disables packing (the one-job-per-wave baseline).
+  WavePacker(std::shared_ptr<chimera::EmbeddingCache> cache,
+             std::size_t max_wave_jobs = 0);
+
+  /// Jobs one wave may carry for `shape`: chip capacity clamped by the
+  /// max_wave_jobs cap.  Throws CapacityError if the shape cannot embed.
+  std::size_t capacity(std::size_t shape);
+
+  /// Appends a job to the FIFO.
+  void enqueue(std::size_t job_index, std::size_t shape);
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Pops the next wave: the head job plus the oldest same-shape jobs, up
+  /// to capacity(shape).  Requires a non-empty queue.  The returned wave's
+  /// `jobs` preserve FIFO order; `id`/timing fields are left for the caller.
+  Wave pack_next();
+
+  /// Removes EVERY pending job for which `doomed(job_index)` holds — the
+  /// deadline-aware admission sweep — and returns the removed indices in
+  /// FIFO order.  Survivors keep their queue positions, so the sweep is
+  /// correct for heterogeneous per-job deadline budgets (a doomed job
+  /// behind a safe head is still shed).
+  std::vector<std::size_t> drop_if(
+      const std::function<bool(std::size_t)>& doomed);
+
+ private:
+  struct Pending {
+    std::size_t job = 0;
+    std::size_t shape = 0;
+  };
+
+  std::shared_ptr<chimera::EmbeddingCache> cache_;
+  std::size_t max_wave_jobs_;
+  std::deque<Pending> queue_;
+};
+
+}  // namespace quamax::serve

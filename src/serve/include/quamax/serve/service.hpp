@@ -1,0 +1,131 @@
+// quamax::serve — deadline-aware C-RAN decode service (paper §2, §7).
+//
+// The paper's deployment story is a centralized RAN where ONE annealing
+// processor absorbs the uplink detection load of many base stations,
+// amortizing anneals by §4-packing several users' problems into each chip
+// wave while HARQ-style deadlines bound per-job latency.  DecodeService
+// models that serving loop end to end:
+//
+//   arrivals ──► FIFO queue ──► WavePacker (first-fit, shape-keyed) ──►
+//   modeled QA devices (virtual clock) ──► ChimeraAnnealer workers on a
+//   core::ThreadPool (real compute) ──► unembed + decode ──► ServiceStats
+//
+// Two clocks, strictly separated:
+//
+//   * The VIRTUAL clock drives every latency number.  Job arrivals,
+//     dispatches, and completions advance a discrete-event timeline where a
+//     wave occupies one of `num_devices` modeled QA processors for
+//     program_overhead_us + num_anneals * (T_a + T_p) microseconds — the
+//     figure the paper charges per anneal batch.  The timeline is computed
+//     serially and is a pure function of (config, jobs), so queueing /
+//     service / total latencies and the deadline-miss rate are EXACTLY
+//     reproducible.
+//
+//   * The WALL clock only pays for the decode compute: after the timeline
+//     fixes each wave's membership, the waves fan out across a ThreadPool of
+//     lane-local ChimeraAnnealer workers (sharing one shape-keyed
+//     EmbeddingCache) that actually anneal, unembed, and decode bits.  Wave
+//     w draws all randomness from the counter-derived stream
+//     Rng::for_stream(key, w), so decode results — and therefore the full
+//     ServiceReport — are bit-identical at ANY num_threads setting
+//     (tests/serve_test.cpp enforces this).
+//
+// This is the substrate every scaling follow-on (multi-chip sharding, async
+// backends, admission policies) plugs into.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "quamax/anneal/annealer.hpp"
+#include "quamax/chimera/embedding_cache.hpp"
+#include "quamax/serve/job.hpp"
+#include "quamax/serve/load_gen.hpp"
+#include "quamax/serve/packer.hpp"
+#include "quamax/serve/stats.hpp"
+
+namespace quamax::serve {
+
+struct ServiceConfig {
+  /// Chip, schedule, ICE, and replica configuration of every worker.  The
+  /// worker's own num_threads is forced to 1 — the service parallelizes
+  /// across waves, not inside them.
+  anneal::AnnealerConfig annealer;
+  std::size_t num_anneals = 50;  ///< N_a per wave (every member shares it)
+  /// Modeled QA processors serving waves on the VIRTUAL clock.  This is
+  /// capacity the latency model charges for — independent of num_threads,
+  /// which only accelerates the wall-clock compute.
+  std::size_t num_devices = 1;
+  /// Compute lanes for wave execution (0 = one per hardware thread).
+  /// Results are bit-identical at any setting.
+  std::size_t num_threads = 1;
+  /// Wave packing on (first-fit up to chip capacity) or off (one job per
+  /// wave — the unamortized baseline bench_serve_load compares against).
+  bool packing = true;
+  std::size_t max_wave_jobs = 0;  ///< extra cap below chip capacity; 0 = none
+  /// Per-wave programming + readout overhead charged on the virtual clock
+  /// (the QPU access-time component that is not annealing).
+  double program_overhead_us = 10.0;
+  /// Admission control: at each dispatch instant, drop queued head jobs
+  /// whose deadline cannot be met even by immediate service (counted as
+  /// both drops and misses; they never consume a device).
+  bool drop_late = false;
+  std::uint64_t seed = 0xC8A17;  ///< root of all decode RNG streams
+};
+
+/// Everything a service run produced: aggregate stats, per-job records (in
+/// admission order), and the dispatched waves with their membership.
+struct ServiceReport {
+  ServiceStats stats;
+  std::vector<JobRecord> jobs;
+  std::vector<Wave> waves;
+};
+
+class DecodeService {
+ public:
+  explicit DecodeService(ServiceConfig config);
+
+  const ServiceConfig& config() const noexcept { return config_; }
+
+  /// The shape-keyed embedding cache shared by all workers (and usable by
+  /// further annealers via ChimeraAnnealer::set_embedding_cache).
+  const std::shared_ptr<chimera::EmbeddingCache>& embedding_cache() const noexcept {
+    return cache_;
+  }
+
+  /// Jobs one wave may carry for `shape` under the active packing config.
+  std::size_t wave_capacity(std::size_t shape);
+
+  /// Virtual-clock cost of one wave, any occupancy: program_overhead_us +
+  /// num_anneals * (T_a + T_p).  Occupancy-independence is the packing win.
+  double wave_service_us() const;
+
+  /// Open-loop run: serves `jobs` (any order; the service sorts by arrival)
+  /// to completion and returns the full report.
+  ServiceReport run(std::vector<DecodeJob> jobs);
+
+  /// Closed-loop run: a fixed population of generator.config().users
+  /// streams, each releasing its next job think_time_us after its previous
+  /// job's wave completes, until `num_jobs` jobs have been issued.  Arrival
+  /// times therefore FEED BACK from service latency — the closed-loop load
+  /// the bench's saturation sweeps rely on.
+  ServiceReport run_closed_loop(LoadGenerator& generator, std::size_t num_jobs);
+
+ private:
+  class ArrivalFeed;
+  class OpenLoopFeed;
+  class ClosedLoopFeed;
+
+  anneal::AnnealerConfig worker_config() const;
+  ServiceReport serve(ArrivalFeed& feed);
+  void execute_waves(const std::vector<DecodeJob>& jobs,
+                     const std::vector<Wave>& waves,
+                     std::vector<JobRecord>& records);
+
+  ServiceConfig config_;
+  std::shared_ptr<chimera::EmbeddingCache> cache_;
+};
+
+}  // namespace quamax::serve

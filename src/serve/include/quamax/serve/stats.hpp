@@ -1,0 +1,96 @@
+// Per-job latency and deadline accounting for the decode service.
+//
+// The feasibility follow-on to the paper (Kasi et al.) makes
+// throughput-per-deadline the headline metric of a QA-backed C-RAN: what
+// matters is not one problem's TTS but how many jobs per second the
+// processor sustains while holding a hard latency budget.  ServiceStats
+// aggregates exactly that: queueing / service / total latency distributions
+// (p50/p95/p99), the deadline-miss rate, decode quality, and wave occupancy
+// (the §4 packing win made visible).
+//
+// Every number is computed from virtual-clock job records, which are a pure
+// function of (config, jobs, seed) — so two runs of the same workload at
+// different thread counts produce BIT-IDENTICAL stats (tests/serve_test.cpp
+// checks digest equality property-style).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "quamax/serve/job.hpp"
+
+namespace quamax::serve {
+
+/// Latency distribution cut the way deadline SLOs are quoted.
+struct LatencySummary {
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+class ServiceStats {
+ public:
+  /// Folds one completed (or dropped) job into the aggregates.
+  void add(const JobRecord& record);
+
+  /// Folds one dispatched wave (its member count) into the occupancy stats.
+  void add_wave(std::size_t occupancy);
+
+  std::size_t jobs() const noexcept { return jobs_; }
+  std::size_t misses() const noexcept { return misses_; }
+  std::size_t drops() const noexcept { return drops_; }
+  /// Fraction of jobs that missed their deadline (drops included).
+  double miss_rate() const;
+
+  LatencySummary queueing() const;  ///< arrival -> dispatch
+  LatencySummary service() const;   ///< dispatch -> completion
+  LatencySummary total() const;     ///< arrival -> completion
+
+  std::size_t waves() const noexcept { return waves_; }
+  /// Mean jobs per wave — 1.0 with packing disabled, up to the chip
+  /// capacity when the queue keeps waves full.
+  double mean_wave_occupancy() const;
+
+  /// Aggregate decode quality over served jobs.
+  std::size_t bit_errors() const noexcept { return bit_errors_; }
+  std::size_t total_bits() const noexcept { return total_bits_; }
+  double ber() const;
+  /// Fraction of served jobs whose best sample hit the reference energy.
+  double ground_state_rate() const;
+
+  /// First arrival and last completion seen (0 before any job).
+  double first_arrival_us() const noexcept { return first_arrival_us_; }
+  double last_completion_us() const noexcept { return last_completion_us_; }
+
+  /// Served (non-dropped) jobs per millisecond of busy horizon
+  /// (first arrival -> last completion).
+  double achieved_jobs_per_ms() const;
+  /// Deadline-meeting jobs per millisecond of busy horizon — the metric the
+  /// bench_serve_load curves plot against offered load.
+  double goodput_jobs_per_ms() const;
+
+  /// Deterministic multi-line text rendering of every aggregate, suitable
+  /// for diffing runs (the CI thread-determinism smoke) and for reports.
+  std::string digest() const;
+
+ private:
+  std::size_t jobs_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t drops_ = 0;
+  std::size_t waves_ = 0;
+  std::size_t packed_jobs_ = 0;  ///< total jobs across waves
+  std::size_t bit_errors_ = 0;
+  std::size_t total_bits_ = 0;
+  std::size_t ground_states_ = 0;
+  double first_arrival_us_ = 0.0;
+  double last_completion_us_ = 0.0;
+  bool any_ = false;
+  std::vector<double> queueing_us_;
+  std::vector<double> service_us_;
+  std::vector<double> total_us_;
+};
+
+}  // namespace quamax::serve

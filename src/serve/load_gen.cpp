@@ -1,0 +1,86 @@
+#include "quamax/serve/load_gen.hpp"
+
+#include <cmath>
+
+#include "quamax/common/error.hpp"
+
+namespace quamax::serve {
+
+LoadGenerator::LoadGenerator(LoadConfig config, std::uint64_t seed)
+    : config_(config), trace_rng_(seed) {
+  require(config_.users >= 1, "LoadGenerator: need at least one user");
+  require(config_.deadline_us > 0.0, "LoadGenerator: deadline must be positive");
+  if (config_.arrivals == ArrivalKind::kPoisson)
+    require(config_.offered_load_jobs_per_ms > 0.0,
+            "LoadGenerator: offered load must be positive");
+  else
+    require(config_.subframe_period_us > 0.0,
+            "LoadGenerator: subframe period must be positive");
+
+  // Independent key families for arrivals and instances, derived from the
+  // single seed: changing the offered load must not change the channels.
+  Rng root(seed);
+  arrival_key_ = root();
+  instance_key_ = root();
+  if (config_.trace_channels)
+    trace_model_ =
+        std::make_unique<wireless::TraceChannelModel>(config_.trace, root());
+}
+
+sim::Instance LoadGenerator::instance_for(std::size_t id) {
+  if (trace_model_ == nullptr) {
+    Rng stream = Rng::for_stream(instance_key_, id);
+    return sim::make_instance(config_.problem, stream, config_.ml_oracle);
+  }
+  // The trace's Gauss-Markov fading is sequential: materialize frames up to
+  // `id` once, retaining only a sliding window of recent instances so a
+  // long serving run does not accumulate every channel use ever drawn.
+  require(id >= trace_base_,
+          "LoadGenerator: trace instance " + std::to_string(id) +
+              " slid out of the retention window");
+  while (trace_base_ + trace_window_.size() <= id) {
+    trace_model_->advance_frame();
+    trace_window_.push_back(sim::make_instance_from_use(
+        trace_model_->sample_use(config_.trace_pick, config_.trace_mod,
+                                 trace_rng_),
+        config_.ml_oracle));
+    if (trace_window_.size() > kTraceWindow) {
+      trace_window_.pop_front();
+      ++trace_base_;
+    }
+  }
+  return trace_window_[id - trace_base_];
+}
+
+std::vector<DecodeJob> LoadGenerator::open_loop(std::size_t num_jobs) {
+  std::vector<DecodeJob> jobs;
+  jobs.reserve(num_jobs);
+  double clock_us = 0.0;
+  for (std::size_t k = 0; k < num_jobs; ++k) {
+    if (config_.arrivals == ArrivalKind::kPoisson) {
+      // Exponential gap with mean 1000/lambda us, from job k's own stream:
+      // the arrival sequence is a pure prefix function — extending the run
+      // never reshuffles earlier arrivals.
+      Rng stream = Rng::for_stream(arrival_key_, k);
+      const double mean_gap_us = 1000.0 / config_.offered_load_jobs_per_ms;
+      clock_us += -mean_gap_us * std::log1p(-stream.uniform());
+    } else {
+      clock_us = static_cast<double>(k / config_.users) *
+                 config_.subframe_period_us;
+    }
+    jobs.push_back(job(k, k % config_.users, clock_us));
+  }
+  return jobs;
+}
+
+DecodeJob LoadGenerator::job(std::size_t id, std::size_t user, double release_us) {
+  DecodeJob out;
+  out.id = id;
+  out.user = user;
+  out.instance = instance_for(id);
+  out.arrival_us = release_us;
+  out.deadline_us = release_us + config_.deadline_us;
+  return out;
+}
+
+}  // namespace quamax::serve

@@ -1,0 +1,57 @@
+#include "quamax/serve/packer.hpp"
+
+#include <algorithm>
+
+#include "quamax/common/error.hpp"
+
+namespace quamax::serve {
+
+WavePacker::WavePacker(std::shared_ptr<chimera::EmbeddingCache> cache,
+                       std::size_t max_wave_jobs)
+    : cache_(std::move(cache)), max_wave_jobs_(max_wave_jobs) {
+  require(cache_ != nullptr, "WavePacker: null embedding cache");
+}
+
+std::size_t WavePacker::capacity(std::size_t shape) {
+  const std::size_t chip = cache_->capacity(shape);
+  return max_wave_jobs_ == 0 ? chip : std::min(chip, max_wave_jobs_);
+}
+
+void WavePacker::enqueue(std::size_t job_index, std::size_t shape) {
+  queue_.push_back(Pending{job_index, shape});
+}
+
+Wave WavePacker::pack_next() {
+  require(!queue_.empty(), "WavePacker::pack_next: empty queue");
+  Wave wave;
+  wave.shape = queue_.front().shape;
+  const std::size_t cap = capacity(wave.shape);
+
+  // First fit: walk the FIFO once, claiming same-shape jobs until the wave
+  // is full; everything else keeps its position.
+  std::deque<Pending> keep;
+  for (Pending& p : queue_) {
+    if (p.shape == wave.shape && wave.jobs.size() < cap)
+      wave.jobs.push_back(p.job);
+    else
+      keep.push_back(p);
+  }
+  queue_ = std::move(keep);
+  return wave;
+}
+
+std::vector<std::size_t> WavePacker::drop_if(
+    const std::function<bool(std::size_t)>& doomed) {
+  std::vector<std::size_t> dropped;
+  std::deque<Pending> keep;
+  for (const Pending& p : queue_) {
+    if (doomed(p.job))
+      dropped.push_back(p.job);
+    else
+      keep.push_back(p);
+  }
+  queue_ = std::move(keep);
+  return dropped;
+}
+
+}  // namespace quamax::serve

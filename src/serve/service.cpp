@@ -1,0 +1,314 @@
+#include "quamax/serve/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "quamax/common/error.hpp"
+#include "quamax/core/thread_pool.hpp"
+#include "quamax/core/transform.hpp"
+#include "quamax/metrics/solution_stats.hpp"
+#include "quamax/wireless/channel.hpp"
+
+namespace quamax::serve {
+namespace {
+
+/// Ground-state test sharing metrics::kEnergyTolerance, so
+/// serve::ground_state_rate and the metrics layer's p0 agree on the same
+/// samples by construction.
+bool reaches_ground(double best_energy, double ground_energy) {
+  return best_energy <= ground_energy + metrics::kEnergyTolerance;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Arrival feeds: where the event loop's jobs come from.
+
+/// The timeline engine pulls jobs through this interface so open- and
+/// closed-loop traffic share one discrete-event loop.  `empty()` means no
+/// further job will EVER be released; `next_time()` is the next release
+/// instant — +infinity when no release is scheduled YET (closed loop:
+/// every pending release is in flight until its wave's on_dispatch);
+/// `pop(index)` materializes that job (the engine stores it at `index`);
+/// `on_dispatch` tells the feed when a job's wave will complete (the
+/// closed-loop feedback edge; dropped jobs report their drop time).
+class DecodeService::ArrivalFeed {
+ public:
+  virtual ~ArrivalFeed() = default;
+  virtual bool empty() const = 0;
+  virtual double next_time() const = 0;
+  virtual DecodeJob pop(std::size_t index) = 0;
+  virtual void on_dispatch(const DecodeJob& job, double completion_us) {
+    (void)job;
+    (void)completion_us;
+  }
+};
+
+/// Pre-materialized workload sorted by arrival time.
+class DecodeService::OpenLoopFeed final : public DecodeService::ArrivalFeed {
+ public:
+  explicit OpenLoopFeed(std::vector<DecodeJob> jobs) : jobs_(std::move(jobs)) {
+    std::stable_sort(jobs_.begin(), jobs_.end(),
+                     [](const DecodeJob& a, const DecodeJob& b) {
+                       return a.arrival_us < b.arrival_us;
+                     });
+  }
+  bool empty() const override { return cursor_ >= jobs_.size(); }
+  double next_time() const override { return jobs_[cursor_].arrival_us; }
+  DecodeJob pop(std::size_t index) override {
+    (void)index;
+    return std::move(jobs_[cursor_++]);
+  }
+
+ private:
+  std::vector<DecodeJob> jobs_;
+  std::size_t cursor_ = 0;
+};
+
+/// Fixed user population; user u's next release is its previous job's wave
+/// completion plus the think time.  Release ties break on the user id, so
+/// the admission order — and with it the whole run — is deterministic.
+class DecodeService::ClosedLoopFeed final : public DecodeService::ArrivalFeed {
+ public:
+  ClosedLoopFeed(LoadGenerator& generator, std::size_t num_jobs)
+      : generator_(&generator), target_(num_jobs) {
+    for (std::size_t u = 0; u < generator.config().users; ++u)
+      releases_.emplace(0.0, u);
+  }
+  bool empty() const override { return issued_ >= target_; }
+  double next_time() const override {
+    return releases_.empty() ? std::numeric_limits<double>::infinity()
+                             : releases_.top().first;
+  }
+  DecodeJob pop(std::size_t index) override {
+    (void)index;
+    require(!releases_.empty(), "ClosedLoopFeed: no release scheduled");
+    const auto [release_us, user] = releases_.top();
+    releases_.pop();
+    return generator_->job(issued_++, user, release_us);
+  }
+  void on_dispatch(const DecodeJob& job, double completion_us) override {
+    if (issued_ < target_)
+      releases_.emplace(completion_us + generator_->config().think_time_us,
+                        job.user);
+  }
+
+ private:
+  using Release = std::pair<double, std::size_t>;  ///< (time, user)
+  LoadGenerator* generator_;
+  std::size_t target_;
+  std::size_t issued_ = 0;
+  std::priority_queue<Release, std::vector<Release>, std::greater<>> releases_;
+};
+
+// ---------------------------------------------------------------------------
+// Service.
+
+DecodeService::DecodeService(ServiceConfig config) : config_(std::move(config)) {
+  require(config_.num_devices >= 1, "DecodeService: need at least one device");
+  require(config_.num_anneals >= 1, "DecodeService: need at least one anneal");
+  require(config_.program_overhead_us >= 0.0,
+          "DecodeService: negative program overhead");
+  config_.annealer.schedule.validate();
+  require(!config_.annealer.schedule.reverse,
+          "DecodeService: reverse annealing is single-problem only");
+  // A throwaway worker builds the chip graph once; its private cache becomes
+  // the service-wide shared one.
+  cache_ = anneal::ChimeraAnnealer(worker_config()).embedding_cache();
+}
+
+anneal::AnnealerConfig DecodeService::worker_config() const {
+  anneal::AnnealerConfig cfg = config_.annealer;
+  cfg.num_threads = 1;  // the service parallelizes ACROSS waves
+  return cfg;
+}
+
+std::size_t DecodeService::wave_capacity(std::size_t shape) {
+  WavePacker packer(cache_, config_.packing ? config_.max_wave_jobs : 1);
+  return packer.capacity(shape);
+}
+
+double DecodeService::wave_service_us() const {
+  return config_.program_overhead_us +
+         static_cast<double>(config_.num_anneals) *
+             config_.annealer.schedule.duration_us();
+}
+
+ServiceReport DecodeService::run(std::vector<DecodeJob> jobs) {
+  OpenLoopFeed feed(std::move(jobs));
+  return serve(feed);
+}
+
+ServiceReport DecodeService::run_closed_loop(LoadGenerator& generator,
+                                             std::size_t num_jobs) {
+  ClosedLoopFeed feed(generator, num_jobs);
+  return serve(feed);
+}
+
+// The discrete-event timeline.  Serial and allocation-light: it decides
+// WHEN everything happens (and what each wave contains) before any compute
+// runs, which is what makes every latency number a pure function of
+// (config, workload).
+ServiceReport DecodeService::serve(ArrivalFeed& feed) {
+  ServiceReport report;
+  if (feed.empty()) return report;
+
+  WavePacker packer(cache_, config_.packing ? config_.max_wave_jobs : 1);
+  const double service_us = wave_service_us();
+
+  // Modeled QA devices: min-heap of (free time, device id); the id tie-break
+  // keeps multi-device schedules deterministic.
+  using Device = std::pair<double, std::size_t>;
+  std::priority_queue<Device, std::vector<Device>, std::greater<>> devices;
+  for (std::size_t d = 0; d < config_.num_devices; ++d) devices.emplace(0.0, d);
+
+  std::vector<DecodeJob> jobs;      // admitted jobs, admission order
+  std::vector<JobRecord> records;   // aligned with `jobs`
+  std::vector<Wave> waves;
+
+  while (!feed.empty() || !packer.empty()) {
+    auto [t_free, device] = devices.top();
+    devices.pop();
+    // An idle service jumps to the next release instant.  That instant is
+    // always finite here: with the queue drained and jobs still owed, the
+    // feed must have a release scheduled (closed loop: on_dispatch at each
+    // wave's dispatch already scheduled its members' successors).
+    if (packer.empty()) {
+      const double next_us = feed.next_time();
+      require(std::isfinite(next_us),
+              "DecodeService: idle with no scheduled release");
+      t_free = std::max(t_free, next_us);
+    }
+
+    // Admit everything released by t_free.
+    while (!feed.empty() && feed.next_time() <= t_free) {
+      DecodeJob job = feed.pop(jobs.size());
+      packer.enqueue(jobs.size(), job.shape());
+      JobRecord record;
+      record.job_id = job.id;
+      record.user = job.user;
+      record.arrival_us = job.arrival_us;
+      record.deadline_us = job.deadline_us;
+      records.push_back(record);
+      jobs.push_back(std::move(job));
+    }
+
+    // Deadline-aware admission: shed every queued job that even the
+    // earliest service this device could give it — starting at
+    // max(t_free, its arrival), since another device's admission may have
+    // queued jobs from this device's future — can no longer save.  The
+    // sweep scans the whole FIFO, so it is correct for heterogeneous
+    // per-job budgets (HARQ class mixes), not just arrival-ordered
+    // deadlines.
+    if (config_.drop_late) {
+      const std::vector<std::size_t> doomed = packer.drop_if(
+          [&](std::size_t idx) {
+            const double start_us = std::max(t_free, jobs[idx].arrival_us);
+            return jobs[idx].deadline_us < start_us + service_us;
+          });
+      for (const std::size_t idx : doomed) {
+        const double drop_us = std::max(t_free, jobs[idx].arrival_us);
+        records[idx].dropped = true;
+        records[idx].dispatch_us = drop_us;
+        records[idx].completion_us = drop_us;
+        feed.on_dispatch(jobs[idx], drop_us);
+      }
+      if (packer.empty()) {
+        devices.emplace(t_free, device);
+        continue;
+      }
+    }
+
+    Wave wave = packer.pack_next();
+    wave.id = waves.size();
+    wave.device = device;
+    // Causality under multiple devices: jobs are admitted at the admitting
+    // device's clock, which may lie in THIS device's future (e.g. this
+    // device has been idle since t=0 while another jumped to the next
+    // arrival).  A wave starts no earlier than every member's arrival.
+    wave.dispatch_us = t_free;
+    for (const std::size_t idx : wave.jobs)
+      wave.dispatch_us = std::max(wave.dispatch_us, jobs[idx].arrival_us);
+    wave.completion_us = wave.dispatch_us + service_us;
+    for (const std::size_t idx : wave.jobs) {
+      records[idx].wave_id = wave.id;
+      records[idx].dispatch_us = wave.dispatch_us;
+      records[idx].completion_us = wave.completion_us;
+      feed.on_dispatch(jobs[idx], wave.completion_us);
+    }
+    // The device idles from t_free to the (possibly later) dispatch.
+    devices.emplace(wave.completion_us, device);
+    waves.push_back(std::move(wave));
+  }
+
+  execute_waves(jobs, waves, records);
+
+  for (const JobRecord& record : records) report.stats.add(record);
+  for (const Wave& wave : waves) report.stats.add_wave(wave.jobs.size());
+  report.jobs = std::move(records);
+  report.waves = std::move(waves);
+  return report;
+}
+
+// The wall-clock phase: fan the waves across lane-local ChimeraAnnealer
+// workers.  Wave w's entire decode draws from Rng::for_stream(key, w) and
+// writes only its members' record slots, so the filled records are
+// bit-identical at any thread count regardless of which lane serves which
+// wave.
+void DecodeService::execute_waves(const std::vector<DecodeJob>& jobs,
+                                  const std::vector<Wave>& waves,
+                                  std::vector<JobRecord>& records) {
+  core::ThreadPool pool(config_.num_threads);
+  std::vector<std::unique_ptr<anneal::ChimeraAnnealer>> workers(pool.size());
+  Rng root(config_.seed);
+  const std::uint64_t key = root();
+
+  pool.parallel_for_lanes(waves.size(), [&](std::size_t lane, std::size_t w) {
+    std::unique_ptr<anneal::ChimeraAnnealer>& worker = workers[lane];
+    if (worker == nullptr) {
+      worker = std::make_unique<anneal::ChimeraAnnealer>(worker_config());
+      worker->set_embedding_cache(cache_);
+    }
+
+    const Wave& wave = waves[w];
+    std::vector<const qubo::IsingModel*> problems;
+    problems.reserve(wave.jobs.size());
+    for (const std::size_t idx : wave.jobs)
+      problems.push_back(&jobs[idx].instance.problem.ising);
+
+    Rng stream = Rng::for_stream(key, wave.id);
+    const std::vector<std::vector<qubo::SpinVec>> samples =
+        worker->sample_batch(problems, config_.num_anneals, stream);
+
+    for (std::size_t s = 0; s < wave.jobs.size(); ++s) {
+      const DecodeJob& job = jobs[wave.jobs[s]];
+      JobRecord& record = records[wave.jobs[s]];
+
+      // Best-of-N_a decode, exactly the QuAMaxDetector policy: keep the
+      // lowest-energy configuration and post-translate to Gray bits.
+      const qubo::IsingModel& ising = job.instance.problem.ising;
+      const qubo::SpinVec* best = nullptr;
+      double best_energy = 0.0;
+      for (const qubo::SpinVec& sample : samples[s]) {
+        const double energy = ising.energy(sample);
+        if (best == nullptr || energy < best_energy) {
+          best = &sample;
+          best_energy = energy;
+        }
+      }
+      const wireless::BitVec decoded = core::gray_bits_from_spins(
+          *best, job.instance.use.h.cols(), job.instance.use.mod);
+      record.bit_errors =
+          wireless::count_bit_errors(decoded, job.instance.use.tx_bits);
+      record.num_bits = job.instance.use.tx_bits.size();
+      record.ground_state =
+          reaches_ground(best_energy, job.instance.ground_energy);
+    }
+  });
+}
+
+}  // namespace quamax::serve

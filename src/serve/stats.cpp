@@ -1,0 +1,111 @@
+#include "quamax/serve/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "quamax/common/stats.hpp"
+
+namespace quamax::serve {
+namespace {
+
+LatencySummary summarize_latency(const std::vector<double>& values) {
+  LatencySummary out;
+  if (values.empty()) return out;
+  out.mean_us = mean(values);
+  out.p50_us = percentile(values, 50.0);
+  out.p95_us = percentile(values, 95.0);
+  out.p99_us = percentile(values, 99.0);
+  out.max_us = *std::max_element(values.begin(), values.end());
+  return out;
+}
+
+}  // namespace
+
+void ServiceStats::add(const JobRecord& record) {
+  ++jobs_;
+  if (record.missed_deadline()) ++misses_;
+  if (record.dropped) {
+    ++drops_;
+  } else {
+    queueing_us_.push_back(record.queueing_us());
+    service_us_.push_back(record.service_us());
+    total_us_.push_back(record.total_us());
+    bit_errors_ += record.bit_errors;
+    total_bits_ += record.num_bits;
+    if (record.ground_state) ++ground_states_;
+  }
+  if (!any_ || record.arrival_us < first_arrival_us_)
+    first_arrival_us_ = record.arrival_us;
+  last_completion_us_ = std::max(last_completion_us_, record.completion_us);
+  any_ = true;
+}
+
+void ServiceStats::add_wave(std::size_t occupancy) {
+  ++waves_;
+  packed_jobs_ += occupancy;
+}
+
+double ServiceStats::miss_rate() const {
+  return jobs_ == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(jobs_);
+}
+
+LatencySummary ServiceStats::queueing() const { return summarize_latency(queueing_us_); }
+LatencySummary ServiceStats::service() const { return summarize_latency(service_us_); }
+LatencySummary ServiceStats::total() const { return summarize_latency(total_us_); }
+
+double ServiceStats::mean_wave_occupancy() const {
+  return waves_ == 0 ? 0.0
+                     : static_cast<double>(packed_jobs_) / static_cast<double>(waves_);
+}
+
+double ServiceStats::ber() const {
+  return total_bits_ == 0
+             ? 0.0
+             : static_cast<double>(bit_errors_) / static_cast<double>(total_bits_);
+}
+
+double ServiceStats::ground_state_rate() const {
+  const std::size_t served = jobs_ - drops_;
+  return served == 0 ? 0.0
+                     : static_cast<double>(ground_states_) / static_cast<double>(served);
+}
+
+double ServiceStats::achieved_jobs_per_ms() const {
+  const double horizon_ms = (last_completion_us_ - first_arrival_us_) / 1000.0;
+  return horizon_ms <= 0.0
+             ? 0.0
+             : static_cast<double>(jobs_ - drops_) / horizon_ms;
+}
+
+double ServiceStats::goodput_jobs_per_ms() const {
+  const double horizon_ms = (last_completion_us_ - first_arrival_us_) / 1000.0;
+  return horizon_ms <= 0.0 ? 0.0
+                           : static_cast<double>(jobs_ - misses_) / horizon_ms;
+}
+
+std::string ServiceStats::digest() const {
+  char line[256];
+  std::string out;
+  const auto append = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof(line), fmt, args...);
+    out += line;
+  };
+  append("jobs=%zu misses=%zu drops=%zu miss_rate=%.6f\n", jobs_, misses_,
+         drops_, miss_rate());
+  const auto lat = [&](const char* name, const LatencySummary& s) {
+    append("%s: mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f (us)\n", name,
+           s.mean_us, s.p50_us, s.p95_us, s.p99_us, s.max_us);
+  };
+  lat("queueing", queueing());
+  lat("service", service());
+  lat("total", total());
+  append("waves=%zu occupancy=%.3f\n", waves_, mean_wave_occupancy());
+  append("ber=%.3e ground_state_rate=%.4f bits=%zu\n", ber(),
+         ground_state_rate(), total_bits_);
+  append("throughput=%.3f goodput=%.3f (jobs/ms over %.1f us)\n",
+         achieved_jobs_per_ms(), goodput_jobs_per_ms(),
+         last_completion_us_ - first_arrival_us_);
+  return out;
+}
+
+}  // namespace quamax::serve

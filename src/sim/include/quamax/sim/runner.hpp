@@ -5,11 +5,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "quamax/anneal/annealer.hpp"
+#include "quamax/core/parallel_sampler.hpp"
 #include "quamax/metrics/solution_stats.hpp"
 #include "quamax/sim/instance.hpp"
 
@@ -27,6 +29,19 @@ struct RunOutcome {
 /// anchored at the instance's ground-state energy.
 RunOutcome run_instance(const Instance& instance, core::IsingSampler& sampler,
                         std::size_t num_anneals, Rng& rng);
+
+/// The §4 multi-problem path: decodes all `instances` through
+/// ParallelBatchSampler::sample_problems — instance p is drawn `num_anneals`
+/// times with counter-derived stream p by a lane-local sampler built by
+/// `factory` — and assembles one RunOutcome per instance exactly as
+/// per-instance run_instance calls would.  Per-anneal duration and P_f come
+/// from a probe sampler built once by `factory`; broken-chain diagnostics
+/// are not tracked on this path (the lane-local samplers are transient).
+/// Results are bit-identical at any batch thread count.
+std::vector<RunOutcome> run_instances(
+    const std::vector<Instance>& instances, core::ParallelBatchSampler& batch,
+    const core::ParallelBatchSampler::SamplerFactory& factory,
+    std::size_t num_anneals, Rng& rng);
 
 /// TTS(0.99) of one outcome, +inf when the ground state was never sampled.
 double outcome_tts_us(const RunOutcome& outcome, double confidence = 0.99);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <string>
 
 #include "quamax/common/error.hpp"
@@ -30,6 +31,41 @@ RunOutcome run_instance(const Instance& instance, core::IsingSampler& sampler,
   if (const auto* chimera = dynamic_cast<const anneal::ChimeraAnnealer*>(&sampler))
     outcome.broken_chain_fraction = chimera->last_broken_chain_fraction();
   return outcome;
+}
+
+std::vector<RunOutcome> run_instances(
+    const std::vector<Instance>& instances, core::ParallelBatchSampler& batch,
+    const core::ParallelBatchSampler::SamplerFactory& factory,
+    std::size_t num_anneals, Rng& rng) {
+  std::vector<const qubo::IsingModel*> problems;
+  problems.reserve(instances.size());
+  for (const Instance& instance : instances)
+    problems.push_back(&instance.problem.ising);
+
+  const std::vector<std::vector<qubo::SpinVec>> samples =
+      batch.sample_problems(factory, problems, num_anneals, rng);
+
+  // duration and P_f are configuration properties, identical across the
+  // factory's products — one probe serves every outcome.
+  const std::unique_ptr<core::IsingSampler> probe = factory();
+  std::vector<RunOutcome> outcomes;
+  outcomes.reserve(instances.size());
+  for (std::size_t p = 0; p < instances.size(); ++p) {
+    const Instance& instance = instances[p];
+    std::vector<double> energies;
+    energies.reserve(samples[p].size());
+    for (const auto& s : samples[p])
+      energies.push_back(instance.problem.ising.energy(s));
+    outcomes.push_back(RunOutcome{
+        .stats = metrics::SolutionStats::build(
+            samples[p], energies, instance.use.tx_bits, instance.use.h.cols(),
+            instance.use.mod, instance.ground_energy),
+        .duration_us = probe->anneal_duration_us(),
+        .parallel_factor = probe->parallelization_factor(instance.num_vars()),
+        .broken_chain_fraction = 0.0,
+    });
+  }
+  return outcomes;
 }
 
 double outcome_tts_us(const RunOutcome& outcome, double confidence) {

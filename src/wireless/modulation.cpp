@@ -97,7 +97,8 @@ cplx map_gray(const BitVec& bits, Modulation mod) {
 }
 
 BitVec demap_gray_nearest(cplx observation, Modulation mod) {
-  if (mod == Modulation::kBpsk) return BitVec{observation.real() >= 0.0 ? 1u : 0u};
+  if (mod == Modulation::kBpsk)
+    return BitVec{static_cast<std::uint8_t>(observation.real() >= 0.0 ? 1 : 0)};
   const int d = bits_per_dimension(mod);
   const int levels = 1 << d;
 

@@ -112,6 +112,37 @@ TEST(BatchReplicaTest, BatchMatchesScalarWithIceCoefficients) {
   }
 }
 
+TEST(BatchReplicaTest, SharedCoefficientFastPathMatchesReplicatedBlocks) {
+  // anneal_batch feeds the kernel the flat base arrays (the ICE-off
+  // shared-coefficient fast path); it must be bit-identical to
+  // anneal_batch_with on R verbatim copies of those arrays — with and
+  // without collective groups, which read coefficients too.
+  const qubo::IsingModel problem = random_clique(20, 0xB005);
+  for (const bool grouped : {false, true}) {
+    anneal::SaEngine engine(problem);
+    if (grouped) engine.set_groups({{0, 1, 2, 3}, {4, 5, 6}, {12, 13}});
+    const std::vector<double> betas = short_betas();
+
+    const std::size_t R = 6;
+    const std::size_t nf = engine.base_fields().size();
+    const std::size_t nc = engine.base_couplings().size();
+    std::vector<double> fields(R * nf);
+    std::vector<double> couplings(R * nc);
+    for (std::size_t r = 0; r < R; ++r) {
+      std::copy(engine.base_fields().begin(), engine.base_fields().end(),
+                fields.begin() + static_cast<std::ptrdiff_t>(r * nf));
+      std::copy(engine.base_couplings().begin(), engine.base_couplings().end(),
+                couplings.begin() + static_cast<std::ptrdiff_t>(r * nc));
+    }
+
+    std::vector<Rng> shared_rngs = streams(0xFA57, R);
+    std::vector<Rng> block_rngs = streams(0xFA57, R);
+    EXPECT_EQ(engine.anneal_batch(betas, shared_rngs),
+              engine.anneal_batch_with(betas, fields, couplings, block_rngs))
+        << "grouped=" << grouped;
+  }
+}
+
 TEST(BatchReplicaTest, BatchMatchesScalarWithWarmStart) {
   const qubo::IsingModel problem = random_clique(12, 0xB004);
   const anneal::SaEngine engine(problem);
