@@ -30,6 +30,7 @@ using wireless::Modulation;
 // Batch-runtime lanes, set once in main from --threads / QUAMAX_THREADS.
 std::size_t g_threads = 1;
 std::size_t g_replicas = 8;
+anneal::AcceptMode g_accept_mode = anneal::AcceptMode::kExact;
 
 std::vector<sim::Instance> make_instances(std::size_t users, Modulation mod,
                                           std::size_t count, std::uint64_t seed) {
@@ -45,6 +46,7 @@ anneal::AnnealerConfig fix_config() {
   anneal::AnnealerConfig config;
   config.num_threads = g_threads;
   config.batch_replicas = g_replicas;
+  config.accept_mode = g_accept_mode;
   config.schedule.anneal_time_us = 1.0;
   config.schedule.pause_time_us = 1.0;
   config.embed.improved_range = true;
@@ -57,6 +59,7 @@ anneal::AnnealerConfig fix_config() {
 int main(int argc, char** argv) {
   g_threads = sim::cli_threads(argc, argv);
   g_replicas = sim::cli_replicas(argc, argv);
+  g_accept_mode = sim::cli_accept_mode(argc, argv);
   const std::size_t instances = sim::scaled(6);
   const std::size_t num_anneals = sim::scaled(400);
   sim::print_banner("Ablations", "DESIGN.md §5 (not a paper artifact)",
@@ -88,6 +91,7 @@ int main(int argc, char** argv) {
       config.schedule = fix_config().schedule;
       config.num_threads = g_threads;
       config.batch_replicas = g_replicas;
+      config.accept_mode = g_accept_mode;
       anneal::LogicalAnnealer annealer(config);
       std::vector<double> p0, tts;
       for (const auto& inst : insts) {

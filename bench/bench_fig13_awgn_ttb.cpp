@@ -60,6 +60,8 @@ ClassResult evaluate_class(std::size_t users, Modulation mod, double snr_db,
 int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
+  const quamax::anneal::AcceptMode accept_mode =
+      quamax::sim::cli_accept_mode(argc, argv);
   const std::size_t instances = sim::scaled(6);
   const std::size_t num_anneals = sim::scaled(1000);
   sim::print_banner("TTB under AWGN: users and SNR sweeps",
@@ -70,6 +72,7 @@ int main(int argc, char** argv) {
   anneal::AnnealerConfig config;
   config.num_threads = threads;
   config.batch_replicas = replicas;
+  config.accept_mode = accept_mode;
   config.schedule.anneal_time_us = 1.0;
   config.schedule.pause_time_us = 1.0;
   config.embed.improved_range = true;

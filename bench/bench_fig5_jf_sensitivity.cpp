@@ -27,6 +27,8 @@ using wireless::Modulation;
 int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
+  const quamax::anneal::AcceptMode accept_mode =
+      quamax::sim::cli_accept_mode(argc, argv);
   const std::size_t instances = sim::scaled(8);
   const std::size_t num_anneals = sim::scaled(400);
   sim::print_banner(
@@ -58,6 +60,7 @@ int main(int argc, char** argv) {
       anneal::AnnealerConfig config;
       config.num_threads = threads;
       config.batch_replicas = replicas;
+      config.accept_mode = accept_mode;
       config.schedule.anneal_time_us = 1.0;
       config.embed.improved_range = improved;
       anneal::ChimeraAnnealer annealer(config);

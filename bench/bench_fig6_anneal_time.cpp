@@ -5,19 +5,28 @@
 // Shape to reproduce: with improved range, Ta = 1 us achieves the best TTS
 // regardless of problem size — longer anneals raise per-anneal success
 // probability but not enough to pay for their own duration.
+//
+// Every (Ta, |J_F|) setting decodes all instances through the §4 multi-
+// problem runtime (ParallelBatchSampler::sample_problems, lane-local
+// ChimeraAnnealer workers sharing one shape-keyed embedding cache), as
+// bench_fig15 does — output is bit-identical at any --threads setting.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "quamax/anneal/annealer.hpp"
 #include "quamax/common/stats.hpp"
+#include "quamax/core/parallel_sampler.hpp"
 #include "quamax/sim/report.hpp"
 #include "quamax/sim/runner.hpp"
 
 int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
+  const quamax::anneal::AcceptMode accept_mode =
+      quamax::sim::cli_accept_mode(argc, argv);
   using namespace quamax;
   using wireless::Modulation;
 
@@ -33,6 +42,18 @@ int main(int argc, char** argv) {
   const std::vector<double> jf_grid{0.35, 0.5, 0.75, 1.0};
   const std::vector<std::size_t> user_grid{6, 12, 18};
 
+  anneal::AnnealerConfig config;
+  config.num_threads = 1;  // the batch runtime parallelizes ACROSS instances
+  config.batch_replicas = replicas;
+  config.accept_mode = accept_mode;
+  config.embed.improved_range = true;
+
+  // One probe annealer pins the chip graph and donates its shape-keyed
+  // embedding cache to every lane-local worker the sweep's factories build.
+  anneal::ChimeraAnnealer probe(config);
+  const std::shared_ptr<chimera::EmbeddingCache> cache = probe.embedding_cache();
+  core::ParallelBatchSampler batch(threads);
+
   for (const std::size_t users : user_grid) {
     Rng rng{0xF166 + users};
     std::vector<sim::Instance> insts;
@@ -40,12 +61,6 @@ int main(int argc, char** argv) {
       insts.push_back(sim::make_instance(
           {.users = users, .mod = Modulation::kQpsk, .kind = {}, .snr_db = {}},
           rng));
-
-    anneal::AnnealerConfig config;
-    config.num_threads = threads;
-    config.batch_replicas = replicas;
-    config.embed.improved_range = true;
-    anneal::ChimeraAnnealer annealer(config);
 
     std::printf("\n%zu-user QPSK (N = %zu):\n", users, insts.front().num_vars());
     sim::print_columns({"Ta us", "|J_F|", "TTS med us", "P0 med"});
@@ -57,15 +72,20 @@ int main(int argc, char** argv) {
       double best_median = std::numeric_limits<double>::infinity();
       double best_jf = jf_grid.front();
       for (const double jf : jf_grid) {
-        auto updated = annealer.config();
-        updated.schedule.anneal_time_us = ta;
-        updated.embed.jf = jf;
-        annealer.set_config(updated);
+        anneal::AnnealerConfig setting = config;
+        setting.schedule.anneal_time_us = ta;
+        setting.embed.jf = jf;
+        const auto factory = [&setting,
+                              &cache]() -> std::unique_ptr<core::IsingSampler> {
+          auto annealer = std::make_unique<anneal::ChimeraAnnealer>(setting);
+          annealer->set_embedding_cache(cache);
+          return annealer;
+        };
+        const std::vector<sim::RunOutcome> outcomes =
+            sim::run_instances(insts, batch, factory, num_anneals, rng);
 
         std::vector<double> tts, p0;
-        for (const sim::Instance& inst : insts) {
-          const sim::RunOutcome outcome =
-              sim::run_instance(inst, annealer, num_anneals, rng);
+        for (const sim::RunOutcome& outcome : outcomes) {
           tts.push_back(sim::outcome_tts_us(outcome));
           p0.push_back(outcome.stats.p0());
         }

@@ -33,6 +33,8 @@ struct Setting {
 int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
+  const quamax::anneal::AcceptMode accept_mode =
+      quamax::sim::cli_accept_mode(argc, argv);
   const std::size_t instances = sim::scaled(10);
   const std::size_t num_anneals = sim::scaled(600);
   sim::print_banner("BER vs anneals and vs time: pause against no-pause",
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
   anneal::AnnealerConfig config;
   config.num_threads = threads;
   config.batch_replicas = replicas;
+  config.accept_mode = accept_mode;
   config.schedule.anneal_time_us = 1.0;
   config.embed.improved_range = true;
   anneal::ChimeraAnnealer annealer(config);

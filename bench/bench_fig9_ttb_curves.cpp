@@ -6,19 +6,28 @@
 // Shapes to reproduce: BER falls with time toward each instance's floor;
 // mean TTB exceeds median TTB (a few long-running outliers dominate the
 // mean); problems get harder with more users and higher modulation.
+//
+// Each class's instances decode through the §4 multi-problem runtime
+// (ParallelBatchSampler::sample_problems with lane-local ChimeraAnnealer
+// workers sharing one shape-keyed embedding cache), as bench_fig15 does —
+// output is bit-identical at any --threads setting.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "quamax/anneal/annealer.hpp"
 #include "quamax/common/stats.hpp"
+#include "quamax/core/parallel_sampler.hpp"
 #include "quamax/sim/report.hpp"
 #include "quamax/sim/runner.hpp"
 
 int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
+  const quamax::anneal::AcceptMode accept_mode =
+      quamax::sim::cli_accept_mode(argc, argv);
   using namespace quamax;
   using wireless::Modulation;
 
@@ -37,13 +46,24 @@ int main(int argc, char** argv) {
       {4, Modulation::kQam16}, {5, Modulation::kQam16}, {6, Modulation::kQam16}};
 
   anneal::AnnealerConfig config;
-  config.num_threads = threads;
+  config.num_threads = 1;  // the batch runtime parallelizes ACROSS instances
   config.batch_replicas = replicas;
+  config.accept_mode = accept_mode;
   config.schedule.anneal_time_us = 1.0;
   config.schedule.pause_time_us = 1.0;
   config.embed.improved_range = true;
   config.embed.jf = 0.5;
-  anneal::ChimeraAnnealer annealer(config);
+
+  // One probe annealer pins the chip graph and donates its shape-keyed
+  // embedding cache to every lane-local worker the factory builds.
+  anneal::ChimeraAnnealer probe(config);
+  const std::shared_ptr<chimera::EmbeddingCache> cache = probe.embedding_cache();
+  const auto factory = [&config, &cache]() -> std::unique_ptr<core::IsingSampler> {
+    auto annealer = std::make_unique<anneal::ChimeraAnnealer>(config);
+    annealer->set_embedding_cache(cache);
+    return annealer;
+  };
+  core::ParallelBatchSampler batch(threads);
 
   const std::vector<double> time_grid{2,    5,    10,   20,   50,
                                       100,  200,  500,  1000, 2000,
@@ -51,12 +71,12 @@ int main(int argc, char** argv) {
 
   for (const auto& [users, mod] : classes) {
     Rng rng{0xF169 + users * 5 + static_cast<std::size_t>(mod)};
-    std::vector<sim::RunOutcome> outcomes;
-    for (std::size_t i = 0; i < instances; ++i) {
-      const sim::Instance inst = sim::make_instance(
-          {.users = users, .mod = mod, .kind = {}, .snr_db = {}}, rng);
-      outcomes.push_back(sim::run_instance(inst, annealer, num_anneals, rng));
-    }
+    std::vector<sim::Instance> insts;
+    for (std::size_t i = 0; i < instances; ++i)
+      insts.push_back(sim::make_instance(
+          {.users = users, .mod = mod, .kind = {}, .snr_db = {}}, rng));
+    const std::vector<sim::RunOutcome> outcomes =
+        sim::run_instances(insts, batch, factory, num_anneals, rng);
 
     std::printf("\n%zu-user %s (N = %zu, P_f = %.1f):\n", users,
                 wireless::to_string(mod).c_str(),

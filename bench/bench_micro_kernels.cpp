@@ -142,8 +142,11 @@ BENCHMARK(BM_SaSweepScalar)->Arg(1)->Arg(8)->Arg(16);
 
 // The same R replicas through one anneal_batch() call (bit-identical output;
 // batch_replica_test proves it).  Compare items/s against BM_SaSweepScalar
-// at the same R for the batched-kernel sweep-throughput speedup.
-void BM_SaSweepBatched(benchmark::State& state) {
+// at the same R for the batched-kernel sweep-throughput speedup, and against
+// BM_SaSweepBatchedThreshold[32] at the same R for the accept-mode speedup.
+// items/s is spin-updates per second; the spin_updates_per_s counter repeats
+// it under a stable name for tools/bench_to_json.py.
+void sweep_batched_mode(benchmark::State& state, anneal::AcceptMode mode) {
   const auto R = static_cast<std::size_t>(state.range(0));
   const anneal::SaEngine& engine = merged_wave_engine();
   const std::vector<double> betas = anneal::Schedule{}.betas();
@@ -153,13 +156,39 @@ void BM_SaSweepBatched(benchmark::State& state) {
     streams.reserve(R);
     for (std::size_t r = 0; r < R; ++r)
       streams.push_back(Rng::for_stream(round, r));
-    benchmark::DoNotOptimize(engine.anneal_batch(betas, streams));
+    benchmark::DoNotOptimize(engine.anneal_batch(betas, streams, nullptr, mode));
     ++round;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(
-      state.iterations() * R * betas.size() * engine.num_spins()));
+  const auto updates = static_cast<std::int64_t>(state.iterations() * R *
+                                                 betas.size() *
+                                                 engine.num_spins());
+  state.SetItemsProcessed(updates);
+  state.counters["spin_updates_per_s"] = benchmark::Counter(
+      static_cast<double>(updates), benchmark::Counter::kIsRate);
+  state.counters["replicas"] = static_cast<double>(R);
+}
+
+void BM_SaSweepBatched(benchmark::State& state) {
+  sweep_batched_mode(state, anneal::AcceptMode::kExact);
 }
 BENCHMARK(BM_SaSweepBatched)->Arg(1)->Arg(8)->Arg(16)->Arg(32);
+
+// Branch-free threshold acceptance (AcceptMode::kThreshold): no exp(), no
+// data-dependent RNG consumption — the accept pass vectorizes.  The ratio
+// to BM_SaSweepBatched at equal R is the accept-mode speedup (acceptance
+// bar: >= 1.4x at R = 8; CI gates on it via tools/bench_to_json.py).
+void BM_SaSweepBatchedThreshold(benchmark::State& state) {
+  sweep_batched_mode(state, anneal::AcceptMode::kThreshold);
+}
+BENCHMARK(BM_SaSweepBatchedThreshold)->Arg(1)->Arg(8)->Arg(16)->Arg(32);
+
+// Threshold acceptance over float32 state/coefficients (kThreshold32): the
+// serve-workload variant of the ICE-off shared-coefficient path, doubling
+// SIMD width.
+void BM_SaSweepBatchedThreshold32(benchmark::State& state) {
+  sweep_batched_mode(state, anneal::AcceptMode::kThreshold32);
+}
+BENCHMARK(BM_SaSweepBatchedThreshold32)->Arg(1)->Arg(8)->Arg(16)->Arg(32);
 
 // The full batched decode path at bench scale: ChimeraAnnealer::sample with
 // the configured replica block size (QUAMAX_REPLICAS; BENCHMARK_MAIN owns
@@ -169,6 +198,7 @@ void BM_ChimeraSampleBatchedPath(benchmark::State& state) {
   anneal::AnnealerConfig config;
   config.num_threads = sim::env_threads();
   config.batch_replicas = sim::env_replicas();
+  config.accept_mode = sim::env_accept_mode();
   anneal::ChimeraAnnealer annealer(config);
   const auto use = make_use(16, Modulation::kBpsk, 20.0);
   const auto problem = core::reduce_ml_to_ising(use.h, use.y, use.mod);

@@ -21,6 +21,8 @@
 int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
+  const quamax::anneal::AcceptMode accept_mode =
+      quamax::sim::cli_accept_mode(argc, argv);
   using namespace quamax;
   using wireless::Modulation;
 
@@ -97,6 +99,7 @@ int main(int argc, char** argv) {
       anneal::AnnealerConfig config;
       config.num_threads = threads;
       config.batch_replicas = replicas;
+      config.accept_mode = accept_mode;
       config.schedule.anneal_time_us = 1.0;
       config.schedule.pause_time_us = 1.0;
       config.embed.improved_range = true;

@@ -25,6 +25,8 @@
 int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
+  const quamax::anneal::AcceptMode accept_mode =
+      quamax::sim::cli_accept_mode(argc, argv);
   using namespace quamax;
   using wireless::Modulation;
 
@@ -57,6 +59,7 @@ int main(int argc, char** argv) {
         anneal::AnnealerConfig forward;
         forward.num_threads = threads;
         forward.batch_replicas = replicas;
+        forward.accept_mode = accept_mode;
         forward.schedule.anneal_time_us = 1.0;
         forward.schedule.pause_time_us = 1.0;
         forward.embed.jf = 0.5;

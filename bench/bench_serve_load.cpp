@@ -29,6 +29,8 @@
 int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
+  const quamax::anneal::AcceptMode accept_mode =
+      quamax::sim::cli_accept_mode(argc, argv);
   using namespace quamax;
 
   bool smoke = false;
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
   base.annealer.schedule.anneal_time_us = 1.0;
   base.annealer.schedule.pause_time_us = 0.0;
   base.annealer.batch_replicas = replicas;
+  base.annealer.accept_mode = accept_mode;
   base.num_anneals = num_anneals;
   base.num_threads = threads;
   base.num_devices = 1;

@@ -23,6 +23,8 @@
 int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
+  const quamax::anneal::AcceptMode accept_mode =
+      quamax::sim::cli_accept_mode(argc, argv);
   using namespace quamax;
 
   const std::size_t num_jobs = sim::scaled(160);
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
   serve::ServiceConfig cfg;
   cfg.annealer.schedule.anneal_time_us = 1.0;
   cfg.annealer.batch_replicas = replicas;
+  cfg.annealer.accept_mode = accept_mode;
   cfg.annealer.embed.improved_range = true;  // §5.5 trace setting
   cfg.num_anneals = sim::scaled(40);
   cfg.num_threads = threads;

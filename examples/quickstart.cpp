@@ -23,6 +23,8 @@
 int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
+  const quamax::anneal::AcceptMode accept_mode =
+      quamax::sim::cli_accept_mode(argc, argv);
   using namespace quamax;
 
   Rng rng{2024};
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
   anneal::AnnealerConfig annealer_config;
   annealer_config.num_threads = threads;
   annealer_config.batch_replicas = replicas;
+  annealer_config.accept_mode = accept_mode;
   annealer_config.schedule.anneal_time_us = 1.0;   // Ta
   annealer_config.schedule.pause_time_us = 1.0;    // Tp (the paper's pick)
   annealer_config.embed.improved_range = true;

@@ -126,13 +126,14 @@ std::vector<qubo::SpinVec> ChimeraAnnealer::sample(const qubo::IsingModel& probl
           thread_local std::vector<double> fields, couplings, f1, c1;
           perturb_replica_blocks(ice, engine, streams, fields, couplings, f1,
                                  c1);
-          physical =
-              engine.anneal_batch_with(betas, fields, couplings, streams, initial);
+          physical = engine.anneal_batch_with(betas, fields, couplings, streams,
+                                              initial, config_.accept_mode);
         } else {
           // ICE off: disabled perturbation copies the base arrays and draws
           // no RNG, so the shared-coefficient fast path is bit-identical
           // while skipping the O(R*(N+M)) block copies.
-          physical = engine.anneal_batch(betas, streams, initial);
+          physical =
+              engine.anneal_batch(betas, streams, initial, config_.accept_mode);
         }
         for (std::size_t j = 0; j < streams.size(); ++j)
           raw[begin + j] = chimera::unembed(physical[j], embedded, streams[j],
@@ -211,10 +212,13 @@ std::vector<std::vector<qubo::SpinVec>> ChimeraAnnealer::sample_batch(
             thread_local std::vector<double> fields, couplings, f1, c1;
             perturb_replica_blocks(ice, engine, streams, fields, couplings, f1,
                                    c1);
-            physical = engine.anneal_batch_with(betas, fields, couplings, streams);
+            physical = engine.anneal_batch_with(betas, fields, couplings,
+                                                streams, nullptr,
+                                                config_.accept_mode);
           } else {
             // Same fast-path equivalence as sample() above.
-            physical = engine.anneal_batch(betas, streams);
+            physical =
+                engine.anneal_batch(betas, streams, nullptr, config_.accept_mode);
           }
           qubo::SpinVec slice;
           for (std::size_t j = 0; j < streams.size(); ++j) {
@@ -268,9 +272,11 @@ std::vector<qubo::SpinVec> LogicalAnnealer::sample(const qubo::IsingModel& probl
           thread_local std::vector<double> fields, couplings, f1, c1;
           perturb_replica_blocks(config_.ice, engine, streams, fields,
                                  couplings, f1, c1);
-          block = engine.anneal_batch_with(betas, fields, couplings, streams);
+          block = engine.anneal_batch_with(betas, fields, couplings, streams,
+                                           nullptr, config_.accept_mode);
         } else {
-          block = engine.anneal_batch(betas, streams);
+          block = engine.anneal_batch(betas, streams, nullptr,
+                                      config_.accept_mode);
         }
         for (std::size_t j = 0; j < streams.size(); ++j)
           samples[begin + j] = std::move(block[j]);

@@ -61,6 +61,13 @@ struct AnnealerConfig {
   /// bit-identical at ANY replica count — this knob only trades sweep
   /// throughput (see bench_micro_kernels' BM_SaSweep* pair).
   std::size_t batch_replicas = 8;
+  /// Acceptance rule of the sweep kernel (see anneal::AcceptMode).  kExact
+  /// preserves the v1 bit-exact contract; kThreshold/kThreshold32 trade it
+  /// for the branch-free threshold kernel — statistically equivalent
+  /// samples, still bit-identical at any num_threads/batch_replicas, but a
+  /// DIFFERENT stream of results than kExact for the same seed.  Knob:
+  /// --accept-mode / QUAMAX_ACCEPT_MODE.
+  AcceptMode accept_mode = AcceptMode::kExact;
 };
 
 class ChimeraAnnealer final : public core::IsingSampler {
@@ -139,6 +146,8 @@ struct LogicalAnnealerConfig {
   bool normalize = true;            ///< rescale to unit max |coefficient|
   std::size_t num_threads = 1;      ///< batch-runtime lanes (see AnnealerConfig)
   std::size_t batch_replicas = 8;   ///< replicas per batched kernel call (ditto)
+  /// Sweep-kernel acceptance rule (see AnnealerConfig::accept_mode).
+  AcceptMode accept_mode = AcceptMode::kExact;
 };
 
 class LogicalAnnealer final : public core::IsingSampler {

@@ -41,6 +41,14 @@
 // sweep costs O(R * sum of degrees) with no allocation inside the sweep
 // loop.
 //
+// Acceptance rules: every entry point takes an AcceptMode.  kExact is the
+// v1 Metropolis rule (bit-compatible with all historical results);
+// kThreshold/kThreshold32 replace the data-dependent exp()/RNG decision
+// with a pre-drawn, branch-free energy-threshold compare — statistically
+// equivalent, substantially faster, and bit-identical across thread and
+// replica counts under their own (v2) determinism contract.  See the
+// AcceptMode documentation below.
+//
 // Thread safety: after construction (and any set_groups() call), the engine
 // is immutable — anneal(), anneal_with(), anneal_batch(), and
 // anneal_batch_with() are const, keep all mutable state in locals, and may
@@ -58,6 +66,42 @@
 #include "quamax/qubo/ising.hpp"
 
 namespace quamax::anneal {
+
+/// Acceptance rule of the Metropolis sweep kernel.
+///
+///  * kExact — the v1 contract: accept an uphill move iff
+///    uniform() < exp(-beta * dE), flip zero-cost moves on a coin.  RNG
+///    consumption is data-dependent (a uniform only on uphill proposals, a
+///    coin only on zero-cost ones), so the accept loop is inherently scalar
+///    per replica: a `std::exp` call and two branches per spin per replica
+///    per sweep.  Bit-compatible with every result the library has ever
+///    produced.
+///
+///  * kThreshold — the v2 branch-free contract: each decision PRE-DRAWS one
+///    uniform u_r per replica in a fixed, data-independent order (replica r
+///    always consumes exactly one uniform per spin and per group per sweep),
+///    transforms it once into an energy threshold t_r = -log(u_r) / beta,
+///    and accepts iff dE <= t_r (zero-cost moves use the same u_r as the
+///    coin: accept iff u_r < 1/2).  Identical acceptance probabilities, but
+///    no exp() and no data-dependent RNG branches in the inner loop — the
+///    per-replica accept pass is straight-line code the compiler can
+///    vectorize (bench_micro_kernels' BM_SaSweepBatchedThreshold proves
+///    it).  NOT bit-identical to kExact (different draws), but replica r's
+///    stream consumption is data-independent, so results remain bit-
+///    identical at any thread count or replica block size.
+///
+///  * kThreshold32 — kThreshold with float32 state and coefficients: local
+///    fields, accumulators, and coefficient reads run in single precision,
+///    doubling the SIMD width of every vector pass.  Same determinism
+///    contract as kThreshold (bit-identical at any threads/replicas for a
+///    fixed seed), statistically indistinguishable from the float64 modes
+///    (accept_mode_test enforces parity); intended for throughput-bound
+///    serve workloads on the ICE-off shared-coefficient path.
+enum class AcceptMode : std::uint8_t { kExact = 0, kThreshold = 1, kThreshold32 = 2 };
+
+/// Canonical CLI spelling of an accept mode ("exact" / "threshold" /
+/// "threshold32").
+const char* to_string(AcceptMode mode) noexcept;
 
 class SaEngine {
  public:
@@ -85,40 +129,49 @@ class SaEngine {
 
   /// One anneal with the problem's own coefficients.  `initial`, when
   /// non-null, seeds the spin configuration (reverse annealing / warm
-  /// start); otherwise spins start uniformly random.
+  /// start); otherwise spins start uniformly random.  `mode` selects the
+  /// acceptance rule (see AcceptMode; kExact preserves the v1 contract).
   qubo::SpinVec anneal(const std::vector<double>& betas, Rng& rng,
-                       const qubo::SpinVec* initial = nullptr) const {
-    return anneal_with(betas, fields_, coupling_values_, rng, initial);
+                       const qubo::SpinVec* initial = nullptr,
+                       AcceptMode mode = AcceptMode::kExact) const {
+    return anneal_with(betas, fields_, coupling_values_, rng, initial, mode);
   }
 
   /// One anneal with caller-supplied (e.g. ICE-perturbed) coefficients;
   /// `fields` must have num_spins() entries and `couplings` num_couplings()
-  /// entries in base-array order.
+  /// entries in base-array order.  kThreshold32 rounds the supplied arrays
+  /// to float32 once up front (same values anneal_batch's precomputed
+  /// float32 base arrays hold when the caller passes the base arrays).
   qubo::SpinVec anneal_with(const std::vector<double>& betas,
                             const std::vector<double>& fields,
                             const std::vector<double>& couplings, Rng& rng,
-                            const qubo::SpinVec* initial = nullptr) const;
+                            const qubo::SpinVec* initial = nullptr,
+                            AcceptMode mode = AcceptMode::kExact) const;
 
   /// Batched anneal: runs rngs.size() independent replicas of the problem's
   /// own coefficients in one kernel call, replica r drawing all randomness
   /// from rngs[r].  Returns one configuration per replica; replica r is
-  /// bit-identical to `anneal(betas, rngs[r], initial)` (and rngs[r] is left
-  /// in the same state).  `initial`, when non-null, warm-starts EVERY
-  /// replica from the same configuration, as R scalar calls would.
+  /// bit-identical to `anneal(betas, rngs[r], initial, mode)` (and rngs[r]
+  /// is left in the same state) — for EVERY accept mode, so blocking anneals
+  /// into replicas never changes results.  `initial`, when non-null,
+  /// warm-starts EVERY replica from the same configuration, as R scalar
+  /// calls would.
   std::vector<qubo::SpinVec> anneal_batch(
       const std::vector<double>& betas, std::vector<Rng>& rngs,
-      const qubo::SpinVec* initial = nullptr) const;
+      const qubo::SpinVec* initial = nullptr,
+      AcceptMode mode = AcceptMode::kExact) const;
 
   /// Batched anneal with per-replica coefficient blocks (the ICE path: each
   /// replica carries its own perturbed realization).  `fields` holds R
   /// replica-major blocks of num_spins() entries (replica r's fields are
   /// fields[r*N .. (r+1)*N)), `couplings` R blocks of num_couplings()
   /// entries, with R == rngs.size().  Replica r is bit-identical to
-  /// `anneal_with(betas, fields_r, couplings_r, rngs[r], initial)`.
+  /// `anneal_with(betas, fields_r, couplings_r, rngs[r], initial, mode)`.
   std::vector<qubo::SpinVec> anneal_batch_with(
       const std::vector<double>& betas, const std::vector<double>& fields,
       const std::vector<double>& couplings, std::vector<Rng>& rngs,
-      const qubo::SpinVec* initial = nullptr) const;
+      const qubo::SpinVec* initial = nullptr,
+      AcceptMode mode = AcceptMode::kExact) const;
 
  private:
   struct Group {
@@ -131,25 +184,30 @@ class SaEngine {
   /// interleaved (entry index*R + r); with SharedCoeffs == true they are the
   /// plain flat arrays (num_spins() / num_couplings() entries) read by every
   /// replica — the ICE-off fast path that skips the O(R*(N+M)) broadcast
-  /// copy per call.  `rngs` points at R generator pointers, and the result
-  /// is written replica-interleaved into `spins_il` (R*num_spins() entries).
-  /// For R == 1 the interleaved layout degenerates to the plain scalar
-  /// arrays, so the scalar entry points use SharedCoeffs == false.
-  template <bool SharedCoeffs>
+  /// copy per call.  Threshold selects the branch-free threshold-acceptance
+  /// pass (AcceptMode::kThreshold / kThreshold32) over the v1 Metropolis
+  /// pass; Real is the state/coefficient scalar type (float implements
+  /// kThreshold32 — coefficients then arrive as float arrays).  `rngs`
+  /// points at R generator pointers, and the result is written replica-
+  /// interleaved into `spins_il` (R*num_spins() entries).  For R == 1 the
+  /// interleaved layout degenerates to the plain scalar arrays.
+  template <bool SharedCoeffs, bool Threshold, typename Real>
   void run_batch_kernel(std::size_t num_replicas,
                         const std::vector<double>& betas,
-                        const double* fields_il, const double* couplings_il,
+                        const Real* fields_il, const Real* couplings_il,
                         Rng* const* rngs, const qubo::SpinVec* initial,
                         std::int8_t* spins_il) const;
 
   /// Shared front end of the two anneal_batch* entry points: interleaves the
-  /// coefficient blocks, runs the kernel, and splits the result per replica.
+  /// coefficient blocks, runs the kernel for the requested accept mode, and
+  /// splits the result per replica.
   std::vector<qubo::SpinVec> batch_dispatch(const std::vector<double>& betas,
                                             const double* fields_rm,
                                             const double* couplings_rm,
                                             bool replicated_coefficients,
                                             std::vector<Rng>& rngs,
-                                            const qubo::SpinVec* initial) const;
+                                            const qubo::SpinVec* initial,
+                                            AcceptMode mode) const;
 
   // CSR adjacency: spin i's incident edges are entries
   // [row_offset_[i], row_offset_[i+1]) of neighbor_/coupling_index_.
@@ -160,6 +218,11 @@ class SaEngine {
   std::vector<std::uint32_t> edge_j_;  ///< coupling id -> endpoint j
   std::vector<double> fields_;
   std::vector<double> coupling_values_;
+  // float32 images of the base arrays, precomputed at construction for the
+  // kThreshold32 shared-coefficient path (identical to rounding the base
+  // arrays per call, without the per-call conversion).
+  std::vector<float> fields_f32_;
+  std::vector<float> couplings_f32_;
   std::vector<Group> groups_;
 };
 

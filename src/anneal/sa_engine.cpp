@@ -1,8 +1,63 @@
 #include "quamax/anneal/sa_engine.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace quamax::anneal {
+
+const char* to_string(AcceptMode mode) noexcept {
+  switch (mode) {
+    case AcceptMode::kExact:
+      return "exact";
+    case AcceptMode::kThreshold:
+      return "threshold";
+    case AcceptMode::kThreshold32:
+      return "threshold32";
+  }
+  return "exact";
+}
+
+namespace {
+
+/// Branch-free -log(u) for u in [0, 1), the threshold-mode transform: write
+/// u = m * 2^e with m in [1, 2), then approximate log m = log1p(m - 1) by a
+/// degree-8 Chebyshev interpolant on [0, 1) (max absolute error 3.9e-8,
+/// which perturbs acceptance probabilities by O(beta * 4e-8) — far inside
+/// the statistical-parity tolerance accept_mode_test enforces).  Adding
+/// 2^-64 up front maps u == 0 to an effectively always-accept threshold
+/// (-log(0) = +inf) while leaving every u >= 2^-11 bit-exactly unchanged
+/// (2^-64 is below half an ulp there) — an additive clamp instead of a
+/// compare, which GCC 12 fails to if-convert.  Pure integer/FMA ops — no
+/// table, no division, no branch; the transform loop auto-vectorizes.
+inline double branchless_neg_log(double u) noexcept {
+  constexpr double kMin = 0x1.0p-64;
+  u = u + kMin;  // branch-free zero guard; invisible above 2^-11
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(u);
+  // Exponent extraction without an int64->double convert (which SSE2/AVX2
+  // cannot vectorize): drop the 11-bit biased exponent into the mantissa of
+  // 2^52 and subtract (2^52 + bias) — pure shift/or/sub, all packed ops.
+  const double e =
+      std::bit_cast<double>((bits >> 52) | 0x4330000000000000ull) -
+      (4503599627370496.0 + 1023.0);
+  const double m = std::bit_cast<double>((bits & 0x000FFFFFFFFFFFFFull) |
+                                         0x3FF0000000000000ull);
+  const double s = m - 1.0;  // log1p argument, in [0, 1)
+  const double log_m =
+      3.910905551047888e-08 +
+      s * (0.999993630258511 +
+           s * (-0.4998254986432544 +
+                s * (0.3314466522409298 +
+                     s * (-0.2394333707341008 +
+                          s * (0.16499812980507367 +
+                               s * (-0.09229041734252756 +
+                                    s * (0.03426459993010727 +
+                                         s * -0.006006605044038654)))))));
+  constexpr double kLn2 = 0.693147180559945309417232121458;
+  return -(e * kLn2 + log_m);
+}
+
+}  // namespace
 
 SaEngine::SaEngine(const qubo::IsingModel& problem) {
   const std::size_t n = problem.num_spins();
@@ -34,6 +89,9 @@ SaEngine::SaEngine(const qubo::IsingModel& problem) {
     neighbor_[cursor[c.j]] = c.i;
     coupling_index_[cursor[c.j]++] = static_cast<std::uint32_t>(idx);
   }
+
+  fields_f32_.assign(fields_.begin(), fields_.end());
+  couplings_f32_.assign(coupling_values_.begin(), coupling_values_.end());
 }
 
 void SaEngine::set_groups(std::vector<std::vector<std::uint32_t>> groups) {
@@ -69,12 +127,25 @@ void SaEngine::set_groups(std::vector<std::vector<std::uint32_t>> groups) {
 // scalar path's conditions and order, and (b) performing each replica's
 // floating-point accumulations in the scalar path's order (edges within a
 // CSR row, members within a group).
-template <bool SharedCoeffs>
+//
+// The two accept passes:
+//
+//  * Threshold == false (AcceptMode::kExact): the v1 Metropolis rule.  RNG
+//    consumption is data-dependent (uniform only on uphill, coin only on
+//    zero cost), so the decision loop carries two unpredictable branches
+//    and a libm exp() per uphill proposal and cannot vectorize.
+//  * Threshold == true (kThreshold / kThreshold32): every replica pre-draws
+//    ONE uniform per decision in a fixed order, the draws are transformed
+//    once into energy thresholds t_r = -log(u_r)/beta by a branch-free
+//    vector pass, and acceptance is the straight-line compare
+//    delta_e <= t_r (zero-cost moves reuse u_r as the coin: u_r < 1/2).
+//    No exp(), no data-dependent RNG, no branches — the decision loop
+//    compiles to vector compares plus a branch-free index compaction.
+template <bool SharedCoeffs, bool Threshold, typename Real>
 void SaEngine::run_batch_kernel(std::size_t num_replicas,
                                 const std::vector<double>& betas,
-                                const double* fields_il,
-                                const double* couplings_il, Rng* const* rngs,
-                                const qubo::SpinVec* initial,
+                                const Real* fields_il, const Real* couplings_il,
+                                Rng* const* rngs, const qubo::SpinVec* initial,
                                 std::int8_t* spins_il) const {
   const std::size_t n = num_spins();
   const std::size_t R = num_replicas;
@@ -96,35 +167,36 @@ void SaEngine::run_batch_kernel(std::size_t num_replicas,
   // so the per-lane sampling loops reuse capacity across blocks and the
   // kernel allocates nothing after a lane's first call (every element is
   // overwritten below; the engine itself stays immutable and shareable).
-  thread_local std::vector<double> hloc;
-  thread_local std::vector<double> acc;
+  thread_local std::vector<Real> hloc;
+  thread_local std::vector<Real> acc;
   hloc.resize(n * R);
   acc.resize(R);
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint32_t begin = row_offset_[i];
     const std::uint32_t end = row_offset_[i + 1];
-    for (std::size_t r = 0; r < R; ++r) acc[r] = 0.0;
+    for (std::size_t r = 0; r < R; ++r) acc[r] = Real(0);
     for (std::uint32_t e = begin; e < end; ++e) {
       const std::int8_t* sn = spins_il + std::size_t{neighbor_[e]} * R;
       if constexpr (SharedCoeffs) {
-        const double c = couplings_il[coupling_index_[e]];
-        for (std::size_t r = 0; r < R; ++r) acc[r] += c * sn[r];
+        const Real c = couplings_il[coupling_index_[e]];
+        for (std::size_t r = 0; r < R; ++r) acc[r] += c * static_cast<Real>(sn[r]);
       } else {
-        const double* ce = couplings_il + std::size_t{coupling_index_[e]} * R;
-        for (std::size_t r = 0; r < R; ++r) acc[r] += ce[r] * sn[r];
+        const Real* ce = couplings_il + std::size_t{coupling_index_[e]} * R;
+        for (std::size_t r = 0; r < R; ++r)
+          acc[r] += ce[r] * static_cast<Real>(sn[r]);
       }
     }
-    const double* fi =
-        SharedCoeffs ? fields_il + i : fields_il + i * R;
+    const Real* fi = SharedCoeffs ? fields_il + i : fields_il + i * R;
     for (std::size_t r = 0; r < R; ++r)
       hloc[i * R + r] = fi[SharedCoeffs ? 0 : r] + acc[r];
   }
 
   // Exact bookkeeping for flipping spin i of the replicas in
   // flipped[0..num_flipped): negate the spin, then push the change into the
-  // neighbors' local fields (no Metropolis test here).  The all-replicas
+  // neighbors' local fields (no acceptance test here).  The all-replicas
   // case is split out so the common early-schedule sweeps (almost every
-  // replica flips) run a dense, vectorizable inner loop.
+  // replica flips) run a dense, vectorizable inner loop; the shared
+  // 2*coefficient is hoisted out of both per-replica loops.
   thread_local std::vector<std::uint32_t> flipped;
   flipped.resize(R);
   const auto flip_replicas = [&](std::size_t i, std::size_t num_flipped) {
@@ -137,97 +209,172 @@ void SaEngine::run_batch_kernel(std::size_t num_replicas,
     const std::uint32_t end = row_offset_[i + 1];
     const std::int8_t* si = spins_il + base;
     for (std::uint32_t e = begin; e < end; ++e) {
-      double* hn = hloc.data() + std::size_t{neighbor_[e]} * R;
-      const auto coeff = [&](std::size_t r) {
-        if constexpr (SharedCoeffs)
-          return couplings_il[coupling_index_[e]];
-        else
-          return couplings_il[std::size_t{coupling_index_[e]} * R + r];
-      };
-      if (num_flipped == R) {
-        for (std::size_t r = 0; r < R; ++r)
-          hn[r] += 2.0 * coeff(r) * static_cast<double>(si[r]);
+      Real* hn = hloc.data() + std::size_t{neighbor_[e]} * R;
+      if constexpr (SharedCoeffs) {
+        const Real twoc = Real(2) * couplings_il[coupling_index_[e]];
+        if (num_flipped == R) {
+          for (std::size_t r = 0; r < R; ++r)
+            hn[r] += twoc * static_cast<Real>(si[r]);
+        } else {
+          for (std::size_t k = 0; k < num_flipped; ++k) {
+            const std::uint32_t r = flipped[k];
+            hn[r] += twoc * static_cast<Real>(si[r]);
+          }
+        }
       } else {
-        for (std::size_t k = 0; k < num_flipped; ++k) {
-          const std::uint32_t r = flipped[k];
-          hn[r] += 2.0 * coeff(r) * static_cast<double>(si[r]);
+        const Real* ce = couplings_il + std::size_t{coupling_index_[e]} * R;
+        if (num_flipped == R) {
+          for (std::size_t r = 0; r < R; ++r)
+            hn[r] += Real(2) * ce[r] * static_cast<Real>(si[r]);
+        } else {
+          for (std::size_t k = 0; k < num_flipped; ++k) {
+            const std::uint32_t r = flipped[k];
+            hn[r] += Real(2) * ce[r] * static_cast<Real>(si[r]);
+          }
         }
       }
     }
   };
 
-  thread_local std::vector<double> sum_local;
-  thread_local std::vector<double> sum_internal;
+  thread_local std::vector<Real> sum_local;
+  thread_local std::vector<Real> sum_internal;
   sum_local.resize(R);
   sum_internal.resize(R);
 
-  for (const double beta : betas) {
-    // Single-spin Metropolis pass: one CSR-row walk per spin serves every
-    // replica that accepted a flip.
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t base = i * R;
-      std::size_t num_flipped = 0;
+  // Threshold-mode scratch: the pre-drawn uniforms (one per replica per
+  // decision) and the derived energy thresholds, batched kDrawBlock
+  // decisions at a time.  Blocking keeps the buffers L1-resident while
+  // turning the draw and transform passes into long straight-line loops the
+  // vectorizer handles well; replica r's draw ORDER is unchanged (one
+  // uniform per decision, decisions in sweep order), so blocking is
+  // invisible in the results.
+  constexpr std::size_t kDrawBlock = 64;
+  thread_local std::vector<double> udraw;
+  thread_local std::vector<Real> threshold;
+  if constexpr (Threshold) {
+    udraw.resize(kDrawBlock * R);
+    threshold.resize(kDrawBlock * R);
+  }
+
+  // Pre-draw + transform for `count` upcoming threshold-mode decisions:
+  // replica r consumes exactly `count` uniforms, in decision order —
+  // data-independent, so any replica blocking or thread placement replays
+  // the same per-replica stream.  Decision k's draws land at [k*R, (k+1)*R).
+  // The transform loop is branch-free and auto-vectorizes.
+  const auto draw_thresholds = [&](std::size_t count, double inv_beta) {
+    for (std::size_t r = 0; r < R; ++r) {
+      Rng& gen = *rngs[r];
+      for (std::size_t k = 0; k < count; ++k) udraw[k * R + r] = gen.uniform();
+    }
+    const std::size_t total = count * R;
+    const double* u = udraw.data();
+    Real* t = threshold.data();
+    for (std::size_t x = 0; x < total; ++x)
+      t[x] = static_cast<Real>(branchless_neg_log(u[x]) * inv_beta);
+  };
+
+  // Shared accept pass over one decision's delta_e values.  Exact mode
+  // draws data-dependently (the v1 contract, scalar per replica); threshold
+  // mode consumes the pre-drawn uniforms/thresholds at `draw_base` via a
+  // branch-free compare + index compaction.  Zero-cost flips are taken with
+  // probability 1/2 in BOTH modes: accepting them deterministically makes
+  // domain walls translate in lock-step with the sequential sweep and orbit
+  // forever instead of diffusing/annihilating.
+  const auto accept_pass = [&](double beta, std::size_t draw_base,
+                               const auto& delta_of) {
+    std::size_t num_flipped = 0;
+    if constexpr (Threshold) {
+      (void)beta;
+      const double* u = udraw.data() + draw_base;
+      const Real* t = threshold.data() + draw_base;
       for (std::size_t r = 0; r < R; ++r) {
-        const double delta_e =
-            -2.0 * spins_il[base + r] * hloc[base + r];
-        // Zero-cost flips are taken with probability 1/2: accepting them
-        // deterministically makes domain walls translate in lock-step with
-        // the sequential sweep and orbit forever instead of
-        // diffusing/annihilating.
-        if (delta_e > 0.0 &&
-            rngs[r]->uniform() >= std::exp(-beta * delta_e))
+        const Real delta_e = delta_of(r);
+        const bool accept =
+            delta_e == Real(0) ? (u[r] < 0.5) : (delta_e <= t[r]);
+        flipped[num_flipped] = static_cast<std::uint32_t>(r);
+        num_flipped += accept ? 1u : 0u;
+      }
+    } else {
+      (void)draw_base;
+      for (std::size_t r = 0; r < R; ++r) {
+        const Real delta_e = delta_of(r);
+        if (delta_e > Real(0) &&
+            rngs[r]->uniform() >= std::exp(-beta * static_cast<double>(delta_e)))
           continue;
-        if (delta_e == 0.0 && rngs[r]->coin()) continue;
+        if (delta_e == Real(0) && rngs[r]->coin()) continue;
         flipped[num_flipped++] = static_cast<std::uint32_t>(r);
       }
-      if (num_flipped != 0) flip_replicas(i, num_flipped);
+    }
+    return num_flipped;
+  };
+
+  for (const double beta : betas) {
+    const double inv_beta = 1.0 / beta;
+    // Single-spin pass: one CSR-row walk per spin serves every replica that
+    // accepted a flip.  Threshold mode pre-draws each block of spins'
+    // decisions up front.
+    for (std::size_t i0 = 0; i0 < n; i0 += kDrawBlock) {
+      const std::size_t block = std::min(kDrawBlock, n - i0);
+      if constexpr (Threshold) draw_thresholds(block, inv_beta);
+      for (std::size_t k = 0; k < block; ++k) {
+        const std::size_t i = i0 + k;
+        const std::size_t base = i * R;
+        const std::size_t num_flipped =
+            accept_pass(beta, k * R, [&](std::size_t r) {
+              return Real(-2) * static_cast<Real>(spins_il[base + r]) *
+                     hloc[base + r];
+            });
+        if (num_flipped != 0) flip_replicas(i, num_flipped);
+      }
     }
 
-    // Collective pass: Metropolis over whole groups (embedded chains).
+    // Collective pass: acceptance over whole groups (embedded chains).
     // Flipping every member leaves internal edges invariant, so
     //   dE = -2 (sum_{i in G} s_i hloc_i - 2 sum_{(i,j) internal} J_ij s_i s_j).
-    for (const Group& group : groups_) {
-      for (std::size_t r = 0; r < R; ++r) sum_local[r] = 0.0;
-      for (const std::uint32_t m : group.members) {
-        const std::int8_t* sm = spins_il + std::size_t{m} * R;
-        const double* hm = hloc.data() + std::size_t{m} * R;
-        for (std::size_t r = 0; r < R; ++r)
-          sum_local[r] += static_cast<double>(sm[r]) * hm[r];
-      }
-      for (std::size_t r = 0; r < R; ++r) sum_internal[r] = 0.0;
-      for (const std::uint32_t e : group.internal_edges) {
-        const std::int8_t* si = spins_il + std::size_t{edge_i_[e]} * R;
-        const std::int8_t* sj = spins_il + std::size_t{edge_j_[e]} * R;
-        if constexpr (SharedCoeffs) {
-          const double c = couplings_il[e];
+    // Threshold mode pre-draws each block of group decisions like the spin
+    // pass does.
+    for (std::size_t g0 = 0; g0 < groups_.size(); g0 += kDrawBlock) {
+      const std::size_t gblock = std::min(kDrawBlock, groups_.size() - g0);
+      if constexpr (Threshold) draw_thresholds(gblock, inv_beta);
+      for (std::size_t gk = 0; gk < gblock; ++gk) {
+        const Group& group = groups_[g0 + gk];
+        for (std::size_t r = 0; r < R; ++r) sum_local[r] = Real(0);
+        for (const std::uint32_t m : group.members) {
+          const std::int8_t* sm = spins_il + std::size_t{m} * R;
+          const Real* hm = hloc.data() + std::size_t{m} * R;
           for (std::size_t r = 0; r < R; ++r)
-            sum_internal[r] += c * static_cast<double>(si[r]) *
-                               static_cast<double>(sj[r]);
-        } else {
-          const double* ce = couplings_il + std::size_t{e} * R;
-          for (std::size_t r = 0; r < R; ++r)
-            sum_internal[r] += ce[r] * static_cast<double>(si[r]) *
-                               static_cast<double>(sj[r]);
+            sum_local[r] += static_cast<Real>(sm[r]) * hm[r];
         }
-      }
-      std::size_t num_flipped = 0;
-      for (std::size_t r = 0; r < R; ++r) {
-        const double delta_e = -2.0 * (sum_local[r] - 2.0 * sum_internal[r]);
-        if (delta_e > 0.0 &&
-            rngs[r]->uniform() >= std::exp(-beta * delta_e))
-          continue;
-        if (delta_e == 0.0 && rngs[r]->coin()) continue;
-        flipped[num_flipped++] = static_cast<std::uint32_t>(r);
-      }
-      if (num_flipped == 0) continue;
-      // Members flip in declaration order, exactly as the scalar path's
-      // sequential flip_spin calls, so shared-neighbor local fields
-      // accumulate the member contributions in the same order per replica.
-      const std::size_t keep = num_flipped;
-      for (const std::uint32_t m : group.members) {
-        // flip_replicas consumes flipped[0..keep); the list is unchanged, so
-        // every member flips the same replica set.
-        flip_replicas(m, keep);
+        for (std::size_t r = 0; r < R; ++r) sum_internal[r] = Real(0);
+        for (const std::uint32_t e : group.internal_edges) {
+          const std::int8_t* si = spins_il + std::size_t{edge_i_[e]} * R;
+          const std::int8_t* sj = spins_il + std::size_t{edge_j_[e]} * R;
+          if constexpr (SharedCoeffs) {
+            const Real c = couplings_il[e];
+            for (std::size_t r = 0; r < R; ++r)
+              sum_internal[r] +=
+                  c * static_cast<Real>(si[r]) * static_cast<Real>(sj[r]);
+          } else {
+            const Real* ce = couplings_il + std::size_t{e} * R;
+            for (std::size_t r = 0; r < R; ++r)
+              sum_internal[r] +=
+                  ce[r] * static_cast<Real>(si[r]) * static_cast<Real>(sj[r]);
+          }
+        }
+        const std::size_t num_flipped =
+            accept_pass(beta, gk * R, [&](std::size_t r) {
+              return Real(-2) * (sum_local[r] - Real(2) * sum_internal[r]);
+            });
+        if (num_flipped == 0) continue;
+        // Members flip in declaration order, exactly as the scalar path's
+        // sequential flip_spin calls, so shared-neighbor local fields
+        // accumulate the member contributions in the same order per replica.
+        const std::size_t keep = num_flipped;
+        for (const std::uint32_t m : group.members) {
+          // flip_replicas consumes flipped[0..keep); the list is unchanged,
+          // so every member flips the same replica set.
+          flip_replicas(m, keep);
+        }
       }
     }
   }
@@ -236,7 +383,8 @@ void SaEngine::run_batch_kernel(std::size_t num_replicas,
 std::vector<qubo::SpinVec> SaEngine::batch_dispatch(
     const std::vector<double>& betas, const double* fields_rm,
     const double* couplings_rm, bool replicated_coefficients,
-    std::vector<Rng>& rngs, const qubo::SpinVec* initial) const {
+    std::vector<Rng>& rngs, const qubo::SpinVec* initial,
+    AcceptMode mode) const {
   const std::size_t n = num_spins();
   const std::size_t m = num_couplings();
   const std::size_t R = rngs.size();
@@ -246,11 +394,60 @@ std::vector<qubo::SpinVec> SaEngine::batch_dispatch(
   for (std::size_t r = 0; r < R; ++r) rng_ptrs[r] = &rngs[r];
 
   std::vector<qubo::SpinVec> result(R, qubo::SpinVec(n));
+
+  if (mode == AcceptMode::kThreshold32) {
+    // The float32 threshold kernels.  R == 1 writes straight into the
+    // result (interleaved == flat); larger R de-interleaves below.
+    thread_local std::vector<std::int8_t> spins32_il;
+    std::int8_t* out = result.front().data();
+    if (R > 1) {
+      spins32_il.resize(n * R);
+      out = spins32_il.data();
+    }
+    if (!replicated_coefficients) {
+      // anneal_batch (the ICE-off serve workload): the precomputed float32
+      // base arrays feed the shared-coefficient kernel — no per-call
+      // conversion, no broadcast.
+      run_batch_kernel<true, true, float>(R, betas, fields_f32_.data(),
+                                          couplings_f32_.data(),
+                                          rng_ptrs.data(), initial, out);
+    } else {
+      // Per-replica blocks (ICE on): the existing transpose doubles as the
+      // float32 rounding pass.
+      thread_local std::vector<float> fields32_il;
+      thread_local std::vector<float> couplings32_il;
+      fields32_il.resize(n * R);
+      couplings32_il.resize(m * R);
+      for (std::size_t r = 0; r < R; ++r) {
+        const double* fsrc = fields_rm + r * n;
+        const double* csrc = couplings_rm + r * m;
+        for (std::size_t i = 0; i < n; ++i)
+          fields32_il[i * R + r] = static_cast<float>(fsrc[i]);
+        for (std::size_t e = 0; e < m; ++e)
+          couplings32_il[e * R + r] = static_cast<float>(csrc[e]);
+      }
+      run_batch_kernel<false, true, float>(R, betas, fields32_il.data(),
+                                           couplings32_il.data(),
+                                           rng_ptrs.data(), initial, out);
+    }
+    if (R > 1)
+      for (std::size_t r = 0; r < R; ++r)
+        for (std::size_t i = 0; i < n; ++i) result[r][i] = out[i * R + r];
+    return result;
+  }
+
+  const bool thr = mode == AcceptMode::kThreshold;
   if (R == 1) {
     // Scalar specialization: interleaved and flat layouts coincide, so the
     // caller's arrays feed the kernel directly.
-    run_batch_kernel<false>(1, betas, fields_rm, couplings_rm, rng_ptrs.data(),
-                            initial, result.front().data());
+    if (thr)
+      run_batch_kernel<false, true, double>(1, betas, fields_rm, couplings_rm,
+                                            rng_ptrs.data(), initial,
+                                            result.front().data());
+    else
+      run_batch_kernel<false, false, double>(1, betas, fields_rm, couplings_rm,
+                                             rng_ptrs.data(), initial,
+                                             result.front().data());
     return result;
   }
 
@@ -262,8 +459,14 @@ std::vector<qubo::SpinVec> SaEngine::batch_dispatch(
     // reads the same flat base arrays, so the O(R*(N+M)) broadcast into the
     // interleaved layout is skipped entirely.  Values are identical, so the
     // result stays bit-identical to the interleaved path.
-    run_batch_kernel<true>(R, betas, fields_rm, couplings_rm, rng_ptrs.data(),
-                           initial, spins_il.data());
+    if (thr)
+      run_batch_kernel<true, true, double>(R, betas, fields_rm, couplings_rm,
+                                           rng_ptrs.data(), initial,
+                                           spins_il.data());
+    else
+      run_batch_kernel<true, false, double>(R, betas, fields_rm, couplings_rm,
+                                            rng_ptrs.data(), initial,
+                                            spins_il.data());
   } else {
     // Transpose the replica-major coefficient blocks into the kernel's
     // replica-interleaved layout.  O(R*(N+M)) once per batch — negligible
@@ -280,8 +483,16 @@ std::vector<qubo::SpinVec> SaEngine::batch_dispatch(
       for (std::size_t i = 0; i < n; ++i) fields_il[i * R + r] = fsrc[i];
       for (std::size_t e = 0; e < m; ++e) couplings_il[e * R + r] = csrc[e];
     }
-    run_batch_kernel<false>(R, betas, fields_il.data(), couplings_il.data(),
-                            rng_ptrs.data(), initial, spins_il.data());
+    if (thr)
+      run_batch_kernel<false, true, double>(R, betas, fields_il.data(),
+                                            couplings_il.data(),
+                                            rng_ptrs.data(), initial,
+                                            spins_il.data());
+    else
+      run_batch_kernel<false, false, double>(R, betas, fields_il.data(),
+                                             couplings_il.data(),
+                                             rng_ptrs.data(), initial,
+                                             spins_il.data());
   }
 
   for (std::size_t r = 0; r < R; ++r)
@@ -292,37 +503,60 @@ std::vector<qubo::SpinVec> SaEngine::batch_dispatch(
 qubo::SpinVec SaEngine::anneal_with(const std::vector<double>& betas,
                                     const std::vector<double>& fields,
                                     const std::vector<double>& couplings,
-                                    Rng& rng,
-                                    const qubo::SpinVec* initial) const {
+                                    Rng& rng, const qubo::SpinVec* initial,
+                                    AcceptMode mode) const {
   require(fields.size() == num_spins(),
           "SaEngine::anneal_with: field array size mismatch");
   require(couplings.size() == num_couplings(),
           "SaEngine::anneal_with: coupling array size mismatch");
   qubo::SpinVec spins(num_spins());
   Rng* rng_ptr = &rng;
-  run_batch_kernel<false>(1, betas, fields.data(), couplings.data(), &rng_ptr,
-                          initial, spins.data());
+  switch (mode) {
+    case AcceptMode::kExact:
+      run_batch_kernel<false, false, double>(1, betas, fields.data(),
+                                             couplings.data(), &rng_ptr,
+                                             initial, spins.data());
+      break;
+    case AcceptMode::kThreshold:
+      run_batch_kernel<false, true, double>(1, betas, fields.data(),
+                                            couplings.data(), &rng_ptr,
+                                            initial, spins.data());
+      break;
+    case AcceptMode::kThreshold32: {
+      // Round the caller's arrays to float32 once up front — on the base
+      // arrays this reproduces the precomputed float32 images bit-for-bit,
+      // keeping the scalar path the R = 1 specialization of the batch.
+      thread_local std::vector<float> fields32;
+      thread_local std::vector<float> couplings32;
+      fields32.assign(fields.begin(), fields.end());
+      couplings32.assign(couplings.begin(), couplings.end());
+      run_batch_kernel<true, true, float>(1, betas, fields32.data(),
+                                          couplings32.data(), &rng_ptr,
+                                          initial, spins.data());
+      break;
+    }
+  }
   return spins;
 }
 
 std::vector<qubo::SpinVec> SaEngine::anneal_batch(
     const std::vector<double>& betas, std::vector<Rng>& rngs,
-    const qubo::SpinVec* initial) const {
+    const qubo::SpinVec* initial, AcceptMode mode) const {
   return batch_dispatch(betas, fields_.data(), coupling_values_.data(),
-                        /*replicated_coefficients=*/false, rngs, initial);
+                        /*replicated_coefficients=*/false, rngs, initial, mode);
 }
 
 std::vector<qubo::SpinVec> SaEngine::anneal_batch_with(
     const std::vector<double>& betas, const std::vector<double>& fields,
     const std::vector<double>& couplings, std::vector<Rng>& rngs,
-    const qubo::SpinVec* initial) const {
+    const qubo::SpinVec* initial, AcceptMode mode) const {
   const std::size_t R = rngs.size();
   require(fields.size() == R * num_spins(),
           "SaEngine::anneal_batch_with: field array size mismatch");
   require(couplings.size() == R * num_couplings(),
           "SaEngine::anneal_batch_with: coupling array size mismatch");
   return batch_dispatch(betas, fields.data(), couplings.data(),
-                        /*replicated_coefficients=*/true, rngs, initial);
+                        /*replicated_coefficients=*/true, rngs, initial, mode);
 }
 
 }  // namespace quamax::anneal

@@ -109,10 +109,23 @@ std::size_t env_replicas();
 /// malformed or zero value.
 std::size_t cli_replicas(int argc, char** argv);
 
-/// argv entries that are not part of the --threads / --replicas flags
-/// (program name excluded), in order.  Binaries with positional arguments
-/// parse these instead of argv so their positional handling cannot drift
-/// out of sync with the flag spellings.
+/// Reads the QUAMAX_ACCEPT_MODE environment variable: the sweep-kernel
+/// acceptance rule, one of "exact" (default; the v1 bit-exact Metropolis
+/// contract), "threshold" (branch-free threshold acceptance), or
+/// "threshold32" (threshold with float32 state/coefficients).  Every mode
+/// is bit-identical at any --threads/--replicas; the threshold modes
+/// produce a different (statistically equivalent) sample stream than exact.
+anneal::AcceptMode env_accept_mode();
+
+/// The bench/example `--accept-mode M` knob (also `--accept-mode=M`); falls
+/// back to env_accept_mode() when the flag is absent.  Throws
+/// InvalidArgument on an unknown mode name.
+anneal::AcceptMode cli_accept_mode(int argc, char** argv);
+
+/// argv entries that are not part of the --threads / --replicas /
+/// --accept-mode flags (program name excluded), in order.  Binaries with
+/// positional arguments parse these instead of argv so their positional
+/// handling cannot drift out of sync with the flag spellings.
 std::vector<std::string> positional_args(int argc, char** argv);
 
 }  // namespace quamax::sim

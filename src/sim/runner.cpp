@@ -194,6 +194,16 @@ std::size_t cli_flag_or(const std::string& name, int argc, char** argv,
   return env_fallback();
 }
 
+anneal::AcceptMode parse_accept_mode(const std::string& text) {
+  if (text == "exact") return anneal::AcceptMode::kExact;
+  if (text == "threshold") return anneal::AcceptMode::kThreshold;
+  if (text == "threshold32") return anneal::AcceptMode::kThreshold32;
+  throw InvalidArgument(
+      "--accept-mode / QUAMAX_ACCEPT_MODE: expected exact, threshold, or "
+      "threshold32, got '" +
+      text + "'");
+}
+
 }  // namespace
 
 std::size_t env_threads() {
@@ -222,13 +232,30 @@ std::size_t cli_replicas(int argc, char** argv) {
   return replicas;
 }
 
+anneal::AcceptMode env_accept_mode() {
+  const char* raw = std::getenv("QUAMAX_ACCEPT_MODE");
+  if (raw == nullptr) return anneal::AcceptMode::kExact;
+  return parse_accept_mode(raw);
+}
+
+anneal::AcceptMode cli_accept_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (flag_at("accept-mode", argc, argv, i, value, consumed))
+      return parse_accept_mode(value);
+  }
+  return env_accept_mode();
+}
+
 std::vector<std::string> positional_args(int argc, char** argv) {
   std::vector<std::string> out;
   for (int i = 1; i < argc;) {
     std::string value;
     int consumed = 0;
     if (flag_at("threads", argc, argv, i, value, consumed) ||
-        flag_at("replicas", argc, argv, i, value, consumed)) {
+        flag_at("replicas", argc, argv, i, value, consumed) ||
+        flag_at("accept-mode", argc, argv, i, value, consumed)) {
       i += consumed;
       continue;
     }

@@ -139,11 +139,58 @@ TEST(CliKnobsTest, MalformedOrZeroReplicasThrow) {
   EXPECT_THROW(cli_replicas(2, const_cast<char**>(missing)), InvalidArgument);
 }
 
-TEST(CliKnobsTest, PositionalArgsSkipBothFlags) {
-  const char* argv[] = {"bench", "alpha", "--threads", "2", "beta",
-                        "--replicas=8", "gamma"};
+TEST(CliKnobsTest, AcceptModeFlagParsesBothSpellingsAndAllModes) {
+  const char* argv1[] = {"bench", "--accept-mode", "threshold"};
+  EXPECT_EQ(cli_accept_mode(3, const_cast<char**>(argv1)),
+            anneal::AcceptMode::kThreshold);
+  const char* argv2[] = {"bench", "--accept-mode=threshold32"};
+  EXPECT_EQ(cli_accept_mode(2, const_cast<char**>(argv2)),
+            anneal::AcceptMode::kThreshold32);
+  const char* argv3[] = {"bench", "--accept-mode=exact"};
+  EXPECT_EQ(cli_accept_mode(2, const_cast<char**>(argv3)),
+            anneal::AcceptMode::kExact);
+  const char* none[] = {"bench"};
+  ::unsetenv("QUAMAX_ACCEPT_MODE");
+  EXPECT_EQ(cli_accept_mode(1, const_cast<char**>(none)),
+            anneal::AcceptMode::kExact);
+}
+
+TEST(CliKnobsTest, AcceptModeEnvFallbackAndErrors) {
+  ::setenv("QUAMAX_ACCEPT_MODE", "threshold", 1);
+  EXPECT_EQ(env_accept_mode(), anneal::AcceptMode::kThreshold);
+  const char* none[] = {"bench"};
+  EXPECT_EQ(cli_accept_mode(1, const_cast<char**>(none)),
+            anneal::AcceptMode::kThreshold);
+  // An explicit flag wins over the environment.
+  const char* flagged[] = {"bench", "--accept-mode", "threshold32"};
+  EXPECT_EQ(cli_accept_mode(3, const_cast<char**>(flagged)),
+            anneal::AcceptMode::kThreshold32);
+  ::setenv("QUAMAX_ACCEPT_MODE", "metropolis", 1);
+  EXPECT_THROW(env_accept_mode(), InvalidArgument);
+  // ...but a malformed env var cannot abort a run with a valid flag.
+  EXPECT_EQ(cli_accept_mode(3, const_cast<char**>(flagged)),
+            anneal::AcceptMode::kThreshold32);
+  ::unsetenv("QUAMAX_ACCEPT_MODE");
+
+  const char* garbage[] = {"bench", "--accept-mode=fast"};
+  EXPECT_THROW(cli_accept_mode(2, const_cast<char**>(garbage)), InvalidArgument);
+  const char* missing[] = {"bench", "--accept-mode"};
+  EXPECT_THROW(cli_accept_mode(2, const_cast<char**>(missing)), InvalidArgument);
+}
+
+TEST(CliKnobsTest, AcceptModeNamesRoundTrip) {
+  EXPECT_STREQ(anneal::to_string(anneal::AcceptMode::kExact), "exact");
+  EXPECT_STREQ(anneal::to_string(anneal::AcceptMode::kThreshold), "threshold");
+  EXPECT_STREQ(anneal::to_string(anneal::AcceptMode::kThreshold32),
+               "threshold32");
+}
+
+TEST(CliKnobsTest, PositionalArgsSkipAllFlags) {
+  const char* argv[] = {"bench",        "alpha", "--threads",
+                        "2",            "beta",  "--replicas=8",
+                        "--accept-mode", "threshold", "gamma"};
   const std::vector<std::string> positional =
-      positional_args(7, const_cast<char**>(argv));
+      positional_args(9, const_cast<char**>(argv));
   EXPECT_EQ(positional, (std::vector<std::string>{"alpha", "beta", "gamma"}));
 }
 
