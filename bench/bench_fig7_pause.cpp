@@ -5,13 +5,21 @@
 // Shapes to reproduce: (1) a mid-schedule pause position helps (the red
 // circle in the paper marks the best s_p); (2) as T_p grows, TTS grows —
 // the pause pays for itself only when short (the paper picks T_p = 1 us).
+//
+// Every sweep point decodes its instances in ONE
+// ParallelBatchSampler::sample_problems call with lane-local workers
+// sharing a single embedding cache (placements are schedule-independent) —
+// output is bit-identical at any --threads setting.
 
 #include <cstdio>
+#include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "quamax/anneal/annealer.hpp"
 #include "quamax/common/stats.hpp"
+#include "quamax/core/parallel_sampler.hpp"
 #include "quamax/sim/report.hpp"
 #include "quamax/sim/runner.hpp"
 
@@ -36,13 +44,35 @@ int main(int argc, char** argv) {
     insts.push_back(sim::make_instance(
         {.users = 18, .mod = Modulation::kQpsk, .kind = {}, .snr_db = {}}, rng));
 
-  anneal::AnnealerConfig config;
-  config.num_threads = threads;
-  config.batch_replicas = replicas;
-  config.accept_mode = accept_mode;
-  config.schedule.anneal_time_us = 1.0;
-  config.embed.improved_range = true;
-  anneal::ChimeraAnnealer annealer(config);
+  anneal::AnnealerConfig base;
+  base.num_threads = 1;  // the batch runtime parallelizes ACROSS instances
+  base.batch_replicas = replicas;
+  base.accept_mode = accept_mode;
+  base.schedule.anneal_time_us = 1.0;
+  base.embed.improved_range = true;
+
+  anneal::ChimeraAnnealer probe(base);
+  const std::shared_ptr<chimera::EmbeddingCache> cache = probe.embedding_cache();
+  core::ParallelBatchSampler batch(threads);
+
+  // Median TTS across the instances for one (pause, |J_F|) setting, all
+  // instances decoded through one sample_problems fan-out.
+  const auto median_tts = [&](double tp, double sp, double jf) {
+    anneal::AnnealerConfig config = base;
+    config.schedule.pause_time_us = tp;
+    config.schedule.pause_position = sp;
+    config.embed.jf = jf;
+    const auto factory = [&config, &cache]() -> std::unique_ptr<core::IsingSampler> {
+      auto annealer = std::make_unique<anneal::ChimeraAnnealer>(config);
+      annealer->set_embedding_cache(cache);
+      return annealer;
+    };
+    std::vector<double> tts;
+    for (const sim::RunOutcome& outcome :
+         sim::run_instances(insts, batch, factory, num_anneals, rng))
+      tts.push_back(sim::outcome_tts_us(outcome));
+    return median(tts);
+  };
 
   const std::vector<double> sp_grid{0.15, 0.25, 0.35, 0.45, 0.55};
   const std::vector<double> tp_grid{1.0, 10.0};
@@ -52,15 +82,8 @@ int main(int argc, char** argv) {
   {
     sim::print_columns({"setting", "|J_F|", "TTS med us"});
     for (const double jf : jf_grid) {
-      auto updated = annealer.config();
-      updated.schedule.pause_time_us = 0.0;
-      updated.embed.jf = jf;
-      annealer.set_config(updated);
-      std::vector<double> tts;
-      for (const sim::Instance& inst : insts)
-        tts.push_back(sim::outcome_tts_us(
-            sim::run_instance(inst, annealer, num_anneals, rng)));
-      sim::print_row({"no pause", sim::fmt_double(jf, 1), sim::fmt_us(median(tts))});
+      sim::print_row({"no pause", sim::fmt_double(jf, 1),
+                      sim::fmt_us(median_tts(0.0, 0.35, jf))});
     }
   }
 
@@ -71,16 +94,7 @@ int main(int argc, char** argv) {
     double best_sp = 0, best_jf = 0;
     for (const double sp : sp_grid) {
       for (const double jf : jf_grid) {
-        auto updated = annealer.config();
-        updated.schedule.pause_time_us = tp;
-        updated.schedule.pause_position = sp;
-        updated.embed.jf = jf;
-        annealer.set_config(updated);
-        std::vector<double> tts;
-        for (const sim::Instance& inst : insts)
-          tts.push_back(sim::outcome_tts_us(
-              sim::run_instance(inst, annealer, num_anneals, rng)));
-        const double med = median(tts);
+        const double med = median_tts(tp, sp, jf);
         sim::print_row(
             {sim::fmt_double(sp, 2), sim::fmt_double(jf, 1), sim::fmt_us(med)});
         if (med < best) {

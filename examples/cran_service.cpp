@@ -1,13 +1,21 @@
 // Walkthrough: a centralized-RAN decode service on measured-like traffic
 // (paper §2 deployment story + §5.5 trace evaluation, served end to end).
 //
-// A base-station cluster submits one QPSK detection job per user per LTE
-// subframe, with channels drawn from the synthetic Argos-like 96-antenna
-// trace campaign.  One modeled QA device decodes the cluster: jobs queue,
-// the first-fit packer merges same-shape jobs into chip waves, and every
-// job's queueing/service/total latency is scored against a HARQ-style
-// deadline.  The run then repeats with packing disabled to show what §4
-// parallelization buys a serving system.
+// Part 1 — batch service: a base-station cluster submits one QPSK
+// detection job per user per LTE subframe, with channels drawn from the
+// synthetic Argos-like 96-antenna trace campaign.  A pool of --devices
+// modeled QA processors decodes the cluster under the --queue-policy
+// dispatch discipline: jobs queue, the packer merges same-shape jobs into
+// chip waves, and every job's queueing/service/total latency is scored
+// against a HARQ-style deadline.  The run then repeats with packing
+// disabled to show what §4 parallelization buys a serving system.
+//
+// Part 2 — async streaming (quamax::sched): the same front-end drives a
+// SchedClient instead of a batch run: submit() returns a ticket per job as
+// each subframe is released, poll() surfaces completions due by the
+// virtual clock, and drain() flushes the tail — the submit/poll API a RAN
+// front-end would actually speak.  The records stream back bit-identical
+// to the batch run's.
 //
 // All output derives from the virtual clock + counter-derived streams:
 // re-running at any --threads / --replicas setting prints identical text.
@@ -15,6 +23,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "quamax/sched/client.hpp"
 #include "quamax/serve/load_gen.hpp"
 #include "quamax/serve/service.hpp"
 #include "quamax/sim/report.hpp"
@@ -23,15 +32,20 @@
 int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
-  const quamax::anneal::AcceptMode accept_mode =
-      quamax::sim::cli_accept_mode(argc, argv);
+  const std::optional<quamax::anneal::AcceptMode> accept_override =
+      quamax::sim::cli_accept_mode_if_set(argc, argv);
+  const std::size_t devices = quamax::sim::cli_devices(argc, argv);
+  const quamax::sched::QueuePolicy policy =
+      quamax::sched::parse_queue_policy(quamax::sim::cli_queue_policy(argc, argv));
   using namespace quamax;
 
   const std::size_t num_jobs = sim::scaled(160);
   sim::print_banner("C-RAN decode service walkthrough",
-                    "serve subsystem on trace-driven subframe traffic",
+                    "serve + sched subsystems on trace-driven subframe traffic",
                     "8 users x QPSK over Argos-like traces, " +
-                        std::to_string(num_jobs) + " jobs, 1 ms subframes");
+                        std::to_string(num_jobs) + " jobs, 1 ms subframes, " +
+                        std::to_string(devices) + " device(s), " +
+                        sched::to_string(policy) + " queue");
 
   // Traffic: one job per user per 1 ms subframe, channels from the trace
   // campaign, 600 us decode deadline (a HARQ-tight budget).
@@ -48,10 +62,12 @@ int main(int argc, char** argv) {
   serve::ServiceConfig cfg;
   cfg.annealer.schedule.anneal_time_us = 1.0;
   cfg.annealer.batch_replicas = replicas;
-  cfg.annealer.accept_mode = accept_mode;
+  if (accept_override) cfg.annealer.accept_mode = *accept_override;
   cfg.annealer.embed.improved_range = true;  // §5.5 trace setting
   cfg.num_anneals = sim::scaled(40);
   cfg.num_threads = threads;
+  cfg.num_devices = devices;
+  cfg.queue_policy = policy;
   cfg.program_overhead_us = 10.0;
 
   for (const bool packing : {true, false}) {
@@ -83,11 +99,53 @@ int main(int argc, char** argv) {
     }
   }
 
+  // -------------------------------------------------------------------
+  // Async streaming: the same subframe traffic through SchedClient.
+  // Each subframe's jobs are submitted as they release; poll() after each
+  // subframe returns whatever the pool finished by then.
+  std::printf("\n=== async streaming (sched::SchedClient) ===\n");
+  sched::SchedConfig async_cfg;
+  async_cfg.annealer = cfg.annealer;
+  async_cfg.devices = sched::uniform_devices(cfg.annealer, devices);
+  async_cfg.policy = policy;
+  async_cfg.num_anneals = cfg.num_anneals;
+  async_cfg.num_threads = threads;
+  async_cfg.program_overhead_us = cfg.program_overhead_us;
+  async_cfg.seed = cfg.seed;
+  sched::SchedClient client(async_cfg);
+
+  serve::LoadGenerator stream_gen(load, 0xA2905);
+  const std::size_t async_jobs = std::min<std::size_t>(num_jobs, 32);
+  const std::vector<serve::DecodeJob> stream = stream_gen.open_loop(async_jobs);
+
+  std::size_t polled = 0, errors = 0;
+  double last_subframe = 0.0;
+  for (const serve::DecodeJob& job : stream) {
+    if (job.arrival_us > last_subframe) {
+      // Subframe boundary: collect everything the pool completed so far.
+      const std::vector<sched::Completion> done = client.poll();
+      polled += done.size();
+      for (const sched::Completion& c : done) errors += c.record.bit_errors;
+      std::printf("t = %7.0f us: polled %zu completion(s), %zu in flight\n",
+                  last_subframe, done.size(), client.submitted() - polled);
+      last_subframe = job.arrival_us;
+    }
+    client.submit(job);
+  }
+  const std::vector<sched::Completion> tail = client.drain();
+  polled += tail.size();
+  for (const sched::Completion& c : tail) errors += c.record.bit_errors;
+  std::printf("drain: %zu remaining completion(s); total %zu/%zu jobs, "
+              "%zu bit errors\n",
+              tail.size(), polled, async_jobs, errors);
+
   std::printf(
       "\nReading: with packing ON, the 8 users of each subframe share one\n"
       "chip wave, so the whole cluster decodes in one anneal batch and the\n"
       "deadline holds with a wide margin; with packing OFF each job queues\n"
       "behind its neighbors' full service times — the §4 parallelization is\n"
-      "what makes one annealer a plausible cluster-scale decode appliance.\n");
+      "what makes one annealer a plausible cluster-scale decode appliance.\n"
+      "The async client streams the identical schedule: submit() as\n"
+      "subframes release, poll() per subframe, drain() at end of stream.\n");
   return 0;
 }

@@ -42,6 +42,11 @@ ChimeraAnnealer::ChimeraAnnealer(AnnealerConfig config)
                        config.chip_size, config.chip_defects, config.chip_seed)) {
   require(config.chip_defects == 0 || config.chip_shore == 4,
           "ChimeraAnnealer: defect masks are modeled for the shore-4 chip");
+  for (const chimera::Qubit q : config_.chip_disabled) {
+    require(q < graph_.num_qubits(),
+            "ChimeraAnnealer: chip_disabled qubit id outside the chip");
+    graph_.disable_qubit(q);
+  }
   config_.schedule.validate();
   embeddings_ = std::make_shared<chimera::EmbeddingCache>(graph_);
 }
@@ -66,7 +71,8 @@ void ChimeraAnnealer::set_config(const AnnealerConfig& config) {
   require(config.chip_size == config_.chip_size &&
               config.chip_shore == config_.chip_shore &&
               config.chip_defects == config_.chip_defects &&
-              config.chip_seed == config_.chip_seed,
+              config.chip_seed == config_.chip_seed &&
+              config.chip_disabled == config_.chip_disabled,
           "ChimeraAnnealer::set_config: cannot change the chip; build a new "
           "annealer");
   config.schedule.validate();

@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "quamax/anneal/ice.hpp"
 #include "quamax/anneal/sa_engine.hpp"
@@ -38,6 +39,11 @@ struct AnnealerConfig {
   std::size_t chip_shore = 4;  ///< cell half-size (2000Q: 4; §8 next-gen: 12)
   std::size_t chip_defects = 0;
   std::uint64_t chip_seed = 7;
+  /// Explicit fault map: these qubits are disabled on top of the
+  /// `chip_defects` random ones.  Lets a multi-device scheduler model each
+  /// device's measured defect pattern (sched::DeviceSpec) rather than a
+  /// random draw; ids outside the chip throw at construction.
+  std::vector<chimera::Qubit> chip_disabled;
   /// Standard range enables gauge averaging which cancels the ICE bias;
   /// improved range precludes it (paper §4).  When true, the bias term is
   /// suppressed automatically for standard-range runs.

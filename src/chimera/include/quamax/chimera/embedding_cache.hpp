@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "quamax/chimera/embedding.hpp"
@@ -51,11 +52,18 @@ class EmbeddingCache {
   /// parallel(num_logical)->size(); the wave-packing capacity bound.
   std::size_t capacity(std::size_t num_logical);
 
+  /// Like capacity(), but returns 0 when the shape does not embed on this
+  /// chip instead of throwing — and caches the infeasibility, so a
+  /// multi-device scheduler can route shapes around a defective device
+  /// without paying the failed placement search on every query.
+  std::size_t try_capacity(std::size_t num_logical);
+
  private:
   ChimeraGraph graph_;
   std::mutex mu_;
   std::map<std::size_t, std::shared_ptr<const Embedding>> clique_;
   std::map<std::size_t, std::shared_ptr<const std::vector<Embedding>>> parallel_;
+  std::set<std::size_t> infeasible_;  ///< shapes that failed to embed
 };
 
 }  // namespace quamax::chimera

@@ -78,6 +78,15 @@ class ParallelBatchSampler {
   /// across problems, and nested lanes only oversubscribe the cores.
   using SamplerFactory = std::function<std::unique_ptr<IsingSampler>()>;
 
+  /// Optional per-problem diagnostic tap for sample_problems: invoked as
+  /// after(p, sampler) on the worker lane immediately after problem p's
+  /// samples are drawn, with the sampler that drew them (before that
+  /// sampler serves any other problem).  Lets callers harvest per-call
+  /// sampler state — e.g. ChimeraAnnealer::last_broken_chain_fraction —
+  /// that the lane-local cache would otherwise overwrite.  The hook must
+  /// confine writes to per-index slots (the determinism contract).
+  using ProblemHook = std::function<void(std::size_t, IsingSampler&)>;
+
   /// Fans `problems` across the pool: problem p is drawn `num_anneals` times
   /// with stream p by a sampler built on the worker by `factory` (samplers
   /// are stateful — embedding caches, diagnostics — so they are never shared
@@ -93,7 +102,7 @@ class ParallelBatchSampler {
   std::vector<std::vector<qubo::SpinVec>> sample_problems(
       const SamplerFactory& factory,
       const std::vector<const qubo::IsingModel*>& problems,
-      std::size_t num_anneals, Rng& rng);
+      std::size_t num_anneals, Rng& rng, const ProblemHook& after = nullptr);
 
   /// Toggles the lane-local sampler cache in sample_problems (default on).
   void set_sampler_cache(bool enabled) noexcept { cache_samplers_ = enabled; }

@@ -47,7 +47,7 @@ void ParallelBatchSampler::run_blocks(
 std::vector<std::vector<qubo::SpinVec>> ParallelBatchSampler::sample_problems(
     const SamplerFactory& factory,
     const std::vector<const qubo::IsingModel*>& problems,
-    std::size_t num_anneals, Rng& rng) {
+    std::size_t num_anneals, Rng& rng, const ProblemHook& after) {
   require(static_cast<bool>(factory), "sample_problems: null sampler factory");
   for (const auto* p : problems)
     require(p != nullptr, "sample_problems: null problem pointer");
@@ -66,12 +66,15 @@ std::vector<std::vector<qubo::SpinVec>> ParallelBatchSampler::sample_problems(
   pool_.parallel_for_lanes(problems.size(), [&](std::size_t lane, std::size_t p) {
     Rng stream = Rng::for_stream(key, p);
     if (!cache_samplers_) {
-      results[p] = factory()->sample(*problems[p], num_anneals, stream);
+      const std::unique_ptr<IsingSampler> sampler = factory();
+      results[p] = sampler->sample(*problems[p], num_anneals, stream);
+      if (after) after(p, *sampler);
       return;
     }
     std::unique_ptr<IsingSampler>& sampler = caches[lane][problems[p]->num_spins()];
     if (sampler == nullptr) sampler = factory();
     results[p] = sampler->sample(*problems[p], num_anneals, stream);
+    if (after) after(p, *sampler);
   });
   return results;
 }

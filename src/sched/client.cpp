@@ -1,0 +1,36 @@
+#include "quamax/sched/client.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace quamax::sched {
+
+SchedClient::SchedClient(SchedConfig config, std::shared_ptr<DeviceSet> devices)
+    : scheduler_(std::move(config), std::move(devices)) {}
+
+Ticket SchedClient::submit(serve::DecodeJob job) {
+  return Ticket{scheduler_.submit(std::move(job))};
+}
+
+std::vector<Completion> SchedClient::poll() {
+  // Rounds strictly before "now" have already run (submit advances the
+  // clock); collect() executes the decodes of every wave completed by now.
+  return completions_for(scheduler_.collect(scheduler_.now_us()));
+}
+
+std::vector<Completion> SchedClient::drain() {
+  scheduler_.finish();
+  return completions_for(
+      scheduler_.collect(std::numeric_limits<double>::infinity()));
+}
+
+std::vector<Completion> SchedClient::completions_for(
+    const std::vector<std::size_t>& seqs) {
+  std::vector<Completion> out;
+  out.reserve(seqs.size());
+  for (const std::size_t seq : seqs)
+    out.push_back(Completion{Ticket{seq}, scheduler_.records()[seq]});
+  return out;
+}
+
+}  // namespace quamax::sched

@@ -1,0 +1,87 @@
+#include "quamax/sched/device_set.hpp"
+
+#include <algorithm>
+
+#include "quamax/common/error.hpp"
+
+namespace quamax::sched {
+
+std::vector<DeviceSpec> uniform_devices(const anneal::AnnealerConfig& base,
+                                        std::size_t count) {
+  require(count >= 1, "uniform_devices: need at least one device");
+  std::vector<DeviceSpec> specs(count);
+  // Device 0 carries the base config's own chip verbatim so a 1-device
+  // DeviceSet reproduces a plain ChimeraAnnealer's graph exactly.
+  for (DeviceSpec& spec : specs) {
+    spec.defects = base.chip_defects;
+    spec.defect_seed = base.chip_seed;
+    spec.disabled = base.chip_disabled;
+  }
+  return specs;
+}
+
+std::vector<chimera::Qubit> dead_row_fault_map(const chimera::ChimeraGraph& chip,
+                                               std::size_t stride) {
+  require(stride >= 2, "dead_row_fault_map: stride must be >= 2");
+  std::vector<chimera::Qubit> dead;
+  for (std::size_t row = stride - 1; row < chip.grid_size(); row += stride)
+    for (std::size_t col = 0; col < chip.grid_size(); ++col)
+      for (int side = 0; side < 2; ++side)
+        for (int k = 0; k < static_cast<int>(chip.shore_size()); ++k)
+          dead.push_back(chip.qubit_id(row, col, side, k));
+  return dead;
+}
+
+DeviceSet::DeviceSet(const anneal::AnnealerConfig& base,
+                     std::vector<DeviceSpec> specs)
+    : base_(base), specs_(std::move(specs)) {
+  require(!specs_.empty(), "DeviceSet: need at least one device");
+  caches_.reserve(specs_.size());
+  for (std::size_t d = 0; d < specs_.size(); ++d) {
+    const DeviceSpec& spec = specs_[d];
+    chimera::ChimeraGraph graph =
+        spec.defects == 0
+            ? chimera::ChimeraGraph(base_.chip_size, base_.chip_shore)
+            : chimera::ChimeraGraph::with_defects(base_.chip_size, spec.defects,
+                                                  spec.defect_seed);
+    require(spec.defects == 0 || base_.chip_shore == 4,
+            "DeviceSet: random defect masks are modeled for the shore-4 chip");
+    for (const chimera::Qubit q : spec.disabled) {
+      require(q < graph.num_qubits(),
+              "DeviceSet: disabled qubit id outside the chip");
+      graph.disable_qubit(q);
+    }
+    // Device-affine caches with topology dedup: an identical chip reuses an
+    // earlier device's cache (placements depend only on the topology), so a
+    // uniform pool compiles each shape once, like PR 3's single shared cache.
+    std::shared_ptr<chimera::EmbeddingCache> cache;
+    for (std::size_t e = 0; e < d; ++e) {
+      if (caches_[e]->graph().same_topology(graph)) {
+        cache = caches_[e];
+        break;
+      }
+    }
+    if (cache == nullptr)
+      cache = std::make_shared<chimera::EmbeddingCache>(std::move(graph));
+    caches_.push_back(std::move(cache));
+  }
+}
+
+anneal::AnnealerConfig DeviceSet::worker_config(std::size_t device) const {
+  const DeviceSpec& spec = specs_.at(device);
+  anneal::AnnealerConfig cfg = base_;
+  cfg.chip_defects = spec.defects;
+  cfg.chip_seed = spec.defect_seed;
+  cfg.chip_disabled = spec.disabled;
+  cfg.num_threads = 1;  // the scheduler parallelizes ACROSS waves
+  return cfg;
+}
+
+std::size_t DeviceSet::max_capacity(std::size_t shape) {
+  std::size_t best = 0;
+  for (std::size_t d = 0; d < size(); ++d)
+    best = std::max(best, capacity(d, shape));
+  return best;
+}
+
+}  // namespace quamax::sched

@@ -1,0 +1,45 @@
+// Queue policies for the multi-device decode scheduler (ROADMAP: "EDF or
+// slack-aware queue policies vs FIFO").
+//
+// The scheduler picks which queued job seeds the next chip wave.  Kasi et
+// al.'s NextG feasibility analysis (arXiv:2109.01465) frames the QA data
+// center as a deadline-bound queueing system, where arrival-order service is
+// the wrong discipline the moment jobs carry heterogeneous HARQ budgets: a
+// tight-deadline job stuck behind a loose one misses for no reason.  Three
+// disciplines are modeled:
+//
+//   * kFifo  — arrival (submission) order; the PR-3 DecodeService behavior
+//     and the baseline every policy sweep compares against.
+//   * kEdf   — earliest deadline first.  Classic optimal single-resource
+//     discipline under feasible load; under overload it still front-loads
+//     urgent work but wastes service on jobs already doomed to miss.
+//   * kSlack — least-slack-first with doomed-job deferral: jobs that can
+//     still meet their deadline from the dispatch instant are served in
+//     deadline order; jobs whose deadline is unreachable even by immediate
+//     service are deferred behind every feasible job (served in deadline
+//     order among themselves rather than dropped, unless drop_late sheds
+//     them).  Spends saturated-device time on jobs that can still win.
+//
+// Every ordering is resolved DETERMINISTICALLY: (feasibility,) deadline,
+// then submission sequence — so two runs of the same workload produce the
+// same wave log at any thread count.
+#pragma once
+
+#include <string>
+
+namespace quamax::sched {
+
+enum class QueuePolicy {
+  kFifo,   ///< arrival order (the PR-3 DecodeService discipline)
+  kEdf,    ///< earliest deadline first, ties by submission sequence
+  kSlack,  ///< EDF over feasible jobs; doomed jobs deferred to the back
+};
+
+/// Parses "fifo" / "edf" / "slack" (the --queue-policy / QUAMAX_QUEUE_POLICY
+/// spellings).  Throws InvalidArgument on anything else.
+QueuePolicy parse_queue_policy(const std::string& text);
+
+/// The canonical knob spelling of a policy.
+std::string to_string(QueuePolicy policy);
+
+}  // namespace quamax::sched

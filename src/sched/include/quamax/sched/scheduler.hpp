@@ -1,0 +1,198 @@
+// quamax::sched — async multi-device decode scheduler (paper §2/§7;
+// ROADMAP: "multi-chip sharding", "EDF or slack-aware queue policies",
+// "async streaming API").
+//
+// PR 3's DecodeService drained one FIFO synchronously onto interchangeable
+// devices.  The Scheduler generalizes that event loop into the data-center
+// shape the paper's C-RAN vision implies (and Kasi et al.'s NextG
+// feasibility analysis models): RAN front-ends SUBMIT detection jobs as
+// they arrive, a pool of topology-distinct QA devices (sched::DeviceSet)
+// absorbs them, and completions stream back asynchronously.
+//
+//   submit(job) ───► staged ──admit──► pending (policy-ordered view)
+//                                         │ shape-aware routing: a wave only
+//                                         ▼ lands on a device it embeds on
+//                              per-device waves on the virtual clock
+//                                         │
+//   collect(t) ◄── decode compute (ThreadPool, per-wave RNG streams) ◄──┘
+//
+// The two-clock split of PR 3 is preserved exactly:
+//
+//   * The VIRTUAL clock advances through submit()/advance_to()/finish():
+//     dispatch rounds pop the earliest-free device, admit every job released
+//     by that instant, optionally shed doomed jobs (drop_late), pick the
+//     policy-best job whose shape fits the device, and charge the wave
+//     program_overhead_us + num_anneals * (T_a + T_p).  Rounds never run
+//     past the submission horizon, so a job can never miss a wave it should
+//     have joined — the async path's timeline is BIT-IDENTICAL to feeding
+//     the same workload through a batch run.
+//
+//   * The WALL clock only pays for decode compute, executed lazily when
+//     collect() needs completed waves: wave w draws all randomness from
+//     Rng::for_stream(key, w) and runs on a lane-local worker built for its
+//     device's chip, so records are bit-identical at any num_threads /
+//     batch_replicas setting AND any submit/poll interleaving.
+//
+// serve::DecodeService delegates its dispatch to this engine; SchedClient
+// (client.hpp) is the streaming front end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "quamax/anneal/annealer.hpp"
+#include "quamax/core/thread_pool.hpp"
+#include "quamax/sched/device_set.hpp"
+#include "quamax/sched/policy.hpp"
+#include "quamax/serve/job.hpp"
+#include "quamax/serve/packer.hpp"
+
+namespace quamax::sched {
+
+/// The serving stack's annealer defaults: the library baseline with the
+/// sweep kernel switched to branch-free float32 threshold acceptance.
+/// bench_serve_load's soak gate holds threshold32's miss-rate / goodput /
+/// BER curves to parity with exact at paper-scale load, and the float32
+/// kernel is the throughput winner on the ICE-off shared-coefficient
+/// serving path.  Override via --accept-mode / QUAMAX_ACCEPT_MODE.
+inline anneal::AnnealerConfig serving_annealer_defaults() {
+  anneal::AnnealerConfig cfg;
+  cfg.accept_mode = anneal::AcceptMode::kThreshold32;
+  return cfg;
+}
+
+/// The one wave-sizing rule shared by the engine's dispatch
+/// (Scheduler::effective_capacity) and the serve layer's public capacity
+/// accessor (DecodeService::wave_capacity): packing off = one job per wave;
+/// otherwise the chip capacity, clamped by max_wave_jobs (0 = no extra cap).
+inline std::size_t clamp_wave_jobs(std::size_t chip_capacity, bool packing,
+                                   std::size_t max_wave_jobs) {
+  if (!packing) return 1;
+  if (max_wave_jobs == 0) return chip_capacity;
+  return chip_capacity < max_wave_jobs ? chip_capacity : max_wave_jobs;
+}
+
+struct SchedConfig {
+  /// Chip, schedule, ICE, and replica configuration of every device worker
+  /// (chip fields describe the BASE chip; DeviceSpecs refine it per device).
+  /// Defaults to threshold32 acceptance (serving_annealer_defaults).
+  anneal::AnnealerConfig annealer = serving_annealer_defaults();
+  /// One spec per modeled device; empty means one device with the base chip.
+  std::vector<DeviceSpec> devices;
+  QueuePolicy policy = QueuePolicy::kFifo;
+  std::size_t num_anneals = 50;     ///< N_a per wave
+  double program_overhead_us = 10.0;
+  bool packing = true;              ///< false = one job per wave
+  std::size_t max_wave_jobs = 0;    ///< extra cap below chip capacity; 0 = none
+  bool drop_late = false;           ///< shed jobs already doomed to miss
+  std::size_t num_threads = 1;      ///< decode-compute lanes (0 = all cores)
+  std::uint64_t seed = 0xC8A17;     ///< root of all decode RNG streams
+};
+
+class Scheduler {
+ public:
+  /// Called at each job's dispatch (or drop) with its wave completion (or
+  /// drop) time — the closed-loop feedback edge DecodeService's feeds use.
+  using DispatchHook =
+      std::function<void(const serve::DecodeJob&, double completion_us)>;
+
+  /// `devices` may share a prebuilt DeviceSet (compiled placements persist
+  /// across scheduler instances); nullptr builds one from the config.
+  explicit Scheduler(SchedConfig config,
+                     std::shared_ptr<DeviceSet> devices = nullptr);
+
+  const SchedConfig& config() const noexcept { return config_; }
+  const std::shared_ptr<DeviceSet>& device_set() const noexcept { return devices_; }
+
+  /// Virtual-clock cost of one wave, any occupancy or device.
+  double wave_service_us() const;
+
+  void set_dispatch_hook(DispatchHook hook) { hook_ = std::move(hook); }
+
+  /// Stages one job and advances the virtual clock to its arrival (rounds
+  /// strictly before it are dispatched first).  Jobs must be submitted in
+  /// non-decreasing arrival order — the scheduler cannot dispatch into a
+  /// past an unseen job should have joined.  Returns the job's sequence
+  /// number (the ticket index).  Throws CapacityError when no device in the
+  /// pool can embed the job's shape.
+  std::size_t submit(serve::DecodeJob job);
+
+  /// Dispatches every round whose time lies strictly before `horizon_us`.
+  /// submit() calls this implicitly; explicit calls let a driver flush the
+  /// timeline up to a known-quiet instant (e.g. the feed's next release).
+  void advance_to(double horizon_us);
+
+  /// Unbounded-horizon variant for closed loops stalled on feedback: runs
+  /// rounds until at least one job dispatches or drops (firing the hook),
+  /// returning false when no work remains.
+  bool advance_until_dispatch();
+
+  /// Runs every remaining round and executes every wave's decode; after
+  /// this, records() is complete and final.
+  void finish();
+
+  /// Latest submitted arrival — the streaming client's notion of "now".
+  double now_us() const noexcept { return now_us_; }
+  std::size_t num_submitted() const noexcept { return jobs_.size(); }
+
+  /// Executes the decode of every wave completed by `t` and returns the
+  /// sequence numbers of jobs finalized by `t` (wave completion or drop
+  /// time <= t) that no earlier collect() returned, ordered by
+  /// (completion time, sequence).  The per-seq records are final once
+  /// returned.  Pass +infinity after finish() to collect everything.
+  std::vector<std::size_t> collect(double t);
+
+  /// Per-job records indexed by sequence number.  Timing fields are final
+  /// once the job's wave is dispatched; decode fields once it executes.
+  const std::vector<serve::JobRecord>& records() const noexcept { return records_; }
+  /// Dispatched waves in dispatch order (wave w decodes from stream w).
+  const std::vector<serve::Wave>& waves() const noexcept { return waves_; }
+
+ private:
+  enum class JobState : std::uint8_t { kQueued, kDispatched, kDropped };
+  enum class Round { kNoWork, kHorizon, kParked, kSwept, kDispatched };
+
+  Round round(double horizon_us);
+  void admit_up_to(double t_us);
+  void sweep_drops(double t_free_us);
+  std::size_t effective_capacity(std::size_t device, std::size_t shape);
+  /// Policy order at dispatch instant `t_us`: feasibility class (slack
+  /// only), then deadline (edf/slack), then sequence.
+  bool policy_before(std::size_t a, std::size_t b, double t_us) const;
+  void dispatch_wave(std::size_t device, double t_free_us, std::size_t seed_seq);
+  void execute_due(double t_us);
+  void run_wave(std::size_t lane, std::size_t wave_id);
+
+  SchedConfig config_;
+  std::shared_ptr<DeviceSet> devices_;
+  core::ThreadPool pool_;
+  std::uint64_t decode_key_ = 0;
+  DispatchHook hook_;
+
+  std::vector<serve::DecodeJob> jobs_;  ///< by sequence number
+  std::vector<serve::JobRecord> records_;
+  std::vector<JobState> states_;
+  std::size_t admit_cursor_ = 0;        ///< first staged (unadmitted) seq
+  std::vector<std::size_t> pending_;    ///< admitted, undispatched; seq order
+  double now_us_ = 0.0;
+  double last_arrival_us_ = 0.0;
+
+  using Device = std::pair<double, std::size_t>;  ///< (free time, id)
+  std::priority_queue<Device, std::vector<Device>, std::greater<>> free_devices_;
+  std::vector<Device> parked_;  ///< devices with nothing routable; re-armed on admission
+
+  std::vector<serve::Wave> waves_;
+  /// Due-heaps so a long-lived streaming client's collect() only touches
+  /// newly-due items, never rescanning the whole history.
+  using Due = std::pair<double, std::size_t>;  ///< (completion time, id)
+  std::priority_queue<Due, std::vector<Due>, std::greater<>> unexecuted_waves_;
+  std::priority_queue<Due, std::vector<Due>, std::greater<>> undelivered_;  ///< (completion, seq)
+  /// workers_[lane][device]: lane-local annealer built for that device's chip.
+  std::vector<std::vector<std::unique_ptr<anneal::ChimeraAnnealer>>> workers_;
+};
+
+}  // namespace quamax::sched

@@ -1,0 +1,26 @@
+#include "quamax/sched/policy.hpp"
+
+#include "quamax/common/error.hpp"
+
+namespace quamax::sched {
+
+QueuePolicy parse_queue_policy(const std::string& text) {
+  if (text == "fifo") return QueuePolicy::kFifo;
+  if (text == "edf") return QueuePolicy::kEdf;
+  if (text == "slack") return QueuePolicy::kSlack;
+  throw InvalidArgument(
+      "--queue-policy / QUAMAX_QUEUE_POLICY: expected fifo, edf, or slack, "
+      "got '" +
+      text + "'");
+}
+
+std::string to_string(QueuePolicy policy) {
+  switch (policy) {
+    case QueuePolicy::kFifo: return "fifo";
+    case QueuePolicy::kEdf: return "edf";
+    case QueuePolicy::kSlack: return "slack";
+  }
+  return "fifo";
+}
+
+}  // namespace quamax::sched

@@ -1,0 +1,361 @@
+#include "quamax/sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "quamax/common/error.hpp"
+#include "quamax/core/transform.hpp"
+#include "quamax/metrics/solution_stats.hpp"
+#include "quamax/wireless/channel.hpp"
+
+namespace quamax::sched {
+namespace {
+
+/// Ground-state test sharing metrics::kEnergyTolerance so scheduler records
+/// and the metrics layer agree on the same samples by construction.
+bool reaches_ground(double best_energy, double ground_energy) {
+  return best_energy <= ground_energy + metrics::kEnergyTolerance;
+}
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Scheduler::Scheduler(SchedConfig config, std::shared_ptr<DeviceSet> devices)
+    : config_(std::move(config)),
+      devices_(std::move(devices)),
+      pool_(config_.num_threads) {
+  require(config_.num_anneals >= 1, "Scheduler: need at least one anneal");
+  require(config_.program_overhead_us >= 0.0,
+          "Scheduler: negative program overhead");
+  config_.annealer.schedule.validate();
+  require(!config_.annealer.schedule.reverse,
+          "Scheduler: reverse annealing is single-problem only");
+  if (config_.devices.empty())
+    config_.devices = uniform_devices(config_.annealer, 1);
+  if (devices_ == nullptr)
+    devices_ = std::make_shared<DeviceSet>(config_.annealer, config_.devices);
+  require(devices_->size() == config_.devices.size(),
+          "Scheduler: device set size does not match the device specs");
+  for (std::size_t d = 0; d < devices_->size(); ++d)
+    free_devices_.emplace(0.0, d);
+  workers_.resize(pool_.size());
+  for (auto& lane : workers_) lane.resize(devices_->size());
+  Rng root(config_.seed);
+  decode_key_ = root();
+}
+
+double Scheduler::wave_service_us() const {
+  return config_.program_overhead_us +
+         static_cast<double>(config_.num_anneals) *
+             config_.annealer.schedule.duration_us();
+}
+
+std::size_t Scheduler::submit(serve::DecodeJob job) {
+  require(job.arrival_us >= last_arrival_us_,
+          "Scheduler::submit: jobs must arrive in non-decreasing order");
+  if (devices_->max_capacity(job.shape()) == 0)
+    throw CapacityError("Scheduler::submit: no device can embed shape " +
+                        std::to_string(job.shape()));
+  advance_to(job.arrival_us);
+  last_arrival_us_ = job.arrival_us;
+  now_us_ = std::max(now_us_, job.arrival_us);
+
+  const std::size_t seq = jobs_.size();
+  serve::JobRecord record;
+  record.job_id = job.id;
+  record.user = job.user;
+  record.arrival_us = job.arrival_us;
+  record.deadline_us = job.deadline_us;
+  records_.push_back(record);
+  states_.push_back(JobState::kQueued);
+  jobs_.push_back(std::move(job));
+  return seq;
+}
+
+void Scheduler::advance_to(double horizon_us) {
+  while (true) {
+    const Round result = round(horizon_us);
+    if (result == Round::kNoWork || result == Round::kHorizon) return;
+  }
+}
+
+bool Scheduler::advance_until_dispatch() {
+  while (true) {
+    const Round result = round(kInfinity);
+    if (result == Round::kDispatched || result == Round::kSwept) return true;
+    if (result == Round::kNoWork) return false;
+  }
+}
+
+void Scheduler::finish() {
+  advance_to(kInfinity);
+  require(admit_cursor_ == jobs_.size() && pending_.empty(),
+          "Scheduler::finish: undispatched jobs remain");
+  execute_due(kInfinity);
+}
+
+// One dispatch attempt for the earliest-free device — the PR-3 event loop's
+// body, generalized with policy ordering and shape-aware routing.  The
+// round's effective time never reaches `horizon_us`: every arrival a round
+// could admit has already been submitted, which is what makes the async
+// timeline identical to a batch run of the same workload.
+Scheduler::Round Scheduler::round(double horizon_us) {
+  if (free_devices_.empty()) return Round::kNoWork;
+  auto [t_free, device] = free_devices_.top();
+  free_devices_.pop();
+
+  while (true) {
+    // An idle device jumps to the next submitted arrival (the batch loop
+    // jumped to the feed's next release).
+    if (pending_.empty()) {
+      if (admit_cursor_ >= jobs_.size()) {
+        free_devices_.emplace(t_free, device);
+        return Round::kNoWork;
+      }
+      t_free = std::max(t_free, jobs_[admit_cursor_].arrival_us);
+    }
+    if (t_free >= horizon_us) {
+      free_devices_.emplace(t_free, device);
+      return Round::kHorizon;
+    }
+
+    // Admit everything released by t_free, then shed doomed jobs.
+    admit_up_to(t_free);
+    if (config_.drop_late) {
+      const std::size_t before = pending_.size();
+      sweep_drops(t_free);
+      if (pending_.empty() && before > 0) {
+        // The sweep emptied the queue: requeue the device and let the next
+        // round (any device) jump forward, exactly like the batch loop.
+        free_devices_.emplace(t_free, device);
+        return Round::kSwept;
+      }
+    }
+    if (pending_.empty()) continue;  // nothing admitted yet; jump again
+
+    // Shape-aware routing: seed with the policy-best pending job whose
+    // shape this device can embed.
+    std::size_t seed_seq = jobs_.size();
+    bool found = false;
+    for (const std::size_t seq : pending_) {
+      if (!devices_->fits(device, jobs_[seq].shape())) continue;
+      if (!found || policy_before(seq, seed_seq, t_free)) {
+        seed_seq = seq;
+        found = true;
+      }
+    }
+    if (!found) {
+      // Every pending job needs some other device; park until the next
+      // admission re-arms us.
+      parked_.emplace_back(t_free, device);
+      return Round::kParked;
+    }
+
+    dispatch_wave(device, t_free, seed_seq);
+    return Round::kDispatched;
+  }
+}
+
+void Scheduler::admit_up_to(double t_us) {
+  bool admitted = false;
+  while (admit_cursor_ < jobs_.size() &&
+         jobs_[admit_cursor_].arrival_us <= t_us) {
+    pending_.push_back(admit_cursor_++);
+    admitted = true;
+  }
+  if (admitted && !parked_.empty()) {
+    // New work may fit a parked device; re-arm the whole bench.
+    for (const Device& d : parked_) free_devices_.push(d);
+    parked_.clear();
+  }
+}
+
+// Deadline-aware admission (ServiceConfig::drop_late): shed every queued
+// job that even immediate service — starting at max(t_free, its arrival) —
+// can no longer save.  Scans the whole queue, so it is correct for
+// heterogeneous per-job budgets (HARQ class mixes).
+void Scheduler::sweep_drops(double t_free_us) {
+  const double service_us = wave_service_us();
+  std::vector<std::size_t> survivors;
+  survivors.reserve(pending_.size());
+  for (const std::size_t seq : pending_) {
+    const double start_us = std::max(t_free_us, jobs_[seq].arrival_us);
+    if (jobs_[seq].deadline_us >= start_us + service_us) {
+      survivors.push_back(seq);
+      continue;
+    }
+    records_[seq].dropped = true;
+    records_[seq].dispatch_us = start_us;
+    records_[seq].completion_us = start_us;
+    states_[seq] = JobState::kDropped;
+    undelivered_.emplace(start_us, seq);
+    if (hook_) hook_(jobs_[seq], start_us);
+  }
+  pending_ = std::move(survivors);
+}
+
+std::size_t Scheduler::effective_capacity(std::size_t device, std::size_t shape) {
+  return clamp_wave_jobs(devices_->capacity(device, shape), config_.packing,
+                         config_.max_wave_jobs);
+}
+
+bool Scheduler::policy_before(std::size_t a, std::size_t b, double t_us) const {
+  switch (config_.policy) {
+    case QueuePolicy::kFifo:
+      return a < b;
+    case QueuePolicy::kEdf: {
+      const double da = jobs_[a].deadline_us;
+      const double db = jobs_[b].deadline_us;
+      if (da != db) return da < db;
+      return a < b;
+    }
+    case QueuePolicy::kSlack: {
+      // Feasible jobs (still able to meet their deadline from this dispatch
+      // instant) come first, in deadline order; doomed jobs defer to the
+      // back rather than burn device time ahead of winnable work.
+      const double service_us = wave_service_us();
+      const auto doomed = [&](std::size_t seq) {
+        const double start_us = std::max(t_us, jobs_[seq].arrival_us);
+        return jobs_[seq].deadline_us < start_us + service_us;
+      };
+      const bool doomed_a = doomed(a);
+      const bool doomed_b = doomed(b);
+      if (doomed_a != doomed_b) return !doomed_a;
+      const double da = jobs_[a].deadline_us;
+      const double db = jobs_[b].deadline_us;
+      if (da != db) return da < db;
+      return a < b;
+    }
+  }
+  return a < b;
+}
+
+void Scheduler::dispatch_wave(std::size_t device, double t_free_us,
+                              std::size_t seed_seq) {
+  const std::size_t shape = jobs_[seed_seq].shape();
+  const std::size_t cap = effective_capacity(device, shape);
+
+  // Fill with the policy-best same-shape jobs (the seed is one of them).
+  std::vector<std::size_t> same_shape;
+  for (const std::size_t seq : pending_)
+    if (jobs_[seq].shape() == shape) same_shape.push_back(seq);
+  std::sort(same_shape.begin(), same_shape.end(),
+            [&](std::size_t a, std::size_t b) {
+              return policy_before(a, b, t_free_us);
+            });
+  if (same_shape.size() > cap) same_shape.resize(cap);
+  // Wave membership is recorded in sequence order whatever the policy, so
+  // the wave log (and the job -> sample mapping) has one canonical form.
+  std::sort(same_shape.begin(), same_shape.end());
+
+  serve::Wave wave;
+  wave.id = waves_.size();
+  wave.shape = shape;
+  wave.device = device;
+  wave.jobs = same_shape;
+  // Causality under multiple devices: members admitted at another device's
+  // clock may arrive in THIS device's future; the wave starts no earlier
+  // than every member's arrival.
+  wave.dispatch_us = t_free_us;
+  for (const std::size_t seq : wave.jobs)
+    wave.dispatch_us = std::max(wave.dispatch_us, jobs_[seq].arrival_us);
+  wave.completion_us = wave.dispatch_us + wave_service_us();
+
+  for (const std::size_t seq : wave.jobs) {
+    records_[seq].wave_id = wave.id;
+    records_[seq].dispatch_us = wave.dispatch_us;
+    records_[seq].completion_us = wave.completion_us;
+    states_[seq] = JobState::kDispatched;
+    undelivered_.emplace(wave.completion_us, seq);
+    if (hook_) hook_(jobs_[seq], wave.completion_us);
+  }
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [&](std::size_t seq) {
+                                  return states_[seq] != JobState::kQueued;
+                                }),
+                 pending_.end());
+
+  // The device idles from t_free to the (possibly later) dispatch.
+  free_devices_.emplace(wave.completion_us, device);
+  unexecuted_waves_.emplace(wave.completion_us, wave.id);
+  waves_.push_back(std::move(wave));
+}
+
+std::vector<std::size_t> Scheduler::collect(double t) {
+  // execute_due first: every record popped below with completion <= t
+  // belongs to a wave executed just now (or earlier) or to a drop.
+  execute_due(t);
+  std::vector<std::size_t> done;
+  while (!undelivered_.empty() && undelivered_.top().first <= t) {
+    done.push_back(undelivered_.top().second);
+    undelivered_.pop();
+  }
+  // Heap pop order IS (completion time, seq) — no sort needed.
+  return done;
+}
+
+// The wall-clock phase: fan every due wave across lane-local, device-affine
+// ChimeraAnnealer workers.  Wave w's entire decode draws from
+// Rng::for_stream(key, w) and writes only its members' record slots, so the
+// filled records are bit-identical at any thread count and any
+// submit/collect interleaving.
+void Scheduler::execute_due(double t_us) {
+  std::vector<std::size_t> due;
+  while (!unexecuted_waves_.empty() && unexecuted_waves_.top().first <= t_us) {
+    due.push_back(unexecuted_waves_.top().second);
+    unexecuted_waves_.pop();
+  }
+  if (due.empty()) return;
+  pool_.parallel_for_lanes(due.size(), [&](std::size_t lane, std::size_t i) {
+    run_wave(lane, due[i]);
+  });
+}
+
+void Scheduler::run_wave(std::size_t lane, std::size_t wave_id) {
+  const serve::Wave& wave = waves_[wave_id];
+  std::unique_ptr<anneal::ChimeraAnnealer>& worker = workers_[lane][wave.device];
+  if (worker == nullptr) {
+    worker = std::make_unique<anneal::ChimeraAnnealer>(
+        devices_->worker_config(wave.device));
+    worker->set_embedding_cache(devices_->cache(wave.device));
+  }
+
+  std::vector<const qubo::IsingModel*> problems;
+  problems.reserve(wave.jobs.size());
+  for (const std::size_t seq : wave.jobs)
+    problems.push_back(&jobs_[seq].instance.problem.ising);
+
+  Rng stream = Rng::for_stream(decode_key_, wave.id);
+  const std::vector<std::vector<qubo::SpinVec>> samples =
+      worker->sample_batch(problems, config_.num_anneals, stream);
+
+  for (std::size_t s = 0; s < wave.jobs.size(); ++s) {
+    const serve::DecodeJob& job = jobs_[wave.jobs[s]];
+    serve::JobRecord& record = records_[wave.jobs[s]];
+
+    // Best-of-N_a decode, exactly the QuAMaxDetector policy: keep the
+    // lowest-energy configuration and post-translate to Gray bits.
+    const qubo::IsingModel& ising = job.instance.problem.ising;
+    const qubo::SpinVec* best = nullptr;
+    double best_energy = 0.0;
+    for (const qubo::SpinVec& sample : samples[s]) {
+      const double energy = ising.energy(sample);
+      if (best == nullptr || energy < best_energy) {
+        best = &sample;
+        best_energy = energy;
+      }
+    }
+    const wireless::BitVec decoded = core::gray_bits_from_spins(
+        *best, job.instance.use.h.cols(), job.instance.use.mod);
+    record.bit_errors =
+        wireless::count_bit_errors(decoded, job.instance.use.tx_bits);
+    record.num_bits = job.instance.use.tx_bits.size();
+    record.ground_state = reaches_ground(best_energy, job.instance.ground_energy);
+  }
+}
+
+}  // namespace quamax::sched

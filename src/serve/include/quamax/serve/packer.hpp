@@ -10,8 +10,12 @@
 // keep their queue positions — a later wave serves them.
 //
 // The packer is deliberately pure queueing logic (indices in, indices out,
-// no time, no I/O) so tests can drive it exhaustively; DecodeService owns
-// the clock and the chip.
+// no time, no I/O) so tests can drive it exhaustively.  Since PR 5 the
+// live dispatch path is sched::Scheduler, whose policy queue generalizes
+// this first-fit FIFO discipline (QueuePolicy::kFifo reproduces it
+// membership-for-membership); WavePacker remains the single-chip reference
+// implementation that tests/serve_test.cpp pins the packing contract with,
+// and the home of the Wave record every layer shares.
 #pragma once
 
 #include <cstddef>

@@ -30,8 +30,13 @@
 //     ServiceReport — are bit-identical at ANY num_threads setting
 //     (tests/serve_test.cpp enforces this).
 //
-// This is the substrate every scaling follow-on (multi-chip sharding, async
-// backends, admission policies) plugs into.
+// Since PR 5 the dispatch engine itself lives in quamax::sched: the service
+// builds a sched::Scheduler per run and feeds it arrivals, which is where
+// multi-chip sharding (per-device defect maps + device-affine embedding
+// caches, ServiceConfig::device_specs), pluggable queue policies
+// (ServiceConfig::queue_policy), and the async submit/poll API
+// (sched::SchedClient) come from.  DecodeService remains the batch
+// (run-to-completion) front end over that engine.
 #pragma once
 
 #include <cstddef>
@@ -41,6 +46,9 @@
 
 #include "quamax/anneal/annealer.hpp"
 #include "quamax/chimera/embedding_cache.hpp"
+#include "quamax/sched/device_set.hpp"
+#include "quamax/sched/policy.hpp"
+#include "quamax/sched/scheduler.hpp"
 #include "quamax/serve/job.hpp"
 #include "quamax/serve/load_gen.hpp"
 #include "quamax/serve/packer.hpp"
@@ -52,12 +60,30 @@ struct ServiceConfig {
   /// Chip, schedule, ICE, and replica configuration of every worker.  The
   /// worker's own num_threads is forced to 1 — the service parallelizes
   /// across waves, not inside them.
-  anneal::AnnealerConfig annealer;
+  ///
+  /// The serve-layer DEFAULT accept mode is kThreshold32 (not the
+  /// library-wide kExact): bench_serve_load's soak gate holds the
+  /// miss-rate / goodput / BER curves of threshold32 and exact to parity
+  /// at paper-scale load, and the float32 branch-free kernel is the
+  /// throughput winner for the ICE-off shared-coefficient serving path.
+  /// Override via --accept-mode / QUAMAX_ACCEPT_MODE or directly here.
+  anneal::AnnealerConfig annealer = sched::serving_annealer_defaults();
   std::size_t num_anneals = 50;  ///< N_a per wave (every member shares it)
   /// Modeled QA processors serving waves on the VIRTUAL clock.  This is
   /// capacity the latency model charges for — independent of num_threads,
-  /// which only accelerates the wall-clock compute.
+  /// which only accelerates the wall-clock compute.  Ignored when
+  /// `device_specs` is non-empty.
   std::size_t num_devices = 1;
+  /// Per-device defect maps (paper §3.3's fabrication faults, one map per
+  /// chip): device d runs the base `annealer` chip with device_specs[d]'s
+  /// faults applied, owns a device-affine embedding cache, and only
+  /// receives waves whose shape embeds on it (shape-aware routing).  Empty
+  /// = `num_devices` identical copies of the base chip (the PR-3 model).
+  std::vector<sched::DeviceSpec> device_specs;
+  /// Dispatch-order discipline of the scheduler queue (fifo preserves the
+  /// PR-3 behavior; edf/slack are the deadline-aware policies
+  /// bench_serve_load sweeps).  Knob: --queue-policy / QUAMAX_QUEUE_POLICY.
+  sched::QueuePolicy queue_policy = sched::QueuePolicy::kFifo;
   /// Compute lanes for wave execution (0 = one per hardware thread).
   /// Results are bit-identical at any setting.
   std::size_t num_threads = 1;
@@ -89,13 +115,21 @@ class DecodeService {
 
   const ServiceConfig& config() const noexcept { return config_; }
 
-  /// The shape-keyed embedding cache shared by all workers (and usable by
-  /// further annealers via ChimeraAnnealer::set_embedding_cache).
-  const std::shared_ptr<chimera::EmbeddingCache>& embedding_cache() const noexcept {
-    return cache_;
+  /// The device pool: per-device chip graphs and embedding caches, shared
+  /// by every run of this service (and reusable by a sched::Scheduler or
+  /// SchedClient built on the same chips).
+  const std::shared_ptr<sched::DeviceSet>& device_set() const noexcept {
+    return devices_;
   }
 
-  /// Jobs one wave may carry for `shape` under the active packing config.
+  /// Device 0's shape-keyed embedding cache (the PR-3 accessor; with
+  /// uniform devices every device shares this object).
+  const std::shared_ptr<chimera::EmbeddingCache>& embedding_cache() const noexcept {
+    return devices_->cache(0);
+  }
+
+  /// Jobs one wave may carry for `shape` under the active packing config,
+  /// on the best-capacity device of the pool.
   std::size_t wave_capacity(std::size_t shape);
 
   /// Virtual-clock cost of one wave, any occupancy: program_overhead_us +
@@ -118,14 +152,11 @@ class DecodeService {
   class OpenLoopFeed;
   class ClosedLoopFeed;
 
-  anneal::AnnealerConfig worker_config() const;
+  sched::SchedConfig sched_config() const;
   ServiceReport serve(ArrivalFeed& feed);
-  void execute_waves(const std::vector<DecodeJob>& jobs,
-                     const std::vector<Wave>& waves,
-                     std::vector<JobRecord>& records);
 
   ServiceConfig config_;
-  std::shared_ptr<chimera::EmbeddingCache> cache_;
+  std::shared_ptr<sched::DeviceSet> devices_;
 };
 
 }  // namespace quamax::serve

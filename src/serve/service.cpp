@@ -5,25 +5,13 @@
 #include <functional>
 #include <limits>
 #include <queue>
+#include <string>
 #include <utility>
 
 #include "quamax/common/error.hpp"
-#include "quamax/core/thread_pool.hpp"
-#include "quamax/core/transform.hpp"
-#include "quamax/metrics/solution_stats.hpp"
-#include "quamax/wireless/channel.hpp"
+#include "quamax/sched/scheduler.hpp"
 
 namespace quamax::serve {
-namespace {
-
-/// Ground-state test sharing metrics::kEnergyTolerance, so
-/// serve::ground_state_rate and the metrics layer's p0 agree on the same
-/// samples by construction.
-bool reaches_ground(double best_energy, double ground_energy) {
-  return best_energy <= ground_energy + metrics::kEnergyTolerance;
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // Arrival feeds: where the event loop's jobs come from.
@@ -116,20 +104,37 @@ DecodeService::DecodeService(ServiceConfig config) : config_(std::move(config)) 
   config_.annealer.schedule.validate();
   require(!config_.annealer.schedule.reverse,
           "DecodeService: reverse annealing is single-problem only");
-  // A throwaway worker builds the chip graph once; its private cache becomes
-  // the service-wide shared one.
-  cache_ = anneal::ChimeraAnnealer(worker_config()).embedding_cache();
+  if (config_.device_specs.empty())
+    config_.device_specs =
+        sched::uniform_devices(config_.annealer, config_.num_devices);
+  config_.num_devices = config_.device_specs.size();
+  // The device pool (per-device chip graphs + embedding caches) persists
+  // across runs; every run's scheduler shares it.
+  devices_ = std::make_shared<sched::DeviceSet>(config_.annealer,
+                                                config_.device_specs);
 }
 
-anneal::AnnealerConfig DecodeService::worker_config() const {
-  anneal::AnnealerConfig cfg = config_.annealer;
-  cfg.num_threads = 1;  // the service parallelizes ACROSS waves
+sched::SchedConfig DecodeService::sched_config() const {
+  sched::SchedConfig cfg;
+  cfg.annealer = config_.annealer;
+  cfg.devices = config_.device_specs;
+  cfg.policy = config_.queue_policy;
+  cfg.num_anneals = config_.num_anneals;
+  cfg.program_overhead_us = config_.program_overhead_us;
+  cfg.packing = config_.packing;
+  cfg.max_wave_jobs = config_.max_wave_jobs;
+  cfg.drop_late = config_.drop_late;
+  cfg.num_threads = config_.num_threads;
+  cfg.seed = config_.seed;
   return cfg;
 }
 
 std::size_t DecodeService::wave_capacity(std::size_t shape) {
-  WavePacker packer(cache_, config_.packing ? config_.max_wave_jobs : 1);
-  return packer.capacity(shape);
+  const std::size_t chip = devices_->max_capacity(shape);
+  if (chip == 0)
+    throw CapacityError("DecodeService: no device can embed shape " +
+                        std::to_string(shape));
+  return sched::clamp_wave_jobs(chip, config_.packing, config_.max_wave_jobs);
 }
 
 double DecodeService::wave_service_us() const {
@@ -149,166 +154,45 @@ ServiceReport DecodeService::run_closed_loop(LoadGenerator& generator,
   return serve(feed);
 }
 
-// The discrete-event timeline.  Serial and allocation-light: it decides
-// WHEN everything happens (and what each wave contains) before any compute
-// runs, which is what makes every latency number a pure function of
-// (config, workload).
+// Drive the sched::Scheduler's discrete-event timeline from the feed.  The
+// scheduler owns WHEN everything happens (and what each wave contains) and
+// runs the decode compute on its lane-local, device-affine workers; this
+// loop only moves releases from the feed into the scheduler in arrival
+// order, never letting the engine dispatch past the next known release —
+// which is what keeps every latency number a pure function of
+// (config, workload), exactly as the PR-3 in-line event loop did.
 ServiceReport DecodeService::serve(ArrivalFeed& feed) {
   ServiceReport report;
   if (feed.empty()) return report;
 
-  WavePacker packer(cache_, config_.packing ? config_.max_wave_jobs : 1);
-  const double service_us = wave_service_us();
+  sched::Scheduler scheduler(sched_config(), devices_);
+  scheduler.set_dispatch_hook(
+      [&feed](const DecodeJob& job, double completion_us) {
+        feed.on_dispatch(job, completion_us);
+      });
 
-  // Modeled QA devices: min-heap of (free time, device id); the id tie-break
-  // keeps multi-device schedules deterministic.
-  using Device = std::pair<double, std::size_t>;
-  std::priority_queue<Device, std::vector<Device>, std::greater<>> devices;
-  for (std::size_t d = 0; d < config_.num_devices; ++d) devices.emplace(0.0, d);
-
-  std::vector<DecodeJob> jobs;      // admitted jobs, admission order
-  std::vector<JobRecord> records;   // aligned with `jobs`
-  std::vector<Wave> waves;
-
-  while (!feed.empty() || !packer.empty()) {
-    auto [t_free, device] = devices.top();
-    devices.pop();
-    // An idle service jumps to the next release instant.  That instant is
-    // always finite here: with the queue drained and jobs still owed, the
-    // feed must have a release scheduled (closed loop: on_dispatch at each
-    // wave's dispatch already scheduled its members' successors).
-    if (packer.empty()) {
-      const double next_us = feed.next_time();
-      require(std::isfinite(next_us),
+  while (!feed.empty()) {
+    const double next_us = feed.next_time();
+    // An idle feed with jobs still owed (closed loop: every pending release
+    // in flight) needs a dispatch to schedule the next release.
+    if (!std::isfinite(next_us)) {
+      require(scheduler.advance_until_dispatch(),
               "DecodeService: idle with no scheduled release");
-      t_free = std::max(t_free, next_us);
+      continue;
     }
-
-    // Admit everything released by t_free.
-    while (!feed.empty() && feed.next_time() <= t_free) {
-      DecodeJob job = feed.pop(jobs.size());
-      packer.enqueue(jobs.size(), job.shape());
-      JobRecord record;
-      record.job_id = job.id;
-      record.user = job.user;
-      record.arrival_us = job.arrival_us;
-      record.deadline_us = job.deadline_us;
-      records.push_back(record);
-      jobs.push_back(std::move(job));
-    }
-
-    // Deadline-aware admission: shed every queued job that even the
-    // earliest service this device could give it — starting at
-    // max(t_free, its arrival), since another device's admission may have
-    // queued jobs from this device's future — can no longer save.  The
-    // sweep scans the whole FIFO, so it is correct for heterogeneous
-    // per-job budgets (HARQ class mixes), not just arrival-ordered
-    // deadlines.
-    if (config_.drop_late) {
-      const std::vector<std::size_t> doomed = packer.drop_if(
-          [&](std::size_t idx) {
-            const double start_us = std::max(t_free, jobs[idx].arrival_us);
-            return jobs[idx].deadline_us < start_us + service_us;
-          });
-      for (const std::size_t idx : doomed) {
-        const double drop_us = std::max(t_free, jobs[idx].arrival_us);
-        records[idx].dropped = true;
-        records[idx].dispatch_us = drop_us;
-        records[idx].completion_us = drop_us;
-        feed.on_dispatch(jobs[idx], drop_us);
-      }
-      if (packer.empty()) {
-        devices.emplace(t_free, device);
-        continue;
-      }
-    }
-
-    Wave wave = packer.pack_next();
-    wave.id = waves.size();
-    wave.device = device;
-    // Causality under multiple devices: jobs are admitted at the admitting
-    // device's clock, which may lie in THIS device's future (e.g. this
-    // device has been idle since t=0 while another jumped to the next
-    // arrival).  A wave starts no earlier than every member's arrival.
-    wave.dispatch_us = t_free;
-    for (const std::size_t idx : wave.jobs)
-      wave.dispatch_us = std::max(wave.dispatch_us, jobs[idx].arrival_us);
-    wave.completion_us = wave.dispatch_us + service_us;
-    for (const std::size_t idx : wave.jobs) {
-      records[idx].wave_id = wave.id;
-      records[idx].dispatch_us = wave.dispatch_us;
-      records[idx].completion_us = wave.completion_us;
-      feed.on_dispatch(jobs[idx], wave.completion_us);
-    }
-    // The device idles from t_free to the (possibly later) dispatch.
-    devices.emplace(wave.completion_us, device);
-    waves.push_back(std::move(wave));
+    scheduler.advance_to(next_us);
+    // A dispatch hook may have scheduled a release EARLIER than next_us
+    // (closed loop with short think times); re-read the feed before popping.
+    if (feed.next_time() < next_us) continue;
+    scheduler.submit(feed.pop(scheduler.num_submitted()));
   }
+  scheduler.finish();
 
-  execute_waves(jobs, waves, records);
-
-  for (const JobRecord& record : records) report.stats.add(record);
-  for (const Wave& wave : waves) report.stats.add_wave(wave.jobs.size());
-  report.jobs = std::move(records);
-  report.waves = std::move(waves);
+  report.jobs = scheduler.records();
+  report.waves = scheduler.waves();
+  for (const JobRecord& record : report.jobs) report.stats.add(record);
+  for (const Wave& wave : report.waves) report.stats.add_wave(wave.jobs.size());
   return report;
-}
-
-// The wall-clock phase: fan the waves across lane-local ChimeraAnnealer
-// workers.  Wave w's entire decode draws from Rng::for_stream(key, w) and
-// writes only its members' record slots, so the filled records are
-// bit-identical at any thread count regardless of which lane serves which
-// wave.
-void DecodeService::execute_waves(const std::vector<DecodeJob>& jobs,
-                                  const std::vector<Wave>& waves,
-                                  std::vector<JobRecord>& records) {
-  core::ThreadPool pool(config_.num_threads);
-  std::vector<std::unique_ptr<anneal::ChimeraAnnealer>> workers(pool.size());
-  Rng root(config_.seed);
-  const std::uint64_t key = root();
-
-  pool.parallel_for_lanes(waves.size(), [&](std::size_t lane, std::size_t w) {
-    std::unique_ptr<anneal::ChimeraAnnealer>& worker = workers[lane];
-    if (worker == nullptr) {
-      worker = std::make_unique<anneal::ChimeraAnnealer>(worker_config());
-      worker->set_embedding_cache(cache_);
-    }
-
-    const Wave& wave = waves[w];
-    std::vector<const qubo::IsingModel*> problems;
-    problems.reserve(wave.jobs.size());
-    for (const std::size_t idx : wave.jobs)
-      problems.push_back(&jobs[idx].instance.problem.ising);
-
-    Rng stream = Rng::for_stream(key, wave.id);
-    const std::vector<std::vector<qubo::SpinVec>> samples =
-        worker->sample_batch(problems, config_.num_anneals, stream);
-
-    for (std::size_t s = 0; s < wave.jobs.size(); ++s) {
-      const DecodeJob& job = jobs[wave.jobs[s]];
-      JobRecord& record = records[wave.jobs[s]];
-
-      // Best-of-N_a decode, exactly the QuAMaxDetector policy: keep the
-      // lowest-energy configuration and post-translate to Gray bits.
-      const qubo::IsingModel& ising = job.instance.problem.ising;
-      const qubo::SpinVec* best = nullptr;
-      double best_energy = 0.0;
-      for (const qubo::SpinVec& sample : samples[s]) {
-        const double energy = ising.energy(sample);
-        if (best == nullptr || energy < best_energy) {
-          best = &sample;
-          best_energy = energy;
-        }
-      }
-      const wireless::BitVec decoded = core::gray_bits_from_spins(
-          *best, job.instance.use.h.cols(), job.instance.use.mod);
-      record.bit_errors =
-          wireless::count_bit_errors(decoded, job.instance.use.tx_bits);
-      record.num_bits = job.instance.use.tx_bits.size();
-      record.ground_state =
-          reaches_ground(best_energy, job.instance.ground_energy);
-    }
-  });
 }
 
 }  // namespace quamax::serve

@@ -34,9 +34,10 @@ RunOutcome run_instance(const Instance& instance, core::IsingSampler& sampler,
 /// ParallelBatchSampler::sample_problems — instance p is drawn `num_anneals`
 /// times with counter-derived stream p by a lane-local sampler built by
 /// `factory` — and assembles one RunOutcome per instance exactly as
-/// per-instance run_instance calls would.  Per-anneal duration and P_f come
-/// from a probe sampler built once by `factory`; broken-chain diagnostics
-/// are not tracked on this path (the lane-local samplers are transient).
+/// per-instance run_instance calls would, including the per-instance
+/// broken-chain fraction (harvested through the sampler's per-problem
+/// diagnostic hook when the factory produces ChimeraAnnealers).  Per-anneal
+/// duration and P_f come from a probe sampler built once by `factory`.
 /// Results are bit-identical at any batch thread count.
 std::vector<RunOutcome> run_instances(
     const std::vector<Instance>& instances, core::ParallelBatchSampler& batch,
@@ -122,10 +123,35 @@ anneal::AcceptMode env_accept_mode();
 /// InvalidArgument on an unknown mode name.
 anneal::AcceptMode cli_accept_mode(int argc, char** argv);
 
+/// Like cli_accept_mode, but distinguishes "not specified" (nullopt: no
+/// flag AND no environment variable) from an explicit choice — for binaries
+/// whose subsystem default differs from the library-wide kExact (serve
+/// defaults to kThreshold32 since PR 5's soak parity run).
+std::optional<anneal::AcceptMode> cli_accept_mode_if_set(int argc, char** argv);
+
+/// Reads the QUAMAX_DEVICES environment variable: modeled QA processors in
+/// the decode scheduler's pool (>= 1; default 1).  A pure virtual-clock
+/// knob — more devices change the latency model, never the per-wave decode.
+std::size_t env_devices();
+
+/// The bench/example `--devices N` knob (also `--devices=N`); falls back to
+/// env_devices() when the flag is absent.
+std::size_t cli_devices(int argc, char** argv);
+
+/// Reads the QUAMAX_QUEUE_POLICY environment variable as a raw string
+/// (default "fifo").  Validation happens in sched::parse_queue_policy — the
+/// sim layer sits below sched and only transports the spelling.
+std::string env_queue_policy();
+
+/// The bench/example `--queue-policy P` knob (also `--queue-policy=P`);
+/// falls back to env_queue_policy() when the flag is absent.
+std::string cli_queue_policy(int argc, char** argv);
+
 /// argv entries that are not part of the --threads / --replicas /
-/// --accept-mode flags (program name excluded), in order.  Binaries with
-/// positional arguments parse these instead of argv so their positional
-/// handling cannot drift out of sync with the flag spellings.
+/// --accept-mode / --devices / --queue-policy flags (program name
+/// excluded), in order.  Binaries with positional arguments parse these
+/// instead of argv so their positional handling cannot drift out of sync
+/// with the flag spellings.
 std::vector<std::string> positional_args(int argc, char** argv);
 
 }  // namespace quamax::sim

@@ -42,8 +42,17 @@ std::vector<RunOutcome> run_instances(
   for (const Instance& instance : instances)
     problems.push_back(&instance.problem.ising);
 
+  // Per-problem diagnostic tap: the lane-local sampler cache reuses one
+  // annealer for many problems, so the broken-chain fraction must be read
+  // right after each problem's draw, before the next overwrites it.
+  std::vector<double> broken(instances.size(), 0.0);
+  const auto harvest = [&broken](std::size_t p, core::IsingSampler& sampler) {
+    if (const auto* chimera = dynamic_cast<const anneal::ChimeraAnnealer*>(&sampler))
+      broken[p] = chimera->last_broken_chain_fraction();
+  };
+
   const std::vector<std::vector<qubo::SpinVec>> samples =
-      batch.sample_problems(factory, problems, num_anneals, rng);
+      batch.sample_problems(factory, problems, num_anneals, rng, harvest);
 
   // duration and P_f are configuration properties, identical across the
   // factory's products — one probe serves every outcome.
@@ -62,7 +71,7 @@ std::vector<RunOutcome> run_instances(
             instance.use.mod, instance.ground_energy),
         .duration_us = probe->anneal_duration_us(),
         .parallel_factor = probe->parallelization_factor(instance.num_vars()),
-        .broken_chain_fraction = 0.0,
+        .broken_chain_fraction = broken[p],
     });
   }
   return outcomes;
@@ -238,14 +247,50 @@ anneal::AcceptMode env_accept_mode() {
   return parse_accept_mode(raw);
 }
 
-anneal::AcceptMode cli_accept_mode(int argc, char** argv) {
+std::optional<anneal::AcceptMode> cli_accept_mode_if_set(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string value;
     int consumed = 0;
     if (flag_at("accept-mode", argc, argv, i, value, consumed))
       return parse_accept_mode(value);
   }
-  return env_accept_mode();
+  const char* raw = std::getenv("QUAMAX_ACCEPT_MODE");
+  if (raw == nullptr) return std::nullopt;
+  return parse_accept_mode(raw);
+}
+
+anneal::AcceptMode cli_accept_mode(int argc, char** argv) {
+  // "not specified" and the library-wide default coincide here (kExact).
+  return cli_accept_mode_if_set(argc, argv).value_or(anneal::AcceptMode::kExact);
+}
+
+std::size_t env_devices() {
+  const char* raw = std::getenv("QUAMAX_DEVICES");
+  const std::size_t devices =
+      raw == nullptr ? 1 : parse_count(raw, "--devices / QUAMAX_DEVICES");
+  require(devices >= 1, "--devices / QUAMAX_DEVICES: need at least one");
+  return devices;
+}
+
+std::size_t cli_devices(int argc, char** argv) {
+  const std::size_t devices =
+      cli_flag_or("devices", argc, argv, env_devices, "--devices / QUAMAX_DEVICES");
+  require(devices >= 1, "--devices / QUAMAX_DEVICES: need at least one");
+  return devices;
+}
+
+std::string env_queue_policy() {
+  const char* raw = std::getenv("QUAMAX_QUEUE_POLICY");
+  return raw == nullptr ? "fifo" : raw;
+}
+
+std::string cli_queue_policy(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (flag_at("queue-policy", argc, argv, i, value, consumed)) return value;
+  }
+  return env_queue_policy();
 }
 
 std::vector<std::string> positional_args(int argc, char** argv) {
@@ -255,7 +300,9 @@ std::vector<std::string> positional_args(int argc, char** argv) {
     int consumed = 0;
     if (flag_at("threads", argc, argv, i, value, consumed) ||
         flag_at("replicas", argc, argv, i, value, consumed) ||
-        flag_at("accept-mode", argc, argv, i, value, consumed)) {
+        flag_at("accept-mode", argc, argv, i, value, consumed) ||
+        flag_at("devices", argc, argv, i, value, consumed) ||
+        flag_at("queue-policy", argc, argv, i, value, consumed)) {
       i += consumed;
       continue;
     }

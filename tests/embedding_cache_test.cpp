@@ -1,0 +1,147 @@
+// chimera::EmbeddingCache — concurrent mixed-shape access and per-device
+// (topology-distinct) keying (ISSUE 5 satellite).
+//
+// The cache backs every serve/sched worker fleet: many lanes hammer it with
+// interleaved clique/parallel/capacity lookups for a handful of shapes, and
+// a multi-device scheduler keys one cache per chip topology.  Contracts:
+//   * concurrent mixed-shape insert/lookup returns ONE immutable placement
+//     object per (cache, shape) — every caller sees the same pointer;
+//   * placements compiled for defect-distinct graphs differ (per-device
+//     keying is real, not cosmetic), and same_topology gates cache sharing;
+//   * try_capacity caches infeasibility (0) without throwing, while
+//     capacity() keeps the throwing contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "quamax/anneal/annealer.hpp"
+#include "quamax/chimera/embedding_cache.hpp"
+#include "quamax/chimera/graph.hpp"
+#include "quamax/common/error.hpp"
+#include "quamax/sched/device_set.hpp"
+
+namespace quamax::chimera {
+namespace {
+
+/// Stride-4 dead rows (sched::dead_row_fault_map): 16-logical-qubit
+/// cliques (4 rows on the shore-4 chip) cannot embed while 8-qubit cliques
+/// (2 rows) keep half their tiling.
+ChimeraGraph dead_row_graph() {
+  ChimeraGraph graph;
+  for (const Qubit q : sched::dead_row_fault_map(graph, 4))
+    graph.disable_qubit(q);
+  return graph;
+}
+
+TEST(EmbeddingCacheTest, ConcurrentMixedShapeInsertAndLookupAgree) {
+  EmbeddingCache cache{ChimeraGraph()};
+  const std::vector<std::size_t> shapes{6, 8, 12, 16, 24, 36};
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 25;
+
+  // Every thread loops over every shape repeatedly, mixing first-insert
+  // compilation with cache hits; all observed pointers per shape must
+  // coincide and every capacity must match its placement count.
+  std::vector<std::vector<std::shared_ptr<const Embedding>>> cliques(kThreads);
+  std::vector<std::vector<std::shared_ptr<const std::vector<Embedding>>>>
+      parallels(kThreads);
+  std::atomic<std::size_t> capacity_mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        // Stagger shape order per thread so first-compilations collide.
+        for (std::size_t i = 0; i < shapes.size(); ++i) {
+          const std::size_t shape = shapes[(i + t) % shapes.size()];
+          const auto clique = cache.clique(shape);
+          const auto parallel = cache.parallel(shape);
+          if (cache.capacity(shape) != parallel->size()) ++capacity_mismatches;
+          if (round == 0) {
+            cliques[t].push_back(clique);
+            parallels[t].push_back(parallel);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(capacity_mismatches.load(), 0u);
+  for (const std::size_t shape : shapes) {
+    const auto clique = cache.clique(shape);
+    const auto parallel = cache.parallel(shape);
+    EXPECT_EQ(clique->num_logical, shape);
+    EXPECT_GE(parallel->size(), 1u);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      // Each thread saw exactly the shared immutable objects.
+      bool clique_seen = false, parallel_seen = false;
+      for (const auto& p : cliques[t]) clique_seen |= (p == clique);
+      for (const auto& p : parallels[t]) parallel_seen |= (p == parallel);
+      EXPECT_TRUE(clique_seen) << "thread " << t << " shape " << shape;
+      EXPECT_TRUE(parallel_seen) << "thread " << t << " shape " << shape;
+    }
+  }
+}
+
+TEST(EmbeddingCacheTest, TopologyDistinctCachesYieldDistinctPlacements) {
+  EmbeddingCache pristine{ChimeraGraph()};
+  EmbeddingCache defective{dead_row_graph()};
+
+  ASSERT_FALSE(pristine.graph().same_topology(defective.graph()));
+
+  // Shape 8 embeds on both, but the dead rows halve the parallel tiling
+  // and displace at least one placement.
+  EXPECT_GT(defective.capacity(8), 0u);
+  EXPECT_LT(defective.capacity(8), pristine.capacity(8));
+  const auto pristine_slots = pristine.parallel(8);
+  const auto defective_slots = defective.parallel(8);
+  for (const Embedding& embedding : *defective_slots)
+    for (const auto& chain : embedding.chains)
+      for (const Qubit q : chain)
+        EXPECT_TRUE(defective.graph().is_working(q));
+
+  // Shape 16 needs 4 consecutive cell rows: pristine yes, defective never.
+  EXPECT_GT(pristine.capacity(16), 0u);
+  EXPECT_EQ(defective.try_capacity(16), 0u);
+}
+
+TEST(EmbeddingCacheTest, TryCapacityCachesInfeasibilityWithoutThrowing) {
+  EmbeddingCache cache{dead_row_graph()};
+  // First call pays the failed search; the second must hit the negative
+  // cache (and still not throw).
+  EXPECT_EQ(cache.try_capacity(16), 0u);
+  EXPECT_EQ(cache.try_capacity(16), 0u);
+  // The throwing contract is untouched.
+  EXPECT_THROW(cache.capacity(16), CapacityError);
+  EXPECT_THROW(cache.parallel(16), CapacityError);
+  // Feasible shapes report identically through both entry points.
+  EXPECT_EQ(cache.try_capacity(8), cache.capacity(8));
+}
+
+TEST(EmbeddingCacheTest, FailedSearchLeavesNoPoisonedEntryBehind) {
+  // Regression: a throwing capacity()/parallel() call must not leave a null
+  // slot in the table that a later try_capacity fast path dereferences.
+  EmbeddingCache cache{dead_row_graph()};
+  EXPECT_THROW(cache.capacity(16), CapacityError);
+  EXPECT_EQ(cache.try_capacity(16), 0u);
+  EXPECT_THROW(cache.clique(16), CapacityError);
+  EXPECT_THROW(cache.clique(16), CapacityError);  // still throws, no null hit
+}
+
+TEST(EmbeddingCacheTest, AnnealerRejectsTopologyMismatchedCache) {
+  anneal::AnnealerConfig config;
+  anneal::ChimeraAnnealer annealer(config);
+  auto mismatched = std::make_shared<EmbeddingCache>(dead_row_graph());
+  EXPECT_THROW(annealer.set_embedding_cache(mismatched), InvalidArgument);
+  auto matched = std::make_shared<EmbeddingCache>(ChimeraGraph());
+  annealer.set_embedding_cache(matched);
+  EXPECT_EQ(annealer.embedding_cache(), matched);
+}
+
+}  // namespace
+}  // namespace quamax::chimera

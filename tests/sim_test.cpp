@@ -185,13 +185,61 @@ TEST(CliKnobsTest, AcceptModeNamesRoundTrip) {
                "threshold32");
 }
 
+TEST(CliKnobsTest, AcceptModeIfSetDistinguishesAbsence) {
+  ::unsetenv("QUAMAX_ACCEPT_MODE");
+  const char* none[] = {"bench"};
+  EXPECT_EQ(cli_accept_mode_if_set(1, const_cast<char**>(none)), std::nullopt);
+  const char* flagged[] = {"bench", "--accept-mode=exact"};
+  EXPECT_EQ(cli_accept_mode_if_set(2, const_cast<char**>(flagged)),
+            anneal::AcceptMode::kExact);
+  ::setenv("QUAMAX_ACCEPT_MODE", "threshold", 1);
+  EXPECT_EQ(cli_accept_mode_if_set(1, const_cast<char**>(none)),
+            anneal::AcceptMode::kThreshold);
+  ::unsetenv("QUAMAX_ACCEPT_MODE");
+}
+
+TEST(CliKnobsTest, DevicesFlagParsesValidatesAndFallsBack) {
+  const char* argv1[] = {"bench", "--devices", "4"};
+  EXPECT_EQ(cli_devices(3, const_cast<char**>(argv1)), 4u);
+  const char* argv2[] = {"bench", "--devices=2"};
+  EXPECT_EQ(cli_devices(2, const_cast<char**>(argv2)), 2u);
+
+  ::unsetenv("QUAMAX_DEVICES");
+  const char* none[] = {"bench"};
+  EXPECT_EQ(cli_devices(1, const_cast<char**>(none)), 1u);
+  ::setenv("QUAMAX_DEVICES", "8", 1);
+  EXPECT_EQ(cli_devices(1, const_cast<char**>(none)), 8u);
+  ::unsetenv("QUAMAX_DEVICES");
+
+  const char* zero[] = {"bench", "--devices", "0"};
+  EXPECT_THROW(cli_devices(3, const_cast<char**>(zero)), InvalidArgument);
+  const char* garbage[] = {"bench", "--devices=pool"};
+  EXPECT_THROW(cli_devices(2, const_cast<char**>(garbage)), InvalidArgument);
+}
+
+TEST(CliKnobsTest, QueuePolicyFlagTransportsSpelling) {
+  const char* argv1[] = {"bench", "--queue-policy", "edf"};
+  EXPECT_EQ(cli_queue_policy(3, const_cast<char**>(argv1)), "edf");
+  const char* argv2[] = {"bench", "--queue-policy=slack"};
+  EXPECT_EQ(cli_queue_policy(2, const_cast<char**>(argv2)), "slack");
+
+  ::unsetenv("QUAMAX_QUEUE_POLICY");
+  const char* none[] = {"bench"};
+  EXPECT_EQ(cli_queue_policy(1, const_cast<char**>(none)), "fifo");
+  ::setenv("QUAMAX_QUEUE_POLICY", "slack", 1);
+  EXPECT_EQ(cli_queue_policy(1, const_cast<char**>(none)), "slack");
+  ::unsetenv("QUAMAX_QUEUE_POLICY");
+}
+
 TEST(CliKnobsTest, PositionalArgsSkipAllFlags) {
   const char* argv[] = {"bench",        "alpha", "--threads",
                         "2",            "beta",  "--replicas=8",
-                        "--accept-mode", "threshold", "gamma"};
+                        "--accept-mode", "threshold", "gamma",
+                        "--devices", "4", "--queue-policy=edf", "delta"};
   const std::vector<std::string> positional =
-      positional_args(9, const_cast<char**>(argv));
-  EXPECT_EQ(positional, (std::vector<std::string>{"alpha", "beta", "gamma"}));
+      positional_args(13, const_cast<char**>(argv));
+  EXPECT_EQ(positional,
+            (std::vector<std::string>{"alpha", "beta", "gamma", "delta"}));
 }
 
 }  // namespace
