@@ -16,7 +16,16 @@
 //      parity gate (max |miss-rate gap| <= 0.02 per load point) enforces
 //      it by exit code.
 //
-//   3. QUEUE POLICIES x DEVICES (ISSUE 5 tentpole): a two-class HARQ mix —
+//   3. FULL DUPLEX (ISSUE 6 tentpole): uplink detection and downlink VPP
+//      precoding jobs compete for the same device pool through one
+//      scheduler (50/50 Poisson mix; downlink runs the tighter budget).
+//      Two gates (exit code): at the lightest load the mix must finish
+//      with ZERO deadline misses, and the downlink aggregate bit errors
+//      must sit at or below the zero-forcing baseline evaluated on the
+//      SAME instances and noise draws (the jobwise v = 0 clip plus the
+//      perturbation win must never lose to plain channel inversion).
+//
+//   4. QUEUE POLICIES x DEVICES (ISSUE 5 tentpole): a two-class HARQ mix —
 //      tight-deadline 8-user QPSK (shape 16) + loose-deadline 8-user BPSK
 //      (shape 8) — served by a sharded pool where device 0 is pristine but
 //      every further device carries a dead-row defect map that cannot
@@ -30,7 +39,9 @@
 // `bench_serve_load smoke` runs a trivial mixed load only: it exits
 // non-zero on ANY deadline miss and prints the ServiceStats digest for
 // every queue policy at the configured --devices, which CI diffs across
-// --threads/--replicas settings per device count.
+// --threads/--replicas settings per device count.  With --downlink F > 0
+// the smoke's loose class carries that fraction of downlink VPP precoding
+// jobs, making the diff a FULL-DUPLEX determinism check.
 
 #include <algorithm>
 #include <cmath>
@@ -43,6 +54,7 @@
 #include "quamax/serve/service.hpp"
 #include "quamax/sim/report.hpp"
 #include "quamax/sim/runner.hpp"
+#include "quamax/vpp/precode.hpp"
 
 namespace {
 
@@ -70,6 +82,19 @@ serve::LoadConfig bpsk8_load(double jobs_per_ms, double deadline_us) {
   return cfg;
 }
 
+/// The full-duplex downlink family: 4x4 QPSK Rayleigh at 18 dB — above the
+/// modulo-loss crossover (see bench_vpp), so the served VPP BER must hold
+/// at or below zero-forcing even at the serve layer's small anneal budget.
+vpp::VppConfig downlink_family() {
+  vpp::VppConfig cls;
+  cls.users = 4;
+  cls.antennas = 4;
+  cls.mod = wireless::Modulation::kQpsk;
+  cls.kind = wireless::ChannelKind::kRayleigh;
+  cls.snr_db = 18.0;
+  return cls;
+}
+
 /// The two-class HARQ mix, LTE-subframe aligned: every `period_us` tick
 /// releases one burst of loose-budget 8-user BPSK jobs (shape 8, streamed
 /// by `loose_users` base stations) and one of tight-budget 8-user QPSK
@@ -78,15 +103,20 @@ serve::LoadConfig bpsk8_load(double jobs_per_ms, double deadline_us) {
 /// Tight jobs get ids/users offset past the loose class so records stay
 /// attributable; OpenLoopFeed merges the classes by arrival time (loose
 /// before tight on each tick, matching submission order).
-std::vector<serve::DecodeJob> mixed_workload(double period_us, double service_us,
+std::vector<serve::CellJob> mixed_workload(double period_us, double service_us,
                                              std::size_t loose_users,
                                              std::size_t tight_users,
                                              std::size_t ticks,
-                                             double tight_budget_us) {
+                                             double tight_budget_us,
+                                             double downlink_fraction = 0.0) {
   serve::LoadConfig loose = bpsk8_load(0.0, 40.0 * service_us);
   loose.arrivals = serve::ArrivalKind::kSubframe;
   loose.subframe_period_us = period_us;
   loose.users = loose_users;
+  // Full-duplex smoke: the loose class carries the downlink mix (shape 16,
+  // so on a sharded pool the precode jobs join the tight class on device 0).
+  loose.downlink_fraction = downlink_fraction;
+  loose.downlink = downlink_family();
 
   serve::LoadConfig tight = loose;
   tight.deadline_us = tight_budget_us;
@@ -95,8 +125,8 @@ std::vector<serve::DecodeJob> mixed_workload(double period_us, double service_us
 
   serve::LoadGenerator loose_gen(loose, 0xB5E1);
   serve::LoadGenerator tight_gen(tight, 0xB5E2);
-  std::vector<serve::DecodeJob> jobs = loose_gen.open_loop(loose_users * ticks);
-  for (serve::DecodeJob& job : tight_gen.open_loop(tight_users * ticks)) {
+  std::vector<serve::CellJob> jobs = loose_gen.open_loop(loose_users * ticks);
+  for (serve::CellJob& job : tight_gen.open_loop(tight_users * ticks)) {
     job.id += loose_users * ticks;
     job.user += loose_users;
     jobs.push_back(std::move(job));
@@ -143,6 +173,7 @@ int main(int argc, char** argv) {
   const std::size_t threads = quamax::sim::cli_threads(argc, argv);
   const std::size_t replicas = quamax::sim::cli_replicas(argc, argv);
   const std::size_t devices = quamax::sim::cli_devices(argc, argv);
+  const double downlink_fraction = quamax::sim::cli_downlink(argc, argv);
   const std::optional<quamax::anneal::AcceptMode> accept_override =
       quamax::sim::cli_accept_mode_if_set(argc, argv);
 
@@ -182,10 +213,10 @@ int main(int argc, char** argv) {
     // Trivial load: one loose + one tight wave per 10-service-time tick;
     // even a 1-device FIFO schedule finishes both well inside the budgets.
     const double service_us = serve::DecodeService(base).wave_service_us();
-    const std::vector<serve::DecodeJob> jobs =
+    const std::vector<serve::CellJob> jobs =
         mixed_workload(10.0 * service_us, service_us, 8, 8,
                        std::max<std::size_t>(2, jobs_per_point / 16),
-                       4.0 * service_us);
+                       4.0 * service_us, downlink_fraction);
     std::size_t misses = 0;
     for (const sched::QueuePolicy policy : policies) {
       serve::ServiceConfig cfg = base;
@@ -193,8 +224,9 @@ int main(int argc, char** argv) {
       cfg.queue_policy = policy;
       const serve::ServiceReport report = serve::DecodeService(cfg).run(jobs);
       misses += report.stats.misses();
-      std::printf("\nServiceStats digest (policy %s, devices %zu):\n%s",
-                  sched::to_string(policy).c_str(), devices,
+      std::printf("\nServiceStats digest (policy %s, devices %zu, downlink "
+                  "%.2f):\n%s",
+                  sched::to_string(policy).c_str(), devices, downlink_fraction,
                   report.stats.digest().c_str());
     }
     if (misses != 0) {
@@ -279,7 +311,86 @@ int main(int argc, char** argv) {
   if (worst_miss_gap > 0.02) failed = true;
 
   // -------------------------------------------------------------------
-  // 3. Queue policies x devices on the two-class HARQ mix.  Each subframe
+  // 3. Full duplex: a 50/50 uplink-detection / downlink-precoding Poisson
+  //    mix through ONE scheduler and device pool.  Downlink runs half the
+  //    uplink budget (the subframe cannot go to air without its
+  //    perturbation), and the gate compares the served VPP bit errors with
+  //    the zero-forcing baseline evaluated on the SAME PrecodeInstances —
+  //    identical channels, payloads, and receiver noise draws.
+  std::printf("\n=== full duplex: uplink detection + downlink VPP precoding "
+              "(50/50 mix) ===\n");
+  serve::LoadConfig duplex = bpsk8_load(0.0, 500.0);
+  duplex.downlink_fraction = 0.5;
+  duplex.downlink = downlink_family();
+  duplex.downlink_deadline_us = 250.0;
+  serve::ServiceConfig duplex_cfg = base;
+  // NOT scaled: N_a is the decode-quality knob behind the VPP-vs-ZF gate
+  // (cf. bench_vpp) — scaling it down with QUAMAX_SCALE would clip most
+  // perturbations to v = 0 and lose to zero-forcing through the mod-tau
+  // fold for annealer reasons, not formulation reasons.
+  duplex_cfg.num_anneals = 60;
+  // VPP QUBOs span a wider logical coefficient range than BPSK detection
+  // (the two's-complement sign bit carries weight 2); without the extended
+  // J range the chain coupler saturates the scale and the perturbation
+  // search stalls near v = 0 (measured: 0.8 dB mean power gain vs 2.5 dB).
+  duplex_cfg.annealer.embed.improved_range = true;
+  sim::print_columns({"offered j/ms", "miss rate", "ul miss", "dl miss",
+                      "dl VPP BER", "dl ZF BER", "occupancy"});
+  // The BER gate aggregates across the whole sweep: each load point draws
+  // its own channels (per-point seed), and VPP's win over zero-forcing
+  // lives in the ill-conditioned channel tail — a single point's handful
+  // of downlink jobs may sample only well-conditioned draws, where the
+  // mod-tau fold makes VPP a coin toss against ZF.
+  std::size_t sweep_vpp_errors = 0, sweep_zf_errors = 0, sweep_dl_bits = 0;
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    const double offered = loads[li];
+    duplex.offered_load_jobs_per_ms = offered;
+    serve::LoadGenerator generator(duplex, 0xD0F1 + li);
+    const std::vector<serve::CellJob> jobs =
+        generator.open_loop(jobs_per_point);
+    // Zero-forcing baseline on the exact served downlink instances.
+    std::size_t zf_errors = 0, dl_bits = 0;
+    for (const serve::CellJob& job : jobs) {
+      if (!job.downlink()) continue;
+      zf_errors += vpp::zero_forcing_bit_errors(job.precode());
+      dl_bits += job.precode().tx_bits.size();
+    }
+    const serve::ServiceReport report =
+        serve::DecodeService(duplex_cfg).run(jobs);
+    const serve::ServiceStats::DirectionStats& dl = report.stats.downlink();
+    sweep_vpp_errors += dl.bit_errors;
+    sweep_zf_errors += zf_errors;
+    sweep_dl_bits += dl_bits;
+    const double zf_ber = dl_bits == 0
+                              ? 0.0
+                              : static_cast<double>(zf_errors) /
+                                    static_cast<double>(dl_bits);
+    sim::print_row({sim::fmt_double(offered, 1),
+                    sim::fmt_double(report.stats.miss_rate(), 4),
+                    sim::fmt_double(report.stats.uplink().miss_rate(), 4),
+                    sim::fmt_double(dl.miss_rate(), 4), sim::fmt_ber(dl.ber()),
+                    sim::fmt_ber(zf_ber),
+                    sim::fmt_double(report.stats.mean_wave_occupancy(), 2)});
+    if (offered == loads.front() && report.stats.misses() != 0) {
+      std::fprintf(stderr,
+                   "full duplex: %zu deadline misses at the lightest load\n",
+                   report.stats.misses());
+      failed = true;
+    }
+  }
+  const double sweep_bits = static_cast<double>(sweep_dl_bits);
+  std::printf(
+      "full duplex sweep aggregate: served VPP BER %.3e vs zero-forcing "
+      "%.3e on the same instances %s\n",
+      static_cast<double>(sweep_vpp_errors) / sweep_bits,
+      static_cast<double>(sweep_zf_errors) / sweep_bits,
+      sweep_vpp_errors <= sweep_zf_errors
+          ? "(acceptance: VPP <= ZF, PASS)"
+          : "(acceptance: VPP <= ZF, FAIL)");
+  if (sweep_vpp_errors > sweep_zf_errors) failed = true;
+
+  // -------------------------------------------------------------------
+  // 4. Queue policies x devices on the two-class HARQ mix.  Each subframe
   //    tick carries exactly one wave of tight shape-16 jobs (device 0 is
   //    their only host) plus three waves of loose shape-8 jobs, and the
   //    tick period equals 2 waves per device — critical (rho = 1) load on
@@ -296,7 +407,7 @@ int main(int argc, char** argv) {
       2.0 * service_us, 40.0 * service_us, 1.6 * service_us);
   const std::size_t wave_jobs = 8;
   const std::size_t ticks = sim::scaled(30);
-  const std::vector<serve::DecodeJob> mix =
+  const std::vector<serve::CellJob> mix =
       mixed_workload(2.0 * service_us, service_us, 3 * wave_jobs, wave_jobs,
                      ticks, 1.6 * service_us);
   const double offered =

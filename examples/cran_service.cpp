@@ -116,11 +116,11 @@ int main(int argc, char** argv) {
 
   serve::LoadGenerator stream_gen(load, 0xA2905);
   const std::size_t async_jobs = std::min<std::size_t>(num_jobs, 32);
-  const std::vector<serve::DecodeJob> stream = stream_gen.open_loop(async_jobs);
+  const std::vector<serve::CellJob> stream = stream_gen.open_loop(async_jobs);
 
   std::size_t polled = 0, errors = 0;
   double last_subframe = 0.0;
-  for (const serve::DecodeJob& job : stream) {
+  for (const serve::CellJob& job : stream) {
     if (job.arrival_us > last_subframe) {
       // Subframe boundary: collect everything the pool completed so far.
       const std::vector<sched::Completion> done = client.poll();

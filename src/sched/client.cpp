@@ -8,7 +8,7 @@ namespace quamax::sched {
 SchedClient::SchedClient(SchedConfig config, std::shared_ptr<DeviceSet> devices)
     : scheduler_(std::move(config), std::move(devices)) {}
 
-Ticket SchedClient::submit(serve::DecodeJob job) {
+Ticket SchedClient::submit(serve::CellJob job) {
   return Ticket{scheduler_.submit(std::move(job))};
 }
 

@@ -5,9 +5,12 @@
 // PR 3's DecodeService drained one FIFO synchronously onto interchangeable
 // devices.  The Scheduler generalizes that event loop into the data-center
 // shape the paper's C-RAN vision implies (and Kasi et al.'s NextG
-// feasibility analysis models): RAN front-ends SUBMIT detection jobs as
-// they arrive, a pool of topology-distinct QA devices (sched::DeviceSet)
-// absorbs them, and completions stream back asynchronously.
+// feasibility analysis models): RAN front-ends SUBMIT cell jobs — uplink
+// detection or downlink VPP precoding (serve::CellJob) — as they arrive, a
+// pool of topology-distinct QA devices (sched::DeviceSet) absorbs them, and
+// completions stream back asynchronously.  Both directions compete for the
+// same devices; shape-aware routing and wave packing only ever see the
+// logical variable count, so mixed-direction waves of one shape are legal.
 //
 //   submit(job) ───► staged ──admit──► pending (policy-ordered view)
 //                                         │ shape-aware routing: a wave only
@@ -98,7 +101,7 @@ class Scheduler {
   /// Called at each job's dispatch (or drop) with its wave completion (or
   /// drop) time — the closed-loop feedback edge DecodeService's feeds use.
   using DispatchHook =
-      std::function<void(const serve::DecodeJob&, double completion_us)>;
+      std::function<void(const serve::CellJob&, double completion_us)>;
 
   /// `devices` may share a prebuilt DeviceSet (compiled placements persist
   /// across scheduler instances); nullptr builds one from the config.
@@ -113,13 +116,14 @@ class Scheduler {
 
   void set_dispatch_hook(DispatchHook hook) { hook_ = std::move(hook); }
 
-  /// Stages one job and advances the virtual clock to its arrival (rounds
-  /// strictly before it are dispatched first).  Jobs must be submitted in
-  /// non-decreasing arrival order — the scheduler cannot dispatch into a
-  /// past an unseen job should have joined.  Returns the job's sequence
-  /// number (the ticket index).  Throws CapacityError when no device in the
-  /// pool can embed the job's shape.
-  std::size_t submit(serve::DecodeJob job);
+  /// Stages one job — either direction, implicitly converted from a
+  /// DecodeJob or PrecodeJob — and advances the virtual clock to its
+  /// arrival (rounds strictly before it are dispatched first).  Jobs must
+  /// be submitted in non-decreasing arrival order — the scheduler cannot
+  /// dispatch into a past an unseen job should have joined.  Returns the
+  /// job's sequence number (the ticket index).  Throws CapacityError when
+  /// no device in the pool can embed the job's shape.
+  std::size_t submit(serve::CellJob job);
 
   /// Dispatches every round whose time lies strictly before `horizon_us`.
   /// submit() calls this implicitly; explicit calls let a driver flush the
@@ -173,7 +177,7 @@ class Scheduler {
   std::uint64_t decode_key_ = 0;
   DispatchHook hook_;
 
-  std::vector<serve::DecodeJob> jobs_;  ///< by sequence number
+  std::vector<serve::CellJob> jobs_;  ///< by sequence number
   std::vector<serve::JobRecord> records_;
   std::vector<JobState> states_;
   std::size_t admit_cursor_ = 0;        ///< first staged (unadmitted) seq

@@ -9,6 +9,7 @@
 #include "quamax/common/error.hpp"
 #include "quamax/core/transform.hpp"
 #include "quamax/metrics/solution_stats.hpp"
+#include "quamax/vpp/precode.hpp"
 #include "quamax/wireless/channel.hpp"
 
 namespace quamax::sched {
@@ -54,7 +55,7 @@ double Scheduler::wave_service_us() const {
              config_.annealer.schedule.duration_us();
 }
 
-std::size_t Scheduler::submit(serve::DecodeJob job) {
+std::size_t Scheduler::submit(serve::CellJob job) {
   require(job.arrival_us >= last_arrival_us_,
           "Scheduler::submit: jobs must arrive in non-decreasing order");
   if (devices_->max_capacity(job.shape()) == 0)
@@ -68,6 +69,7 @@ std::size_t Scheduler::submit(serve::DecodeJob job) {
   serve::JobRecord record;
   record.job_id = job.id;
   record.user = job.user;
+  record.direction = job.direction();
   record.arrival_us = job.arrival_us;
   record.deadline_us = job.deadline_us;
   records_.push_back(record);
@@ -105,21 +107,30 @@ void Scheduler::finish() {
 // timeline identical to a batch run of the same workload.
 Scheduler::Round Scheduler::round(double horizon_us) {
   if (free_devices_.empty()) return Round::kNoWork;
-  auto [t_free, device] = free_devices_.top();
+  const auto [freed_us, device] = free_devices_.top();
   free_devices_.pop();
+  double t_free = freed_us;
 
   while (true) {
     // An idle device jumps to the next submitted arrival (the batch loop
     // jumped to the feed's next release).
     if (pending_.empty()) {
       if (admit_cursor_ >= jobs_.size()) {
-        free_devices_.emplace(t_free, device);
+        free_devices_.emplace(freed_us, device);
         return Round::kNoWork;
       }
       t_free = std::max(t_free, jobs_[admit_cursor_].arrival_us);
     }
     if (t_free >= horizon_us) {
-      free_devices_.emplace(t_free, device);
+      // Re-queue at the ORIGINAL free time, not the jumped one: a round
+      // that does nothing must leave no trace, or device tie-breaking
+      // would depend on how many advance_to() calls a driver happens to
+      // make (the batch loop advances once per release on top of
+      // submit()'s internal advance, the streaming client only via
+      // submit()) — and the async == batch contract would break the
+      // moment two devices go free at the same instant
+      // (tests/sched_property_test.cpp caught exactly this).
+      free_devices_.emplace(freed_us, device);
       return Round::kHorizon;
     }
 
@@ -327,19 +338,19 @@ void Scheduler::run_wave(std::size_t lane, std::size_t wave_id) {
   std::vector<const qubo::IsingModel*> problems;
   problems.reserve(wave.jobs.size());
   for (const std::size_t seq : wave.jobs)
-    problems.push_back(&jobs_[seq].instance.problem.ising);
+    problems.push_back(&jobs_[seq].ising());
 
   Rng stream = Rng::for_stream(decode_key_, wave.id);
   const std::vector<std::vector<qubo::SpinVec>> samples =
       worker->sample_batch(problems, config_.num_anneals, stream);
 
   for (std::size_t s = 0; s < wave.jobs.size(); ++s) {
-    const serve::DecodeJob& job = jobs_[wave.jobs[s]];
+    const serve::CellJob& job = jobs_[wave.jobs[s]];
     serve::JobRecord& record = records_[wave.jobs[s]];
 
-    // Best-of-N_a decode, exactly the QuAMaxDetector policy: keep the
-    // lowest-energy configuration and post-translate to Gray bits.
-    const qubo::IsingModel& ising = job.instance.problem.ising;
+    // Best-of-N_a, exactly the QuAMaxDetector policy: keep the
+    // lowest-energy configuration.
+    const qubo::IsingModel& ising = job.ising();
     const qubo::SpinVec* best = nullptr;
     double best_energy = 0.0;
     for (const qubo::SpinVec& sample : samples[s]) {
@@ -349,12 +360,35 @@ void Scheduler::run_wave(std::size_t lane, std::size_t wave_id) {
         best_energy = energy;
       }
     }
+
+    if (job.downlink()) {
+      // Downlink: the sample is a perturbation vector.  A precoder never
+      // sends a perturbation worse than none, so clip to v = 0 (classic
+      // zero-forcing) when the anneal did not beat it — the jobwise VPP <=
+      // ZF guarantee bench_vpp and the full-duplex experiment gate on.
+      const vpp::PrecodeInstance& instance = job.precode();
+      const qubo::SpinVec* chosen = best;
+      double chosen_energy = best_energy;
+      qubo::SpinVec zero;
+      if (chosen_energy > instance.zf_energy) {
+        zero = vpp::zero_perturbation_spins(instance.problem);
+        chosen = &zero;
+        chosen_energy = instance.zf_energy;
+      }
+      record.bit_errors = vpp::downlink_bit_errors(instance, *chosen);
+      record.num_bits = instance.tx_bits.size();
+      record.ground_state = reaches_ground(chosen_energy, instance.ground_energy);
+      continue;
+    }
+
+    // Uplink: post-translate the decoded configuration to Gray bits.
+    const sim::Instance& instance = job.uplink();
     const wireless::BitVec decoded = core::gray_bits_from_spins(
-        *best, job.instance.use.h.cols(), job.instance.use.mod);
+        *best, instance.use.h.cols(), instance.use.mod);
     record.bit_errors =
-        wireless::count_bit_errors(decoded, job.instance.use.tx_bits);
-    record.num_bits = job.instance.use.tx_bits.size();
-    record.ground_state = reaches_ground(best_energy, job.instance.ground_energy);
+        wireless::count_bit_errors(decoded, instance.use.tx_bits);
+    record.num_bits = instance.use.tx_bits.size();
+    record.ground_state = reaches_ground(best_energy, instance.ground_energy);
   }
 }
 

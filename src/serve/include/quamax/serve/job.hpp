@@ -1,22 +1,39 @@
-// Units of work for the C-RAN decode service (paper §2, §7).
+// Units of work for the full-duplex C-RAN service (paper §2, §7).
 //
 // In the paper's deployment story one quantum annealer in a centralized RAN
-// serves the uplink detection load of many base stations: every (user
-// group, subframe) pair yields one ML detection problem that must be decoded
-// within a HARQ-style latency budget.  A DecodeJob is that unit — a reduced
-// detection instance plus its arrival time and absolute deadline on the
-// service's virtual clock — and a JobRecord is everything the service
-// learned about it: when it was dispatched and completed, whether the
-// deadline held, and how well the decode matched the transmitted bits.
+// serves many base stations.  Since PR 6 that covers BOTH directions of a
+// cell:
+//
+//   * uplink — every (user group, subframe) pair yields one ML detection
+//     problem that must be decoded within a HARQ-style latency budget
+//     (DecodeJob, a reduced sim::Instance);
+//   * downlink — every subframe's transmit vector yields one
+//     vector-perturbation precoding problem that must be solved before the
+//     subframe goes to air (PrecodeJob, a reduced vpp::PrecodeInstance).
+//
+// Both are "minimize an Ising objective within a deadline", so one
+// sched::Scheduler serves them from one device pool: CellJob is the
+// direction-tagged unit the scheduler queues, and a JobRecord is everything
+// the service learned about it — when it was dispatched and completed,
+// whether the deadline held, and how well the solution scored (decoded bits
+// vs transmitted bits uplink; precoded bits surviving the receiver's
+// mod-tau slicer downlink).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <variant>
 
+#include "quamax/common/error.hpp"
 #include "quamax/sim/instance.hpp"
+#include "quamax/vpp/precode.hpp"
 
 namespace quamax::serve {
 
-/// One (user stream, subframe) detection job awaiting decode.
+/// Which half of the cell a job belongs to.
+enum class Direction : std::uint8_t { kUplink, kDownlink };
+
+/// One (user stream, subframe) uplink detection job awaiting decode.
 struct DecodeJob {
   std::size_t id = 0;    ///< unique per service run; indexes RNG streams
   std::size_t user = 0;  ///< originating uplink stream / base station
@@ -29,10 +46,77 @@ struct DecodeJob {
   std::size_t shape() const { return instance.num_vars(); }
 };
 
+/// One subframe's downlink precoding job awaiting a perturbation vector.
+struct PrecodeJob {
+  std::size_t id = 0;
+  std::size_t user = 0;  ///< destination user group / base station
+  vpp::PrecodeInstance instance;  ///< precoder + payload + reduced problem
+  double arrival_us = 0.0;
+  double deadline_us = 0.0;
+
+  std::size_t shape() const { return instance.num_vars(); }
+};
+
+/// The scheduler's unit of work: either direction, one interface.  The
+/// common timing fields stay public data (the engine reads them in its
+/// inner loops); the payload is a closed variant, so routing, packing, and
+/// policy code stay direction-blind while decode branches on direction().
+struct CellJob {
+  std::size_t id = 0;
+  std::size_t user = 0;
+  double arrival_us = 0.0;
+  double deadline_us = 0.0;
+  std::variant<sim::Instance, vpp::PrecodeInstance> payload;
+
+  CellJob() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): a DecodeJob IS a CellJob.
+  CellJob(DecodeJob job)
+      : id(job.id),
+        user(job.user),
+        arrival_us(job.arrival_us),
+        deadline_us(job.deadline_us),
+        payload(std::move(job.instance)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): a PrecodeJob IS a CellJob.
+  CellJob(PrecodeJob job)
+      : id(job.id),
+        user(job.user),
+        arrival_us(job.arrival_us),
+        deadline_us(job.deadline_us),
+        payload(std::move(job.instance)) {}
+
+  Direction direction() const {
+    return payload.index() == 0 ? Direction::kUplink : Direction::kDownlink;
+  }
+  bool downlink() const { return direction() == Direction::kDownlink; }
+
+  const sim::Instance& uplink() const {
+    require(!downlink(), "CellJob: uplink payload requested on a downlink job");
+    return std::get<sim::Instance>(payload);
+  }
+  const vpp::PrecodeInstance& precode() const {
+    require(downlink(), "CellJob: downlink payload requested on an uplink job");
+    return std::get<vpp::PrecodeInstance>(payload);
+  }
+
+  /// The Ising problem the wave anneals, either direction.
+  const qubo::IsingModel& ising() const {
+    return downlink() ? precode().problem.ising : uplink().problem.ising;
+  }
+  /// Reference energy for ground-state accounting (ML/optimum when an
+  /// oracle anchored it, else transmitted-config / zero-forcing energy).
+  double reference_energy() const {
+    return downlink() ? precode().ground_energy : uplink().ground_energy;
+  }
+
+  /// Wave-packing compatibility key (logical variable count).
+  std::size_t shape() const { return ising().num_spins(); }
+};
+
 /// Completion record for one job, in virtual-clock microseconds.
 struct JobRecord {
   std::size_t job_id = 0;
   std::size_t user = 0;
+  Direction direction = Direction::kUplink;
   std::size_t wave_id = 0;  ///< wave that served it (undefined when dropped)
   double arrival_us = 0.0;
   double dispatch_us = 0.0;    ///< when its wave started on a device
@@ -42,8 +126,10 @@ struct JobRecord {
   /// no longer meet its deadline (ServiceConfig::drop_late); never decoded.
   bool dropped = false;
 
-  // Decode quality (zero-initialized for dropped jobs).
-  std::size_t bit_errors = 0;  ///< decoded Gray bits vs transmitted bits
+  // Solution quality (zero-initialized for dropped jobs).  Uplink: decoded
+  // Gray bits vs transmitted bits.  Downlink: payload bits surviving the
+  // receiver mod-tau slicer under the chosen perturbation.
+  std::size_t bit_errors = 0;
   std::size_t num_bits = 0;    ///< bits carried by the job
   bool ground_state = false;   ///< best sample reached the reference energy
 

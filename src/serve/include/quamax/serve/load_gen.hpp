@@ -21,6 +21,13 @@
 //   * the synthetic Argos-like wireless::TraceChannelModel (§5.5): the
 //     fading process advances one frame per job, so instances are produced
 //     sequentially and cached by job index to keep job(k) a pure lookup.
+//
+// Full-duplex mixes: downlink_fraction > 0 turns job k into a downlink VPP
+// precoding job (vpp::PrecodeInstance from `downlink`) with probability
+// downlink_fraction, decided by job k's own direction stream — so the mix
+// knob reshuffles nothing: uplink job k keeps the exact channel it had in a
+// pure-uplink run, and downlink_fraction = 0 reproduces the PR-3..5
+// workloads bit-for-bit.
 #pragma once
 
 #include <cstddef>
@@ -31,6 +38,7 @@
 
 #include "quamax/serve/job.hpp"
 #include "quamax/sim/instance.hpp"
+#include "quamax/vpp/precode.hpp"
 #include "quamax/wireless/trace.hpp"
 
 namespace quamax::serve {
@@ -58,6 +66,19 @@ struct LoadConfig {
   /// Anchor ground energies with the Sphere Decoder on noisy instances
   /// (classical cost per job; unnecessary for noise-free serving sweeps).
   bool ml_oracle = false;
+
+  /// Full-duplex mix knob: probability that a job is a DOWNLINK precoding
+  /// job.  0 = pure uplink (bit-identical to the pre-full-duplex
+  /// workloads), 1 = pure downlink.  Knob: --downlink / QUAMAX_DOWNLINK.
+  double downlink_fraction = 0.0;
+  /// Downlink instance family (channel, modulation, tau, encoding width).
+  vpp::VppConfig downlink{};
+  /// Downlink budget: deadline = arrival + this; 0 = use deadline_us.
+  /// Precoding typically runs a TIGHTER budget than detection — the
+  /// subframe cannot go to air without it.
+  double downlink_deadline_us = 0.0;
+  /// Anchor downlink ground energies by brute force (test/bench scale).
+  bool downlink_opt_oracle = false;
 };
 
 class LoadGenerator {
@@ -68,8 +89,8 @@ class LoadGenerator {
 
   /// The full open-loop workload: `num_jobs` jobs with ids 0..num_jobs-1 in
   /// arrival order, owners round-robin over `users`, deadlines at arrival +
-  /// deadline_us.  Pure in (config, seed, num_jobs).
-  std::vector<DecodeJob> open_loop(std::size_t num_jobs);
+  /// the direction's budget.  Pure in (config, seed, num_jobs).
+  std::vector<CellJob> open_loop(std::size_t num_jobs);
 
   /// Job `id` for `user`, released at `release_us` — the closed-loop entry
   /// point DecodeService::run_closed_loop drives.  Instances are keyed by
@@ -79,7 +100,11 @@ class LoadGenerator {
   /// window of the most recent kTraceWindow ids, keeping memory bounded on
   /// arbitrarily long serving runs; requesting an id that slid out of the
   /// window throws InvalidArgument.
-  DecodeJob job(std::size_t id, std::size_t user, double release_us);
+  CellJob job(std::size_t id, std::size_t user, double release_us);
+
+  /// Whether job `id` is a downlink job under the configured mix (a pure
+  /// function of (seed, id) — independent of every other draw).
+  bool is_downlink(std::size_t id) const;
 
   /// Trace-mode retention window (see job()).  Far larger than any queue a
   /// service run sustains — the service consumes ids almost in order.
@@ -91,6 +116,8 @@ class LoadGenerator {
   LoadConfig config_;
   std::uint64_t arrival_key_ = 0;
   std::uint64_t instance_key_ = 0;
+  std::uint64_t direction_key_ = 0;
+  std::uint64_t downlink_key_ = 0;
   std::unique_ptr<wireless::TraceChannelModel> trace_model_;
   Rng trace_rng_;
   std::deque<sim::Instance> trace_window_;  ///< ids [trace_base_, trace_base_ + size)

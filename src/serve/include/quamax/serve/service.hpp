@@ -137,8 +137,10 @@ class DecodeService {
   double wave_service_us() const;
 
   /// Open-loop run: serves `jobs` (any order; the service sorts by arrival)
-  /// to completion and returns the full report.
-  ServiceReport run(std::vector<DecodeJob> jobs);
+  /// to completion and returns the full report.  Jobs may mix directions —
+  /// LoadGenerator::open_loop with downlink_fraction > 0 produces the
+  /// full-duplex workload.
+  ServiceReport run(std::vector<CellJob> jobs);
 
   /// Closed-loop run: a fixed population of generator.config().users
   /// streams, each releasing its next job think_time_us after its previous

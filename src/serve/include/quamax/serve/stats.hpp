@@ -61,6 +61,26 @@ class ServiceStats {
   /// Fraction of served jobs whose best sample hit the reference energy.
   double ground_state_rate() const;
 
+  /// Per-direction breakdown of a full-duplex run (uplink detection vs
+  /// downlink VPP precoding); zeros for the direction a run never saw.
+  struct DirectionStats {
+    std::size_t jobs = 0;
+    std::size_t misses = 0;
+    std::size_t bit_errors = 0;
+    std::size_t total_bits = 0;
+    double miss_rate() const {
+      return jobs == 0 ? 0.0
+                       : static_cast<double>(misses) / static_cast<double>(jobs);
+    }
+    double ber() const {
+      return total_bits == 0 ? 0.0
+                             : static_cast<double>(bit_errors) /
+                                   static_cast<double>(total_bits);
+    }
+  };
+  const DirectionStats& uplink() const noexcept { return uplink_; }
+  const DirectionStats& downlink() const noexcept { return downlink_; }
+
   /// First arrival and last completion seen (0 before any job).
   double first_arrival_us() const noexcept { return first_arrival_us_; }
   double last_completion_us() const noexcept { return last_completion_us_; }
@@ -85,6 +105,8 @@ class ServiceStats {
   std::size_t bit_errors_ = 0;
   std::size_t total_bits_ = 0;
   std::size_t ground_states_ = 0;
+  DirectionStats uplink_;
+  DirectionStats downlink_;
   double first_arrival_us_ = 0.0;
   double last_completion_us_ = 0.0;
   bool any_ = false;

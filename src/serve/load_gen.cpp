@@ -17,14 +17,28 @@ LoadGenerator::LoadGenerator(LoadConfig config, std::uint64_t seed)
     require(config_.subframe_period_us > 0.0,
             "LoadGenerator: subframe period must be positive");
 
+  require(config_.downlink_fraction >= 0.0 && config_.downlink_fraction <= 1.0,
+          "LoadGenerator: downlink fraction must lie in [0, 1]");
+
   // Independent key families for arrivals and instances, derived from the
   // single seed: changing the offered load must not change the channels.
+  // The full-duplex keys are drawn LAST so a pure-uplink config reproduces
+  // the pre-full-duplex stream assignment bit-for-bit.
   Rng root(seed);
   arrival_key_ = root();
   instance_key_ = root();
   if (config_.trace_channels)
     trace_model_ =
         std::make_unique<wireless::TraceChannelModel>(config_.trace, root());
+  direction_key_ = root();
+  downlink_key_ = root();
+}
+
+bool LoadGenerator::is_downlink(std::size_t id) const {
+  if (config_.downlink_fraction <= 0.0) return false;
+  if (config_.downlink_fraction >= 1.0) return true;
+  Rng stream = Rng::for_stream(direction_key_, id);
+  return stream.uniform() < config_.downlink_fraction;
 }
 
 sim::Instance LoadGenerator::instance_for(std::size_t id) {
@@ -52,8 +66,8 @@ sim::Instance LoadGenerator::instance_for(std::size_t id) {
   return trace_window_[id - trace_base_];
 }
 
-std::vector<DecodeJob> LoadGenerator::open_loop(std::size_t num_jobs) {
-  std::vector<DecodeJob> jobs;
+std::vector<CellJob> LoadGenerator::open_loop(std::size_t num_jobs) {
+  std::vector<CellJob> jobs;
   jobs.reserve(num_jobs);
   double clock_us = 0.0;
   for (std::size_t k = 0; k < num_jobs; ++k) {
@@ -73,14 +87,27 @@ std::vector<DecodeJob> LoadGenerator::open_loop(std::size_t num_jobs) {
   return jobs;
 }
 
-DecodeJob LoadGenerator::job(std::size_t id, std::size_t user, double release_us) {
+CellJob LoadGenerator::job(std::size_t id, std::size_t user, double release_us) {
+  if (is_downlink(id)) {
+    PrecodeJob out;
+    out.id = id;
+    out.user = user;
+    Rng stream = Rng::for_stream(downlink_key_, id);
+    out.instance = vpp::make_precode_instance(config_.downlink, stream,
+                                              config_.downlink_opt_oracle);
+    out.arrival_us = release_us;
+    out.deadline_us = release_us + (config_.downlink_deadline_us > 0.0
+                                        ? config_.downlink_deadline_us
+                                        : config_.deadline_us);
+    return CellJob(std::move(out));
+  }
   DecodeJob out;
   out.id = id;
   out.user = user;
   out.instance = instance_for(id);
   out.arrival_us = release_us;
   out.deadline_us = release_us + config_.deadline_us;
-  return out;
+  return CellJob(std::move(out));
 }
 
 }  // namespace quamax::serve

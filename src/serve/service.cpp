@@ -29,8 +29,8 @@ class DecodeService::ArrivalFeed {
   virtual ~ArrivalFeed() = default;
   virtual bool empty() const = 0;
   virtual double next_time() const = 0;
-  virtual DecodeJob pop(std::size_t index) = 0;
-  virtual void on_dispatch(const DecodeJob& job, double completion_us) {
+  virtual CellJob pop(std::size_t index) = 0;
+  virtual void on_dispatch(const CellJob& job, double completion_us) {
     (void)job;
     (void)completion_us;
   }
@@ -39,21 +39,21 @@ class DecodeService::ArrivalFeed {
 /// Pre-materialized workload sorted by arrival time.
 class DecodeService::OpenLoopFeed final : public DecodeService::ArrivalFeed {
  public:
-  explicit OpenLoopFeed(std::vector<DecodeJob> jobs) : jobs_(std::move(jobs)) {
+  explicit OpenLoopFeed(std::vector<CellJob> jobs) : jobs_(std::move(jobs)) {
     std::stable_sort(jobs_.begin(), jobs_.end(),
-                     [](const DecodeJob& a, const DecodeJob& b) {
+                     [](const CellJob& a, const CellJob& b) {
                        return a.arrival_us < b.arrival_us;
                      });
   }
   bool empty() const override { return cursor_ >= jobs_.size(); }
   double next_time() const override { return jobs_[cursor_].arrival_us; }
-  DecodeJob pop(std::size_t index) override {
+  CellJob pop(std::size_t index) override {
     (void)index;
     return std::move(jobs_[cursor_++]);
   }
 
  private:
-  std::vector<DecodeJob> jobs_;
+  std::vector<CellJob> jobs_;
   std::size_t cursor_ = 0;
 };
 
@@ -72,14 +72,14 @@ class DecodeService::ClosedLoopFeed final : public DecodeService::ArrivalFeed {
     return releases_.empty() ? std::numeric_limits<double>::infinity()
                              : releases_.top().first;
   }
-  DecodeJob pop(std::size_t index) override {
+  CellJob pop(std::size_t index) override {
     (void)index;
     require(!releases_.empty(), "ClosedLoopFeed: no release scheduled");
     const auto [release_us, user] = releases_.top();
     releases_.pop();
     return generator_->job(issued_++, user, release_us);
   }
-  void on_dispatch(const DecodeJob& job, double completion_us) override {
+  void on_dispatch(const CellJob& job, double completion_us) override {
     if (issued_ < target_)
       releases_.emplace(completion_us + generator_->config().think_time_us,
                         job.user);
@@ -143,7 +143,7 @@ double DecodeService::wave_service_us() const {
              config_.annealer.schedule.duration_us();
 }
 
-ServiceReport DecodeService::run(std::vector<DecodeJob> jobs) {
+ServiceReport DecodeService::run(std::vector<CellJob> jobs) {
   OpenLoopFeed feed(std::move(jobs));
   return serve(feed);
 }
@@ -167,7 +167,7 @@ ServiceReport DecodeService::serve(ArrivalFeed& feed) {
 
   sched::Scheduler scheduler(sched_config(), devices_);
   scheduler.set_dispatch_hook(
-      [&feed](const DecodeJob& job, double completion_us) {
+      [&feed](const CellJob& job, double completion_us) {
         feed.on_dispatch(job, completion_us);
       });
 

@@ -23,7 +23,13 @@ LatencySummary summarize_latency(const std::vector<double>& values) {
 
 void ServiceStats::add(const JobRecord& record) {
   ++jobs_;
-  if (record.missed_deadline()) ++misses_;
+  DirectionStats& direction =
+      record.direction == Direction::kDownlink ? downlink_ : uplink_;
+  ++direction.jobs;
+  if (record.missed_deadline()) {
+    ++misses_;
+    ++direction.misses;
+  }
   if (record.dropped) {
     ++drops_;
   } else {
@@ -32,6 +38,8 @@ void ServiceStats::add(const JobRecord& record) {
     total_us_.push_back(record.total_us());
     bit_errors_ += record.bit_errors;
     total_bits_ += record.num_bits;
+    direction.bit_errors += record.bit_errors;
+    direction.total_bits += record.num_bits;
     if (record.ground_state) ++ground_states_;
   }
   if (!any_ || record.arrival_us < first_arrival_us_)
@@ -105,6 +113,10 @@ std::string ServiceStats::digest() const {
   append("throughput=%.3f goodput=%.3f (jobs/ms over %.1f us)\n",
          achieved_jobs_per_ms(), goodput_jobs_per_ms(),
          last_completion_us_ - first_arrival_us_);
+  append("uplink: jobs=%zu miss_rate=%.6f ber=%.3e | "
+         "downlink: jobs=%zu miss_rate=%.6f ber=%.3e\n",
+         uplink_.jobs, uplink_.miss_rate(), uplink_.ber(), downlink_.jobs,
+         downlink_.miss_rate(), downlink_.ber());
   return out;
 }
 

@@ -138,6 +138,24 @@ std::size_t env_devices();
 /// env_devices() when the flag is absent.
 std::size_t cli_devices(int argc, char** argv);
 
+/// Reads the QUAMAX_DOWNLINK environment variable: fraction of serve-layer
+/// jobs that are downlink VPP precoding jobs (in [0, 1]; default 0 = pure
+/// uplink, bit-identical to the pre-full-duplex workloads).
+double env_downlink();
+
+/// The bench/example `--downlink F` knob (also `--downlink=F`); falls back
+/// to env_downlink() when the flag is absent.  Throws InvalidArgument on a
+/// malformed value or one outside [0, 1].
+double cli_downlink(int argc, char** argv);
+
+/// Reads the QUAMAX_TAU environment variable: the VPP perturbation modulus
+/// override (>= 0; default 0 = per-modulation auto, vpp::default_tau).
+double env_tau();
+
+/// The bench/example `--tau T` knob (also `--tau=T`); falls back to
+/// env_tau() when the flag is absent.
+double cli_tau(int argc, char** argv);
+
 /// Reads the QUAMAX_QUEUE_POLICY environment variable as a raw string
 /// (default "fifo").  Validation happens in sched::parse_queue_policy — the
 /// sim layer sits below sched and only transports the spelling.

@@ -203,6 +203,20 @@ std::size_t cli_flag_or(const std::string& name, int argc, char** argv,
   return env_fallback();
 }
 
+/// Parses a non-negative double knob value (shared by --downlink / --tau).
+double parse_nonnegative(const std::string& text, const std::string& knob) {
+  double v = 0.0;
+  std::size_t pos = 0;
+  try {
+    v = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  require(pos == text.size() && !text.empty() && v >= 0.0,
+          knob + ": expected a non-negative number, got '" + text + "'");
+  return v;
+}
+
 anneal::AcceptMode parse_accept_mode(const std::string& text) {
   if (text == "exact") return anneal::AcceptMode::kExact;
   if (text == "threshold") return anneal::AcceptMode::kThreshold;
@@ -279,6 +293,47 @@ std::size_t cli_devices(int argc, char** argv) {
   return devices;
 }
 
+double env_downlink() {
+  const char* raw = std::getenv("QUAMAX_DOWNLINK");
+  if (raw == nullptr) return 0.0;
+  const double fraction =
+      parse_nonnegative(raw, "--downlink / QUAMAX_DOWNLINK");
+  require(fraction <= 1.0,
+          "--downlink / QUAMAX_DOWNLINK: fraction must be in [0, 1]");
+  return fraction;
+}
+
+double cli_downlink(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (flag_at("downlink", argc, argv, i, value, consumed)) {
+      const double fraction =
+          parse_nonnegative(value, "--downlink / QUAMAX_DOWNLINK");
+      require(fraction <= 1.0,
+              "--downlink / QUAMAX_DOWNLINK: fraction must be in [0, 1]");
+      return fraction;
+    }
+  }
+  return env_downlink();
+}
+
+double env_tau() {
+  const char* raw = std::getenv("QUAMAX_TAU");
+  if (raw == nullptr) return 0.0;
+  return parse_nonnegative(raw, "--tau / QUAMAX_TAU");
+}
+
+double cli_tau(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (flag_at("tau", argc, argv, i, value, consumed))
+      return parse_nonnegative(value, "--tau / QUAMAX_TAU");
+  }
+  return env_tau();
+}
+
 std::string env_queue_policy() {
   const char* raw = std::getenv("QUAMAX_QUEUE_POLICY");
   return raw == nullptr ? "fifo" : raw;
@@ -302,7 +357,9 @@ std::vector<std::string> positional_args(int argc, char** argv) {
         flag_at("replicas", argc, argv, i, value, consumed) ||
         flag_at("accept-mode", argc, argv, i, value, consumed) ||
         flag_at("devices", argc, argv, i, value, consumed) ||
-        flag_at("queue-policy", argc, argv, i, value, consumed)) {
+        flag_at("queue-policy", argc, argv, i, value, consumed) ||
+        flag_at("downlink", argc, argv, i, value, consumed) ||
+        flag_at("tau", argc, argv, i, value, consumed)) {
       i += consumed;
       continue;
     }

@@ -75,7 +75,8 @@ std::vector<chimera::Qubit> dead_row_map() {
 }
 
 bool records_equal(const serve::JobRecord& a, const serve::JobRecord& b) {
-  return a.job_id == b.job_id && a.user == b.user && a.wave_id == b.wave_id &&
+  return a.job_id == b.job_id && a.user == b.user &&
+         a.direction == b.direction && a.wave_id == b.wave_id &&
          a.arrival_us == b.arrival_us && a.dispatch_us == b.dispatch_us &&
          a.completion_us == b.completion_us && a.deadline_us == b.deadline_us &&
          a.dropped == b.dropped && a.bit_errors == b.bit_errors &&
@@ -84,13 +85,13 @@ bool records_equal(const serve::JobRecord& a, const serve::JobRecord& b) {
 
 TEST(SchedClientTest, AsyncDrainMatchesBatchService) {
   serve::LoadGenerator gen(bpsk8_load(80.0), 0xA51);
-  const std::vector<serve::DecodeJob> jobs = gen.open_loop(40);
+  const std::vector<serve::CellJob> jobs = gen.open_loop(40);
 
   const serve::ServiceReport batch =
       serve::DecodeService(fast_service()).run(jobs);
 
   sched::SchedClient client(fast_sched());
-  for (const serve::DecodeJob& job : jobs) client.submit(job);
+  for (const serve::CellJob& job : jobs) client.submit(job);
   const std::vector<sched::Completion> completions = client.drain();
 
   ASSERT_EQ(completions.size(), batch.jobs.size());
@@ -107,11 +108,11 @@ TEST(SchedClientTest, AsyncDrainMatchesBatchService) {
 
 TEST(SchedClientTest, PollStreamsEachCompletionExactlyOnceAnyCadence) {
   serve::LoadGenerator gen(bpsk8_load(60.0), 0xA52);
-  const std::vector<serve::DecodeJob> jobs = gen.open_loop(30);
+  const std::vector<serve::CellJob> jobs = gen.open_loop(30);
 
   // Reference: drain-only client.
   sched::SchedClient lazy(fast_sched());
-  for (const serve::DecodeJob& job : jobs) lazy.submit(job);
+  for (const serve::CellJob& job : jobs) lazy.submit(job);
   std::map<std::size_t, serve::JobRecord> reference;
   for (const sched::Completion& c : lazy.drain()) reference[c.ticket.seq] = c.record;
 
@@ -124,7 +125,7 @@ TEST(SchedClientTest, PollStreamsEachCompletionExactlyOnceAnyCadence) {
       seen[c.ticket.seq] = c.record;
     }
   };
-  for (const serve::DecodeJob& job : jobs) {
+  for (const serve::CellJob& job : jobs) {
     const double now = job.arrival_us;
     eager.submit(job);
     absorb(eager.poll());
@@ -141,7 +142,7 @@ TEST(SchedClientTest, PollStreamsEachCompletionExactlyOnceAnyCadence) {
 
 TEST(SchedTest, ReportBitIdenticalAcrossThreadsReplicasForPolicyAndDevices) {
   serve::LoadGenerator gen(bpsk8_load(120.0, 400.0), 0xA53);
-  const std::vector<serve::DecodeJob> jobs = gen.open_loop(36);
+  const std::vector<serve::CellJob> jobs = gen.open_loop(36);
 
   for (const sched::QueuePolicy policy :
        {sched::QueuePolicy::kFifo, sched::QueuePolicy::kEdf,
@@ -173,9 +174,9 @@ TEST(SchedTest, EdfDispatchesByDeadlineFifoByArrival) {
   // Six same-arrival jobs with descending deadlines on one unpacked device:
   // FIFO serves submission order, EDF the exact reverse.
   serve::LoadGenerator gen(bpsk8_load(10.0), 0xA54);
-  std::vector<serve::DecodeJob> jobs;
+  std::vector<serve::CellJob> jobs;
   for (std::size_t k = 0; k < 6; ++k) {
-    serve::DecodeJob job = gen.job(k, k % 8, 0.0);
+    serve::CellJob job = gen.job(k, k % 8, 0.0);
     job.deadline_us = 1000.0 - 100.0 * static_cast<double>(k);
     jobs.push_back(std::move(job));
   }
@@ -203,9 +204,9 @@ TEST(SchedTest, SlackDefersDoomedJobsEdfDoesNot) {
   // Job k (k >= 1) can make its deadline only from service slot k-1; the
   // doomed job's 30 us head start under EDF pushes each one slot too late.
   serve::LoadGenerator gen(bpsk8_load(10.0), 0xA55);
-  std::vector<serve::DecodeJob> jobs;
+  std::vector<serve::CellJob> jobs;
   for (std::size_t k = 0; k < 4; ++k) {
-    serve::DecodeJob job = gen.job(k, k % 8, 0.0);
+    serve::CellJob job = gen.job(k, k % 8, 0.0);
     job.deadline_us = (k == 0) ? 20.0 : 10.0 + 30.0 * static_cast<double>(k);
     jobs.push_back(std::move(job));
   }
@@ -234,8 +235,8 @@ TEST(SchedTest, ShapeAwareRoutingKeepsWavesOnEmbeddableDevices) {
   qpsk.problem.mod = wireless::Modulation::kQpsk;
   serve::LoadGenerator bpsk_gen(bpsk8_load(100.0, 3000.0), 0xA56);
   serve::LoadGenerator qpsk_gen(qpsk, 0xA57);
-  std::vector<serve::DecodeJob> jobs = bpsk_gen.open_loop(24);
-  for (serve::DecodeJob& job : qpsk_gen.open_loop(24)) {
+  std::vector<serve::CellJob> jobs = bpsk_gen.open_loop(24);
+  for (serve::CellJob& job : qpsk_gen.open_loop(24)) {
     job.id += 24;
     jobs.push_back(std::move(job));
   }

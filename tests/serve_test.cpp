@@ -94,7 +94,7 @@ TEST(ServeTest, PreservesJobSolutionMappingAcrossWaves) {
   // own; a scrambled job->solution mapping would show up as ~50% BER on
   // jobs whose wave-mates carry different payloads.
   serve::LoadGenerator gen(bpsk8_load(50.0), 0xA11CE);
-  std::vector<serve::DecodeJob> jobs = gen.open_loop(24);
+  std::vector<serve::CellJob> jobs = gen.open_loop(24);
 
   serve::DecodeService service(fast_service(/*packing=*/true));
   const serve::ServiceReport report = service.run(std::move(jobs));
@@ -123,7 +123,7 @@ TEST(ServeTest, PreservesJobSolutionMappingAcrossWaves) {
 
 TEST(ServeTest, StatsBitIdenticalAcrossThreadsAndReplicas) {
   serve::LoadGenerator base_gen(bpsk8_load(80.0), 0xD7E);
-  const std::vector<serve::DecodeJob> jobs = base_gen.open_loop(40);
+  const std::vector<serve::CellJob> jobs = base_gen.open_loop(40);
 
   const serve::ServiceReport baseline =
       serve::DecodeService(fast_service(true, 1, 8)).run(jobs);
@@ -148,7 +148,7 @@ TEST(ServeTest, ThresholdModeReportBitIdenticalAcrossThreadsAndReplicas) {
   // threads x replicas under AcceptMode::kThreshold32 too — the v2
   // determinism contract, end to end through the service.
   serve::LoadGenerator base_gen(bpsk8_load(80.0), 0xD7F);
-  const std::vector<serve::DecodeJob> jobs = base_gen.open_loop(30);
+  const std::vector<serve::CellJob> jobs = base_gen.open_loop(30);
 
   serve::ServiceConfig cfg = fast_service(true, 1, 8);
   cfg.annealer.accept_mode = anneal::AcceptMode::kThreshold32;
@@ -175,7 +175,7 @@ TEST(ServeTest, PackingAtLeastDoublesThroughputAtSaturation) {
   // 150 jobs/ms offered against a ~33 jobs/ms unpacked service rate: the
   // unpacked baseline saturates while packing rides the arrival rate.
   serve::LoadGenerator gen(bpsk8_load(150.0), 0xFEED);
-  const std::vector<serve::DecodeJob> jobs = gen.open_loop(400);
+  const std::vector<serve::CellJob> jobs = gen.open_loop(400);
 
   const serve::ServiceReport packed =
       serve::DecodeService(fast_service(true)).run(jobs);
@@ -234,7 +234,7 @@ TEST(ServeTest, MultiDeviceDispatchIsCausal) {
   load12.problem.users = 12;
   serve::LoadGenerator gen8(bpsk8_load(1.0), 0xCA05A1);
   serve::LoadGenerator gen12(load12, 0xCA05A2);
-  std::vector<serve::DecodeJob> jobs;
+  std::vector<serve::CellJob> jobs;
   jobs.push_back(gen8.job(0, 0, 100.0));
   jobs.push_back(gen12.job(1, 1, 100.0));
 
@@ -260,7 +260,7 @@ TEST(ServeTest, DropLateSweepsHeterogeneousDeadlines) {
   // of the queue (an even job with a generous budget) is safe.  The
   // admission sweep must shed exactly the odd jobs.
   serve::LoadGenerator gen(bpsk8_load(100.0), 0x8E7);
-  std::vector<serve::DecodeJob> jobs = gen.open_loop(40);
+  std::vector<serve::CellJob> jobs = gen.open_loop(40);
   for (std::size_t k = 1; k < jobs.size(); k += 2)
     jobs[k].deadline_us = jobs[k].arrival_us + 20.0;
 
@@ -316,7 +316,7 @@ TEST(LoadGeneratorTest, DeterministicAndWellFormed) {
     EXPECT_EQ(jobs_a[k].id, k);
     EXPECT_EQ(jobs_a[k].user, k % cfg.users);
     EXPECT_EQ(jobs_a[k].arrival_us, jobs_b[k].arrival_us);
-    EXPECT_EQ(jobs_a[k].instance.use.tx_bits, jobs_b[k].instance.use.tx_bits);
+    EXPECT_EQ(jobs_a[k].uplink().use.tx_bits, jobs_b[k].uplink().use.tx_bits);
     EXPECT_EQ(jobs_a[k].shape(), 8u);
     EXPECT_GT(jobs_a[k].arrival_us, prev);
     EXPECT_DOUBLE_EQ(jobs_a[k].deadline_us, jobs_a[k].arrival_us + cfg.deadline_us);
@@ -336,6 +336,53 @@ TEST(LoadGeneratorTest, SubframeArrivalsAreFrameAligned) {
                      static_cast<double>(k / 4) * 500.0);
 }
 
+serve::LoadConfig fullduplex_load(double jobs_per_ms) {
+  serve::LoadConfig cfg = bpsk8_load(jobs_per_ms);
+  cfg.downlink_fraction = 0.4;
+  cfg.downlink.users = 4;
+  cfg.downlink.antennas = 4;
+  cfg.downlink.mod = wireless::Modulation::kQpsk;
+  cfg.downlink.snr_db = 14.0;
+  cfg.downlink_deadline_us = 600.0;
+  return cfg;
+}
+
+TEST(FullDuplexTest, MixedDirectionsServeThroughOneScheduler) {
+  serve::LoadGenerator gen(fullduplex_load(20.0), 0xFDFD);
+  serve::DecodeService service(fast_service(/*packing=*/true));
+  const serve::ServiceReport report = service.run(gen.open_loop(40));
+
+  ASSERT_EQ(report.jobs.size(), 40u);
+  const serve::ServiceStats::DirectionStats& up = report.stats.uplink();
+  const serve::ServiceStats::DirectionStats& down = report.stats.downlink();
+  EXPECT_GT(up.jobs, 0u);
+  EXPECT_GT(down.jobs, 0u);
+  EXPECT_EQ(up.jobs + down.jobs, 40u);
+  // Uplink shape 8 and downlink shape 16 never share a wave.
+  for (const serve::Wave& wave : report.waves)
+    EXPECT_TRUE(wave.shape == 8u || wave.shape == 16u);
+  // Downlink records carry the VPP payload size (4 users x 2 QPSK bits).
+  for (const serve::JobRecord& rec : report.jobs)
+    if (rec.direction == serve::Direction::kDownlink && !rec.dropped)
+      EXPECT_EQ(rec.num_bits, 8u);
+}
+
+TEST(FullDuplexTest, ReportBitIdenticalAcrossThreadsReplicasDevices) {
+  for (const std::size_t devices : {std::size_t{1}, std::size_t{3}}) {
+    serve::LoadGenerator gen_a(fullduplex_load(30.0), 0xF00D);
+    serve::LoadGenerator gen_b(fullduplex_load(30.0), 0xF00D);
+    auto cfg_a = fast_service(/*packing=*/true, /*threads=*/1, /*replicas=*/1);
+    cfg_a.num_devices = devices;
+    auto cfg_b = fast_service(/*packing=*/true, /*threads=*/4, /*replicas=*/16);
+    cfg_b.num_devices = devices;
+    const serve::ServiceReport a =
+        serve::DecodeService(cfg_a).run(gen_a.open_loop(48));
+    const serve::ServiceReport b =
+        serve::DecodeService(cfg_b).run(gen_b.open_loop(48));
+    EXPECT_EQ(a.stats.digest(), b.stats.digest()) << "devices=" << devices;
+  }
+}
+
 TEST(LoadGeneratorTest, TraceChannelsProduceServableJobs) {
   auto cfg = bpsk8_load(5.0);
   cfg.trace_channels = true;
@@ -345,13 +392,13 @@ TEST(LoadGeneratorTest, TraceChannelsProduceServableJobs) {
   const auto jobs = gen.open_loop(10);
   for (const auto& job : jobs) {
     EXPECT_EQ(job.shape(), 8u);
-    EXPECT_EQ(job.instance.use.h.rows(), 8u);
-    EXPECT_GE(job.instance.use.snr_db, 25.0);
-    EXPECT_LE(job.instance.use.snr_db, 35.0);
+    EXPECT_EQ(job.uplink().use.h.rows(), 8u);
+    EXPECT_GE(job.uplink().use.snr_db, 25.0);
+    EXPECT_LE(job.uplink().use.snr_db, 35.0);
   }
   // Trace instances are cached by id: re-requesting an id is a pure lookup.
-  const serve::DecodeJob again = gen.job(3, 3 % cfg.users, 123.0);
-  EXPECT_EQ(again.instance.use.tx_bits, jobs[3].instance.use.tx_bits);
+  const serve::CellJob again = gen.job(3, 3 % cfg.users, 123.0);
+  EXPECT_EQ(again.uplink().use.tx_bits, jobs[3].uplink().use.tx_bits);
 }
 
 }  // namespace

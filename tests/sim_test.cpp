@@ -231,15 +231,54 @@ TEST(CliKnobsTest, QueuePolicyFlagTransportsSpelling) {
   ::unsetenv("QUAMAX_QUEUE_POLICY");
 }
 
+TEST(CliKnobsTest, DownlinkFlagParsesValidatesAndFallsBack) {
+  const char* argv1[] = {"bench", "--downlink", "0.5"};
+  EXPECT_DOUBLE_EQ(cli_downlink(3, const_cast<char**>(argv1)), 0.5);
+  const char* argv2[] = {"bench", "--downlink=1"};
+  EXPECT_DOUBLE_EQ(cli_downlink(2, const_cast<char**>(argv2)), 1.0);
+
+  ::unsetenv("QUAMAX_DOWNLINK");
+  const char* none[] = {"bench"};
+  EXPECT_DOUBLE_EQ(cli_downlink(1, const_cast<char**>(none)), 0.0);
+  ::setenv("QUAMAX_DOWNLINK", "0.25", 1);
+  EXPECT_DOUBLE_EQ(cli_downlink(1, const_cast<char**>(none)), 0.25);
+  ::unsetenv("QUAMAX_DOWNLINK");
+
+  const char* above[] = {"bench", "--downlink", "1.5"};
+  EXPECT_THROW(cli_downlink(3, const_cast<char**>(above)), InvalidArgument);
+  const char* garbage[] = {"bench", "--downlink=mixed"};
+  EXPECT_THROW(cli_downlink(2, const_cast<char**>(garbage)), InvalidArgument);
+}
+
+TEST(CliKnobsTest, TauFlagParsesValidatesAndFallsBack) {
+  const char* argv1[] = {"bench", "--tau", "8"};
+  EXPECT_DOUBLE_EQ(cli_tau(3, const_cast<char**>(argv1)), 8.0);
+  const char* argv2[] = {"bench", "--tau=2.5"};
+  EXPECT_DOUBLE_EQ(cli_tau(2, const_cast<char**>(argv2)), 2.5);
+
+  ::unsetenv("QUAMAX_TAU");
+  const char* none[] = {"bench"};
+  EXPECT_DOUBLE_EQ(cli_tau(1, const_cast<char**>(none)), 0.0);
+  ::setenv("QUAMAX_TAU", "16", 1);
+  EXPECT_DOUBLE_EQ(cli_tau(1, const_cast<char**>(none)), 16.0);
+  ::unsetenv("QUAMAX_TAU");
+
+  const char* negative[] = {"bench", "--tau", "-4"};
+  EXPECT_THROW(cli_tau(3, const_cast<char**>(negative)), InvalidArgument);
+  const char* garbage[] = {"bench", "--tau=auto"};
+  EXPECT_THROW(cli_tau(2, const_cast<char**>(garbage)), InvalidArgument);
+}
+
 TEST(CliKnobsTest, PositionalArgsSkipAllFlags) {
   const char* argv[] = {"bench",        "alpha", "--threads",
                         "2",            "beta",  "--replicas=8",
                         "--accept-mode", "threshold", "gamma",
-                        "--devices", "4", "--queue-policy=edf", "delta"};
+                        "--devices", "4", "--queue-policy=edf", "delta",
+                        "--downlink", "0.5", "--tau=8", "epsilon"};
   const std::vector<std::string> positional =
-      positional_args(13, const_cast<char**>(argv));
-  EXPECT_EQ(positional,
-            (std::vector<std::string>{"alpha", "beta", "gamma", "delta"}));
+      positional_args(17, const_cast<char**>(argv));
+  EXPECT_EQ(positional, (std::vector<std::string>{"alpha", "beta", "gamma",
+                                                  "delta", "epsilon"}));
 }
 
 }  // namespace

@@ -1,0 +1,248 @@
+// quamax::vpp — the downlink VPP QUBO encoding (ISSUE 6).
+//
+// The contracts under test:
+//   * two's-complement integer encode/decode round-trips over the full
+//     range, for several magnitude widths;
+//   * the reduction's energy bookkeeping is EXACT: for every configuration,
+//     ising.absolute_energy(spins) == ||P (u + tau v(spins))||^2 (checked
+//     exhaustively on small instances);
+//   * brute-force minimization over spins agrees with exhaustive search
+//     over the integer perturbation grid;
+//   * tau = 0 degenerates every configuration to the zero-forcing power;
+//   * the 1-user / 1-antenna edge case is well-formed end to end;
+//   * noise-free downlink decodes are exact for ANY perturbation (the
+//     receiver's centered mod-tau strips tau*v);
+//   * LoadGenerator's full-duplex mix preserves the pure-uplink streams
+//     bit-for-bit and applies the downlink deadline budget.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "quamax/common/rng.hpp"
+#include "quamax/qubo/ising.hpp"
+#include "quamax/serve/load_gen.hpp"
+#include "quamax/vpp/precode.hpp"
+
+namespace quamax {
+namespace {
+
+vpp::VppConfig qpsk_cfg(std::size_t users, std::size_t antennas,
+                        std::size_t mag_bits = 1) {
+  vpp::VppConfig cfg;
+  cfg.users = users;
+  cfg.antennas = antennas;
+  cfg.mod = wireless::Modulation::kQpsk;
+  cfg.mag_bits = mag_bits;
+  return cfg;
+}
+
+/// All spin configurations of an n-variable problem, as bit patterns.
+qubo::SpinVec spins_of(unsigned pattern, std::size_t n) {
+  qubo::SpinVec spins(n, -1);
+  for (std::size_t i = 0; i < n; ++i)
+    if ((pattern >> i) & 1u) spins[i] = 1;
+  return spins;
+}
+
+TEST(VppEncodingTest, DefaultTauPerModulation) {
+  EXPECT_DOUBLE_EQ(vpp::default_tau(wireless::Modulation::kBpsk), 4.0);
+  EXPECT_DOUBLE_EQ(vpp::default_tau(wireless::Modulation::kQpsk), 4.0);
+  EXPECT_DOUBLE_EQ(vpp::default_tau(wireless::Modulation::kQam16), 8.0);
+  EXPECT_DOUBLE_EQ(vpp::default_tau(wireless::Modulation::kQam64), 16.0);
+}
+
+TEST(VppEncodingTest, TwosComplementRoundTripFullRange) {
+  for (std::size_t t = 1; t <= 3; ++t) {
+    const int lo = -(1 << t);
+    const int hi = (1 << t) - 1;
+    std::vector<int> values;
+    for (int v = lo; v <= hi; ++v) values.push_back(v);
+    const qubo::BinVec bits = vpp::bits_from_integers(values, t);
+    ASSERT_EQ(bits.size(), values.size() * (t + 1));
+    EXPECT_EQ(vpp::integers_from_bits(bits, t), values) << "mag_bits " << t;
+  }
+  // Out-of-range values are rejected, not wrapped.
+  EXPECT_THROW(vpp::bits_from_integers({2}, 1), InvalidArgument);
+  EXPECT_THROW(vpp::bits_from_integers({-3}, 1), InvalidArgument);
+}
+
+TEST(VppEncodingTest, AllZeroBitsAreZeroPerturbation) {
+  const qubo::BinVec zeros(6, 0);
+  for (const int v : vpp::integers_from_bits(zeros, 2)) EXPECT_EQ(v, 0);
+}
+
+TEST(VppReductionTest, EnergyEqualsTransmitPowerExhaustively) {
+  Rng rng(0x7E57);
+  const vpp::PrecodeInstance inst =
+      vpp::make_precode_instance(qpsk_cfg(2, 2), rng);
+  const std::size_t n = inst.num_vars();
+  ASSERT_EQ(n, 8u);  // 2 users x 2 real dims x (1+1) bits
+  for (unsigned pattern = 0; pattern < (1u << n); ++pattern) {
+    const qubo::SpinVec spins = spins_of(pattern, n);
+    const linalg::CVec v = vpp::perturbation_from_spins(
+        spins, inst.problem.users, inst.problem.mag_bits);
+    const double power =
+        vpp::transmit_power(inst.p, inst.symbols, v, inst.problem.tau);
+    EXPECT_NEAR(inst.problem.ising.absolute_energy(spins), power,
+                1e-9 * (1.0 + power))
+        << "pattern " << pattern;
+  }
+}
+
+TEST(VppReductionTest, BruteForceAgreesWithIntegerGridSearch) {
+  Rng rng(0xB10C);
+  const vpp::PrecodeInstance inst =
+      vpp::make_precode_instance(qpsk_cfg(2, 2), rng, /*opt_oracle=*/true);
+  EXPECT_TRUE(inst.ground_is_opt);
+
+  // Exhaustive search over the integer grid [-2, 1]^4 (2 users x Re/Im).
+  double best_power = inst.zf_power;
+  for (int re0 = -2; re0 <= 1; ++re0)
+    for (int im0 = -2; im0 <= 1; ++im0)
+      for (int re1 = -2; re1 <= 1; ++re1)
+        for (int im1 = -2; im1 <= 1; ++im1) {
+          const linalg::CVec v = {
+              linalg::cplx(static_cast<double>(re0), static_cast<double>(im0)),
+              linalg::cplx(static_cast<double>(re1), static_cast<double>(im1))};
+          best_power = std::min(
+              best_power,
+              vpp::transmit_power(inst.p, inst.symbols, v, inst.problem.tau));
+        }
+  EXPECT_NEAR(inst.ground_energy + inst.problem.ising.offset(), best_power,
+              1e-9 * (1.0 + best_power));
+  // The optimum can never transmit more power than plain zero-forcing.
+  EXPECT_LE(inst.ground_energy, inst.zf_energy + 1e-12);
+}
+
+TEST(VppReductionTest, TauZeroDegeneratesToZeroForcingPower) {
+  Rng rng(0x7A0);
+  auto cfg = qpsk_cfg(1, 1);
+  cfg.tau = 0.0;  // VppConfig treats 0 as "auto"; build the problem directly.
+  const vpp::PrecodeInstance inst = vpp::make_precode_instance(cfg, rng);
+  const vpp::PrecodeProblem degenerate =
+      vpp::reduce_vpp_to_ising(inst.p, inst.symbols, 0.0, 1);
+  const std::size_t n = degenerate.num_vars();
+  for (unsigned pattern = 0; pattern < (1u << n); ++pattern)
+    EXPECT_NEAR(degenerate.ising.absolute_energy(spins_of(pattern, n)),
+                inst.zf_power, 1e-9 * (1.0 + inst.zf_power));
+  const qubo::GroundState ground =
+      qubo::brute_force_ground_state(degenerate.ising);
+  EXPECT_EQ(ground.degeneracy, 1u << n);
+}
+
+TEST(VppReductionTest, SingleUserSingleAntennaEdgeCase) {
+  Rng rng(0x1A);
+  const vpp::PrecodeInstance inst =
+      vpp::make_precode_instance(qpsk_cfg(1, 1), rng, /*opt_oracle=*/true);
+  EXPECT_EQ(inst.num_vars(), 4u);
+  EXPECT_EQ(inst.h.rows(), 1u);
+  EXPECT_EQ(inst.p.rows(), 1u);
+  // P = 1/h exactly, so ||P u||^2 = |u|^2 / |h|^2.
+  const double hsq = std::norm(inst.h(0, 0));
+  EXPECT_NEAR(inst.zf_power, std::norm(inst.symbols[0]) / hsq,
+              1e-9 * (1.0 + inst.zf_power));
+  EXPECT_LE(inst.ground_energy, inst.zf_energy + 1e-12);
+  // Noise-free: both the ZF baseline and any chosen perturbation decode
+  // the payload exactly.
+  EXPECT_EQ(vpp::zero_forcing_bit_errors(inst), 0u);
+  EXPECT_EQ(vpp::downlink_bit_errors(
+                inst, vpp::zero_perturbation_spins(inst.problem)),
+            0u);
+}
+
+TEST(VppReceiverTest, NoiseFreeDecodeIsExactForAnyPerturbation) {
+  Rng rng(0xDEC0);
+  const vpp::PrecodeInstance inst =
+      vpp::make_precode_instance(qpsk_cfg(3, 4), rng);
+  const std::size_t n = inst.num_vars();
+  for (unsigned trial = 0; trial < 32; ++trial) {
+    qubo::SpinVec spins(n);
+    for (auto& s : spins) s = rng.coin() ? 1 : -1;
+    EXPECT_EQ(vpp::downlink_bit_errors(inst, spins), 0u)
+        << "the centered mod-tau reduction must strip any integer "
+           "perturbation when no noise is present";
+  }
+}
+
+TEST(VppReceiverTest, ZeroPerturbationEnergyMatchesZfPower) {
+  Rng rng(0x2F);
+  const vpp::PrecodeInstance inst =
+      vpp::make_precode_instance(qpsk_cfg(4, 4), rng);
+  const qubo::SpinVec zero = vpp::zero_perturbation_spins(inst.problem);
+  EXPECT_NEAR(inst.problem.ising.energy(zero), inst.zf_energy, 1e-12);
+  EXPECT_NEAR(inst.problem.ising.absolute_energy(zero), inst.zf_power,
+              1e-9 * (1.0 + inst.zf_power));
+  // Without an oracle the reference energy is the v = 0 anchor.
+  EXPECT_DOUBLE_EQ(inst.ground_energy, inst.zf_energy);
+  EXPECT_FALSE(inst.ground_is_opt);
+}
+
+TEST(VppReceiverTest, NoisyInstancePreDrawsReceiverNoise) {
+  auto cfg = qpsk_cfg(4, 4);
+  cfg.snr_db = 12.0;
+  Rng rng_a(0x90), rng_b(0x90);
+  const vpp::PrecodeInstance a = vpp::make_precode_instance(cfg, rng_a);
+  const vpp::PrecodeInstance b = vpp::make_precode_instance(cfg, rng_b);
+  ASSERT_EQ(a.noise.size(), 4u);
+  EXPECT_GT(a.noise_sigma, 0.0);
+  for (std::size_t k = 0; k < a.noise.size(); ++k)
+    EXPECT_EQ(a.noise[k], b.noise[k]);
+  // Decode is a pure function of (instance, spins): repeated evaluation
+  // gives the same error count (no hidden RNG).
+  const qubo::SpinVec zero = vpp::zero_perturbation_spins(a.problem);
+  EXPECT_EQ(vpp::downlink_bit_errors(a, zero),
+            vpp::downlink_bit_errors(a, zero));
+}
+
+TEST(VppLoadMixTest, DownlinkFractionPreservesUplinkStreams) {
+  serve::LoadConfig base;
+  base.offered_load_jobs_per_ms = 20.0;
+  base.deadline_us = 1000.0;
+  base.users = 4;
+  base.problem.users = 8;
+  base.problem.mod = wireless::Modulation::kBpsk;
+  base.problem.kind = wireless::ChannelKind::kRandomPhase;
+  base.problem.snr_db = std::nullopt;
+
+  serve::LoadConfig mixed = base;
+  mixed.downlink_fraction = 0.5;
+  mixed.downlink = qpsk_cfg(4, 4);
+  mixed.downlink_deadline_us = 400.0;
+
+  serve::LoadGenerator pure_gen(base, 0xFD);
+  serve::LoadGenerator mixed_gen(mixed, 0xFD);
+  const std::vector<serve::CellJob> pure = pure_gen.open_loop(64);
+  const std::vector<serve::CellJob> mix = mixed_gen.open_loop(64);
+  ASSERT_EQ(pure.size(), mix.size());
+
+  std::size_t downlink_jobs = 0;
+  for (std::size_t k = 0; k < mix.size(); ++k) {
+    // The mix knob must not reshuffle arrivals or uplink channels.
+    EXPECT_EQ(mix[k].arrival_us, pure[k].arrival_us);
+    ASSERT_FALSE(pure[k].downlink());
+    if (mix[k].downlink()) {
+      ++downlink_jobs;
+      EXPECT_EQ(mix[k].shape(), 16u);  // 2*4 users * (1+1) bits
+      EXPECT_DOUBLE_EQ(mix[k].deadline_us, mix[k].arrival_us + 400.0);
+    } else {
+      EXPECT_EQ(mix[k].uplink().use.tx_bits, pure[k].uplink().use.tx_bits);
+      EXPECT_DOUBLE_EQ(mix[k].deadline_us, mix[k].arrival_us + 1000.0);
+    }
+  }
+  // A 50/50 coin over 64 jobs lands strictly inside (0, 64) with margin.
+  EXPECT_GT(downlink_jobs, 16u);
+  EXPECT_LT(downlink_jobs, 48u);
+
+  // Pure downlink and pure uplink are the degenerate mixes.
+  serve::LoadConfig all_down = mixed;
+  all_down.downlink_fraction = 1.0;
+  serve::LoadGenerator down_gen(all_down, 0xFD);
+  for (const serve::CellJob& job : down_gen.open_loop(8))
+    EXPECT_TRUE(job.downlink());
+}
+
+}  // namespace
+}  // namespace quamax

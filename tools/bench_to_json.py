@@ -56,7 +56,9 @@ def record_of(bench):
         "cpu_time_ns": bench.get("cpu_time"),
         "iterations": bench.get("iterations"),
     }
-    for counter in ("spin_updates_per_s", "replicas"):
+    for counter in ("spin_updates_per_s", "replicas",
+                    # bench_vpp per-point decode quality counters
+                    "vpp_ber", "zf_ber", "power_gain_db"):
         if counter in bench:
             rec[counter] = bench[counter]
     return rec
