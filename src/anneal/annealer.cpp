@@ -163,14 +163,42 @@ std::vector<qubo::SpinVec> ChimeraAnnealer::sample(const qubo::IsingModel& probl
 std::vector<std::vector<qubo::SpinVec>> ChimeraAnnealer::sample_batch(
     const std::vector<const qubo::IsingModel*>& problems,
     std::size_t num_anneals, Rng& rng) {
+  require(!config_.schedule.reverse,
+          "sample_batch: reverse annealing needs per-problem seeds; use "
+          "sample_batch_seeded");
+  return sample_batch_impl(problems, nullptr, config_.schedule, num_anneals,
+                           rng);
+}
+
+std::vector<std::vector<qubo::SpinVec>> ChimeraAnnealer::sample_batch_seeded(
+    const std::vector<const qubo::IsingModel*>& problems,
+    const std::vector<const qubo::SpinVec*>& initial_states,
+    const Schedule& schedule, std::size_t num_anneals, Rng& rng) {
+  schedule.validate();
+  require(schedule.reverse,
+          "sample_batch_seeded: the seeded batch is the reverse-annealing "
+          "path; use sample_batch for forward waves");
+  require(initial_states.size() == problems.size(),
+          "sample_batch_seeded: one initial state per problem");
+  for (std::size_t s = 0; s < problems.size(); ++s)
+    require(problems[s] != nullptr && initial_states[s] != nullptr &&
+                initial_states[s]->size() == problems[s]->num_spins(),
+            "sample_batch_seeded: each initial state must match its problem's "
+            "variable count");
+  return sample_batch_impl(problems, &initial_states, schedule, num_anneals,
+                           rng);
+}
+
+std::vector<std::vector<qubo::SpinVec>> ChimeraAnnealer::sample_batch_impl(
+    const std::vector<const qubo::IsingModel*>& problems,
+    const std::vector<const qubo::SpinVec*>* initial_states,
+    const Schedule& schedule, std::size_t num_anneals, Rng& rng) {
   require(!problems.empty(), "sample_batch: no problems");
   require(num_anneals >= 1, "sample_batch: need at least one anneal");
   const std::size_t n = problems.front()->num_spins();
   for (const auto* p : problems)
     require(p != nullptr && p->num_spins() == n,
             "sample_batch: all problems must have the same variable count");
-  require(!config_.schedule.reverse,
-          "sample_batch: reverse annealing is single-problem only");
 
   // Placements come from the shape-keyed cache at full chip capacity; a
   // prefix of the maximal tiling equals what a smaller compilation would
@@ -178,7 +206,7 @@ std::vector<std::vector<qubo::SpinVec>> ChimeraAnnealer::sample_batch(
   const std::shared_ptr<const std::vector<chimera::Embedding>> slots_all =
       embeddings_->parallel(n);
   const std::size_t num_slots = std::min(slots_all->size(), problems.size());
-  const std::vector<double> betas = config_.schedule.betas();
+  const std::vector<double> betas = schedule.betas();
 
   IceConfig ice = config_.ice;
   ice.suppress_bias =
@@ -205,6 +233,24 @@ std::vector<std::vector<qubo::SpinVec>> ChimeraAnnealer::sample_batch(
     SaEngine engine(wave.physical);
     if (config_.chain_collective_moves) engine.set_groups(wave.chains);
 
+    // Warm start: broadcast every slot's logical seed along its chains into
+    // the merged physical wave, offset to the slot's qubit range — the
+    // multi-problem analogue of sample()'s reverse-annealing setup.  Every
+    // replica starts from this configuration.
+    qubo::SpinVec physical_initial;
+    const qubo::SpinVec* initial = nullptr;
+    if (initial_states != nullptr) {
+      physical_initial.resize(wave.physical.num_spins());
+      for (std::size_t s = 0; s < wave_size; ++s) {
+        const qubo::SpinVec& seed = *(*initial_states)[wave_start + s];
+        const chimera::EmbeddedProblem& ep = embedded[s];
+        for (std::size_t i = 0; i < ep.chains.size(); ++i)
+          for (const std::uint32_t q : ep.chains[i])
+            physical_initial[wave.offsets[s] + q] = seed[i];
+      }
+      initial = &physical_initial;
+    }
+
     // One chip anneal decodes the whole wave; the anneal loop fans across
     // the batch runtime in replica blocks of per-anneal streams, each block
     // writing slots [begin, begin + R) of every problem in the wave.
@@ -219,12 +265,12 @@ std::vector<std::vector<qubo::SpinVec>> ChimeraAnnealer::sample_batch(
             perturb_replica_blocks(ice, engine, streams, fields, couplings, f1,
                                    c1);
             physical = engine.anneal_batch_with(betas, fields, couplings,
-                                                streams, nullptr,
+                                                streams, initial,
                                                 config_.accept_mode);
           } else {
             // Same fast-path equivalence as sample() above.
-            physical =
-                engine.anneal_batch(betas, streams, nullptr, config_.accept_mode);
+            physical = engine.anneal_batch(betas, streams, initial,
+                                           config_.accept_mode);
           }
           qubo::SpinVec slice;
           for (std::size_t j = 0; j < streams.size(); ++j) {

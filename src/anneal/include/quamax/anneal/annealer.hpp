@@ -92,6 +92,25 @@ class ChimeraAnnealer final : public core::IsingSampler {
       const std::vector<const qubo::IsingModel*>& problems,
       std::size_t num_anneals, Rng& rng);
 
+  /// Warm-started wave decode: sample_batch with a per-problem initial
+  /// LOGICAL configuration and a caller-supplied REVERSE schedule.  Each
+  /// slot's seed is broadcast along its chains into the merged physical
+  /// wave (the multi-problem analogue of set_initial_state + sample with
+  /// schedule.reverse), so every replica of the wave starts from the
+  /// seeds and anneals back out from `schedule.reverse_depth`.  The
+  /// schedule must have reverse = true and is used for this call only —
+  /// config().schedule (which must stay forward, see the constructor) is
+  /// untouched, as are the cold sample()/sample_batch() RNG streams: the
+  /// caller keys warm and cold calls off disjoint Rng::for_stream
+  /// families (sched::Scheduler's warm_key_ vs decode_key_).
+  /// `initial_states` must parallel `problems` with non-null entries of
+  /// matching variable count.  Used by the coherent serving path
+  /// (anneal::WarmStartPlanner supplies the seeds).
+  std::vector<std::vector<qubo::SpinVec>> sample_batch_seeded(
+      const std::vector<const qubo::IsingModel*>& problems,
+      const std::vector<const qubo::SpinVec*>& initial_states,
+      const Schedule& schedule, std::size_t num_anneals, Rng& rng);
+
   double anneal_duration_us() const override { return config_.schedule.duration_us(); }
 
   double parallelization_factor(std::size_t num_logical) const override {
@@ -136,6 +155,14 @@ class ChimeraAnnealer final : public core::IsingSampler {
 
  private:
   core::ParallelBatchSampler& batch();
+
+  /// Shared wave loop behind sample_batch / sample_batch_seeded:
+  /// `initial_states` null => cold forward anneal (bit-identical to the
+  /// historical sample_batch, including RNG draw order).
+  std::vector<std::vector<qubo::SpinVec>> sample_batch_impl(
+      const std::vector<const qubo::IsingModel*>& problems,
+      const std::vector<const qubo::SpinVec*>* initial_states,
+      const Schedule& schedule, std::size_t num_anneals, Rng& rng);
 
   AnnealerConfig config_;
   chimera::ChimeraGraph graph_;

@@ -1,0 +1,66 @@
+#include "quamax/anneal/warm_start.hpp"
+
+#include <utility>
+
+namespace quamax::anneal {
+
+core::MlProblem WarmStartPlanner::compile(std::uint64_t chain,
+                                          const linalg::CMat& h,
+                                          const linalg::CVec& y,
+                                          wireless::Modulation mod,
+                                          bool channel_changed) {
+  auto it = chains_.find(chain);
+  const bool reusable = !channel_changed && it != chains_.end() &&
+                        it->second.problem.mod == mod &&
+                        it->second.h.rows() == h.rows() &&
+                        it->second.h.cols() == h.cols();
+  if (reusable) {
+    ++stats_.delta_compiles;
+    core::MlProblem problem = it->second.problem;
+    core::update_ml_fields(problem, h, y);
+    return problem;
+  }
+
+  ++stats_.full_compiles;
+  core::MlProblem problem =
+      (mod == wireless::Modulation::kQam64)
+          ? core::reduce_ml_to_ising(h, y, mod)
+          : core::reduce_ml_to_ising_closed_form(h, y, mod);
+  if (it == chains_.end()) {
+    it = chains_.emplace(chain, ChainCache{}).first;
+  }
+  it->second.h = h;
+  it->second.problem = problem;
+  return problem;
+}
+
+void WarmStartPlanner::reset_chains() { chains_.clear(); }
+
+void WarmStartPlanner::record(std::uint64_t id, qubo::SpinVec best) {
+  const std::lock_guard<std::mutex> lock(seeds_mutex_);
+  seeds_[id] = std::move(best);
+  if (!any_recorded_ || id > max_recorded_) {
+    any_recorded_ = true;
+    max_recorded_ = id;
+  }
+  if (seed_window_ > 0 && max_recorded_ >= seed_window_) {
+    // Evict everything at or below max - window; ids are the sole input,
+    // so the surviving set is identical however record() calls interleave.
+    const std::uint64_t cutoff = max_recorded_ - seed_window_;
+    seeds_.erase(seeds_.begin(), seeds_.upper_bound(cutoff));
+  }
+}
+
+std::optional<qubo::SpinVec> WarmStartPlanner::seed(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(seeds_mutex_);
+  const auto it = seeds_.find(id);
+  if (it == seeds_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t WarmStartPlanner::seeds_held() const {
+  const std::lock_guard<std::mutex> lock(seeds_mutex_);
+  return seeds_.size();
+}
+
+}  // namespace quamax::anneal

@@ -38,6 +38,29 @@ CMat build_effective_channel(const CMat& h, Modulation mod) {
   return a;
 }
 
+/// Linear terms of the generic path: f_b = -2 Re(y^H A)_b.  Shared by the
+/// full reduction and update_ml_fields so the incremental rewrite is the
+/// same arithmetic instruction for instruction.
+void general_fields(const CMat& a, const CVec& y, IsingModel& ising) {
+  for (std::size_t b = 0; b < a.cols(); ++b) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t r = 0; r < a.rows(); ++r) acc += std::conj(y[r]) * a(r, b);
+    ising.field(b) = -2.0 * acc.real();
+  }
+}
+
+/// tr(Re(A^H A)) accumulated in the exact order the coupling loop uses.
+double general_trace(const CMat& a) {
+  double trace = 0.0;
+  for (std::size_t b = 0; b < a.cols(); ++b) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t r = 0; r < a.rows(); ++r)
+      acc += std::conj(a(r, b)) * a(r, b);
+    trace += acc.real();
+  }
+  return trace;
+}
+
 }  // namespace
 
 MlProblem reduce_ml_to_ising(const CMat& h, const CVec& y, Modulation mod) {
@@ -52,12 +75,7 @@ MlProblem reduce_ml_to_ising(const CMat& h, const CVec& y, Modulation mod) {
   problem.nt = h.cols();
   problem.ising = IsingModel(n);
 
-  // Linear terms: f_b = -2 Re(y^H A)_b.
-  for (std::size_t b = 0; b < n; ++b) {
-    cplx acc{0.0, 0.0};
-    for (std::size_t r = 0; r < a.rows(); ++r) acc += std::conj(y[r]) * a(r, b);
-    problem.ising.field(b) = -2.0 * acc.real();
-  }
+  general_fields(a, y, problem.ising);
 
   // Quadratic terms: g_bc = 2 Re(A^H A)_bc for b < c; diagonal folds into
   // the offset since s_b^2 = 1.
@@ -87,14 +105,20 @@ namespace {
 /// spin-pair coefficient is a table lookup, O(Nt^2 Nr) total for the
 /// whole problem regardless of bits per symbol.
 struct ColumnDots {
-  ColumnDots(const CMat& h, const CVec& y) : nt(h.cols()) {
+  /// `with_couplings = false` computes only the h_u^H y products — the
+  /// y-dependent half update_ml_fields needs.  hy[u] is the same
+  /// linalg::dot either way, so field coefficients derived from a
+  /// fields-only instance equal the full rebuild's bit-for-bit.
+  explicit ColumnDots(const CMat& h, const CVec& y, bool with_couplings = true)
+      : nt(h.cols()) {
     std::vector<CVec> cols;
     cols.reserve(nt);
     for (std::size_t u = 0; u < nt; ++u) cols.push_back(h.column(u));
-    hh.resize(nt * nt);
+    if (with_couplings) hh.resize(nt * nt);
     hy.resize(nt);
     for (std::size_t u = 0; u < nt; ++u) {
       hy[u] = linalg::dot(cols[u], y);
+      if (!with_couplings) continue;
       for (std::size_t w = u; w < nt; ++w) {
         const linalg::cplx d = linalg::dot(cols[u], cols[w]);
         hh[u * nt + w] = d;
@@ -122,6 +146,48 @@ double closed_form_offset(const CMat& h, const CVec& y, Modulation mod) {
   return linalg::norm_sq(y) + wireless::average_symbol_energy(mod) * norm_cols;
 }
 
+// Eq. 6 / Eq. 7 / Eq. 13 field fills, shared verbatim by the full closed
+// forms and update_ml_fields (the coherence-block incremental path).
+
+void bpsk_fields(const ColumnDots& dots, IsingModel& ising) {
+  for (std::size_t i = 0; i < dots.nt; ++i)
+    ising.field(i) = -2.0 * dots.re_hy(i);
+}
+
+void qpsk_fields(const ColumnDots& dots, IsingModel& ising) {
+  const std::size_t n = 2 * dots.nt;
+  for (std::size_t idx = 1; idx <= n; ++idx) {
+    const std::size_t u = (idx + 1) / 2 - 1;
+    const double f = (idx % 2 == 0)
+                         ? -2.0 * (dots.im_hy(u))  // -2 H^I.y^Q + 2 H^Q.y^I
+                         : -2.0 * dots.re_hy(u);
+    ising.field(idx - 1) = f;
+  }
+}
+
+void qam16_fields(const ColumnDots& dots, IsingModel& ising) {
+  const std::size_t n = 4 * dots.nt;
+  // Spin classes by 1-based index mod 4: 1 -> I weight 2, 2 -> I weight 1,
+  // 3 -> Q weight 2, 0 -> Q weight 1.
+  const auto weight_of = [](std::size_t idx) {
+    switch (idx % 4) {
+      case 1: return 4.0;  // Eq. 13 prefactor for i = 4n-3
+      case 2: return 2.0;
+      case 3: return 4.0;
+      default: return 2.0;
+    }
+  };
+  const auto is_q_dim = [](std::size_t idx) {
+    return idx % 4 == 3 || idx % 4 == 0;
+  };
+  for (std::size_t idx = 1; idx <= n; ++idx) {
+    const std::size_t u = (idx + 3) / 4 - 1;
+    const double w = weight_of(idx);
+    ising.field(idx - 1) =
+        is_q_dim(idx) ? -w * dots.im_hy(u) : -w * dots.re_hy(u);
+  }
+}
+
 MlProblem closed_form_bpsk(const CMat& h, const CVec& y) {
   const ColumnDots dots(h, y);
   const std::size_t nt = h.cols();
@@ -129,9 +195,7 @@ MlProblem closed_form_bpsk(const CMat& h, const CVec& y) {
   p.mod = Modulation::kBpsk;
   p.nt = nt;
   p.ising = IsingModel(nt);
-  // Eq. 6.
-  for (std::size_t i = 0; i < nt; ++i)
-    p.ising.field(i) = -2.0 * dots.re_hy(i);
+  bpsk_fields(dots, p.ising);
   for (std::size_t i = 0; i < nt; ++i)
     for (std::size_t j = i + 1; j < nt; ++j)
       p.ising.add_coupling(i, j, 2.0 * dots.re_hh(i, j));
@@ -149,13 +213,7 @@ MlProblem closed_form_qpsk(const CMat& h, const CVec& y) {
   p.ising = IsingModel(n);
 
   // Eq. 7 (written with the paper's 1-based index i; u = ceil(i/2) - 1).
-  for (std::size_t idx = 1; idx <= n; ++idx) {
-    const std::size_t u = (idx + 1) / 2 - 1;
-    const double f = (idx % 2 == 0)
-                         ? -2.0 * (dots.im_hy(u))  // -2 H^I.y^Q + 2 H^Q.y^I
-                         : -2.0 * dots.re_hy(u);
-    p.ising.field(idx - 1) = f;
-  }
+  qpsk_fields(dots, p.ising);
 
   // Eq. 8, i < j (1-based).
   for (std::size_t i = 1; i <= n; ++i) {
@@ -187,25 +245,10 @@ MlProblem closed_form_qam16(const CMat& h, const CVec& y) {
   p.nt = nt;
   p.ising = IsingModel(n);
 
-  // Spin classes by 1-based index mod 4: 1 -> I weight 2, 2 -> I weight 1,
-  // 3 -> Q weight 2, 0 -> Q weight 1.
-  const auto weight_of = [](std::size_t idx) {
-    switch (idx % 4) {
-      case 1: return 4.0;  // Eq. 13 prefactor for i = 4n-3
-      case 2: return 2.0;
-      case 3: return 4.0;
-      default: return 2.0;
-    }
-  };
   const auto is_q_dim = [](std::size_t idx) { return idx % 4 == 3 || idx % 4 == 0; };
 
   // Eq. 13.
-  for (std::size_t idx = 1; idx <= n; ++idx) {
-    const std::size_t u = (idx + 3) / 4 - 1;
-    const double w = weight_of(idx);
-    p.ising.field(idx - 1) =
-        is_q_dim(idx) ? -w * dots.im_hy(u) : -w * dots.re_hy(u);
-  }
+  qam16_fields(dots, p.ising);
 
   // Eq. 14.  Writing a_i for spin i's transform weight (2 or 1), the cases
   // collapse to:
@@ -257,6 +300,35 @@ MlProblem reduce_ml_to_ising_closed_form(const CMat& h, const CVec& y,
 
 qubo::QuboModel reduce_ml_to_qubo(const CMat& h, const CVec& y, Modulation mod) {
   return qubo::to_qubo(reduce_ml_to_ising(h, y, mod).ising);
+}
+
+void update_ml_fields(MlProblem& problem, const CMat& h, const CVec& y) {
+  require(h.rows() == y.size(), "update_ml_fields: H rows must match y length");
+  require(problem.nt == h.cols(),
+          "update_ml_fields: problem was reduced for a different channel size");
+
+  if (problem.mod == Modulation::kQam64) {
+    // The generic path's y-dependent terms (64-QAM has no closed form).
+    const CMat a = build_effective_channel(h, problem.mod);
+    require(problem.ising.num_spins() == a.cols(),
+            "update_ml_fields: spin count does not match the channel");
+    general_fields(a, y, problem.ising);
+    problem.ising.set_offset(linalg::norm_sq(y) + general_trace(a));
+    return;
+  }
+
+  const std::size_t expected =
+      h.cols() * static_cast<std::size_t>(wireless::bits_per_symbol(problem.mod));
+  require(problem.ising.num_spins() == expected,
+          "update_ml_fields: spin count does not match the channel");
+  const ColumnDots dots(h, y, /*with_couplings=*/false);
+  switch (problem.mod) {
+    case Modulation::kBpsk: bpsk_fields(dots, problem.ising); break;
+    case Modulation::kQpsk: qpsk_fields(dots, problem.ising); break;
+    case Modulation::kQam16: qam16_fields(dots, problem.ising); break;
+    case Modulation::kQam64: break;  // handled above
+  }
+  problem.ising.set_offset(closed_form_offset(h, y, problem.mod));
 }
 
 }  // namespace quamax::core

@@ -36,6 +36,15 @@
 //     device's chip, so records are bit-identical at any num_threads /
 //     batch_replicas setting AND any submit/poll interleaving.
 //
+// Warm-start serving (SchedConfig::warm_start): on coherent workloads
+// (serve::LoadConfig::coherence) an uplink job whose same-block predecessor
+// already completed is annealed in REVERSE from the predecessor's decoded
+// configuration at a reduced quota (warm_num_anneals), cutting the wave's
+// virtual-clock cost.  Warm eligibility is a pure virtual-clock predicate
+// and warm waves draw from their own RNG key family, so both clocks keep
+// every determinism contract above (see ARCHITECTURE.md "Warm-start
+// serving").
+//
 // serve::DecodeService delegates its dispatch to this engine; SchedClient
 // (client.hpp) is the streaming front end.
 #pragma once
@@ -45,9 +54,11 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "quamax/anneal/annealer.hpp"
+#include "quamax/anneal/warm_start.hpp"
 #include "quamax/core/thread_pool.hpp"
 #include "quamax/sched/device_set.hpp"
 #include "quamax/sched/policy.hpp"
@@ -94,6 +105,25 @@ struct SchedConfig {
   bool drop_late = false;           ///< shed jobs already doomed to miss
   std::size_t num_threads = 1;      ///< decode-compute lanes (0 = all cores)
   std::uint64_t seed = 0xC8A17;     ///< root of all decode RNG streams
+
+  /// Warm-start incremental annealing across coherent subframes: an uplink
+  /// job whose coherence-chain predecessor (CellJob::predecessor) was
+  /// dispatched and completed — on the virtual clock — by this dispatch
+  /// instant is served by a REVERSE anneal seeded from the predecessor's
+  /// best decoded configuration, at the (typically much smaller)
+  /// warm_num_anneals quota.  Waves are warmness-homogeneous; warm waves
+  /// draw their decode randomness from a key family disjoint from the cold
+  /// one, so cold-wave results never depend on the warm path's draws.
+  /// Off by default: warm_start = false reproduces the historical engine
+  /// bit-for-bit, coherent workload or not.
+  bool warm_start = false;
+  /// Reverse-schedule depth for warm waves: anneal back to
+  /// beta(reverse_depth) from the seed and re-descend (see
+  /// anneal::Schedule::reverse_depth).
+  double warm_reverse_depth = 0.85;
+  /// N_a for warm waves; 0 = use num_anneals (seed reuse without the
+  /// anneal-quota cut).
+  std::size_t warm_num_anneals = 0;
 };
 
 class Scheduler {
@@ -111,8 +141,20 @@ class Scheduler {
   const SchedConfig& config() const noexcept { return config_; }
   const std::shared_ptr<DeviceSet>& device_set() const noexcept { return devices_; }
 
-  /// Virtual-clock cost of one wave, any occupancy or device.
+  /// Virtual-clock cost of one COLD wave, any occupancy or device (also the
+  /// conservative service estimate drop_late sweeps and the slack policy
+  /// use: a job that would only survive if it drew a warm wave is treated
+  /// as doomed, deterministically).
   double wave_service_us() const;
+
+  /// Virtual-clock cost of one warm wave: program overhead plus the warm
+  /// anneal quota at the (unchanged) per-anneal duration — the reverse
+  /// schedule splits the same T_a between its two legs.
+  double warm_wave_service_us() const;
+
+  /// N_a actually charged/run for warm waves (warm_num_anneals, or
+  /// num_anneals when 0).
+  std::size_t warm_quota() const;
 
   void set_dispatch_hook(DispatchHook hook) { hook_ = std::move(hook); }
 
@@ -163,6 +205,12 @@ class Scheduler {
   Round round(double horizon_us);
   void admit_up_to(double t_us);
   void sweep_drops(double t_free_us);
+  /// Whether job `seq` would be warm-started at dispatch instant
+  /// `t_free_us`: warm_start on, uplink with a known predecessor that was
+  /// dispatched (not dropped), decoded uplink, and completed by
+  /// `t_free_us` on the virtual clock.  A pure virtual-clock predicate, so
+  /// wave membership is identical at any poll cadence or thread count.
+  bool warm_eligible(std::size_t seq, double t_free_us) const;
   std::size_t effective_capacity(std::size_t device, std::size_t shape);
   /// Policy order at dispatch instant `t_us`: feasibility class (slack
   /// only), then deadline (edf/slack), then sequence.
@@ -175,6 +223,12 @@ class Scheduler {
   std::shared_ptr<DeviceSet> devices_;
   core::ThreadPool pool_;
   std::uint64_t decode_key_ = 0;
+  std::uint64_t warm_key_ = 0;  ///< disjoint stream family for warm waves
+  anneal::Schedule warm_schedule_;  ///< reverse schedule warm waves run
+  /// Seed registry: best decoded configuration per uplink sequence number
+  /// (recorded from decode lanes, read when a dependent warm wave runs).
+  anneal::WarmStartPlanner planner_;
+  std::unordered_map<std::size_t, std::size_t> id_to_seq_;  ///< job id -> seq
   DispatchHook hook_;
 
   std::vector<serve::CellJob> jobs_;  ///< by sequence number
@@ -190,6 +244,7 @@ class Scheduler {
   std::vector<Device> parked_;  ///< devices with nothing routable; re-armed on admission
 
   std::vector<serve::Wave> waves_;
+  std::vector<char> wave_executed_;  ///< decode ran (execute_due levels)
   /// Due-heaps so a long-lived streaming client's collect() only touches
   /// newly-due items, never rescanning the whole history.
   using Due = std::pair<double, std::size_t>;  ///< (completion time, id)

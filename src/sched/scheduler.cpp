@@ -41,18 +41,40 @@ Scheduler::Scheduler(SchedConfig config, std::shared_ptr<DeviceSet> devices)
     devices_ = std::make_shared<DeviceSet>(config_.annealer, config_.devices);
   require(devices_->size() == config_.devices.size(),
           "Scheduler: device set size does not match the device specs");
+  require(config_.warm_num_anneals <= config_.num_anneals,
+          "Scheduler: the warm quota is a CUT of the cold quota");
+  // The warm reverse schedule is fixed at construction; validate it even
+  // when warm_start is off so a config error surfaces immediately.
+  warm_schedule_ = config_.annealer.schedule;
+  warm_schedule_.reverse = true;
+  warm_schedule_.reverse_depth = config_.warm_reverse_depth;
+  warm_schedule_.validate();
   for (std::size_t d = 0; d < devices_->size(); ++d)
     free_devices_.emplace(0.0, d);
   workers_.resize(pool_.size());
   for (auto& lane : workers_) lane.resize(devices_->size());
+  // warm_key_ is drawn AFTER decode_key_ from the same root, so cold waves
+  // keep their historical streams and warm waves can never collide with
+  // them for any wave id.
   Rng root(config_.seed);
   decode_key_ = root();
+  warm_key_ = root();
 }
 
 double Scheduler::wave_service_us() const {
   return config_.program_overhead_us +
          static_cast<double>(config_.num_anneals) *
              config_.annealer.schedule.duration_us();
+}
+
+std::size_t Scheduler::warm_quota() const {
+  return config_.warm_num_anneals > 0 ? config_.warm_num_anneals
+                                      : config_.num_anneals;
+}
+
+double Scheduler::warm_wave_service_us() const {
+  return config_.program_overhead_us +
+         static_cast<double>(warm_quota()) * warm_schedule_.duration_us();
 }
 
 std::size_t Scheduler::submit(serve::CellJob job) {
@@ -72,6 +94,9 @@ std::size_t Scheduler::submit(serve::CellJob job) {
   record.direction = job.direction();
   record.arrival_us = job.arrival_us;
   record.deadline_us = job.deadline_us;
+  // Coherence chains reference predecessors by JOB id; map to sequence
+  // numbers so warm dispatch can find the prior record.
+  if (config_.warm_start && !job.downlink()) id_to_seq_[job.id] = seq;
   records_.push_back(record);
   states_.push_back(JobState::kQueued);
   jobs_.push_back(std::move(job));
@@ -209,6 +234,26 @@ void Scheduler::sweep_drops(double t_free_us) {
   pending_ = std::move(survivors);
 }
 
+bool Scheduler::warm_eligible(std::size_t seq, double t_free_us) const {
+  if (!config_.warm_start) return false;
+  const serve::CellJob& job = jobs_[seq];
+  if (job.downlink() || !job.predecessor.has_value()) return false;
+  const auto it = id_to_seq_.find(*job.predecessor);
+  if (it == id_to_seq_.end()) return false;
+  const std::size_t pred = it->second;
+  // A dropped predecessor was never decoded; a downlink one (possible only
+  // if a driver recycled ids) leaves no spin configuration either.
+  if (states_[pred] != JobState::kDispatched) return false;
+  if (records_[pred].direction != serve::Direction::kUplink) return false;
+  // A seed can only start a problem of the same variable count (coherent
+  // chains guarantee this; arbitrary drivers may not).
+  if (jobs_[pred].shape() != jobs_[seq].shape()) return false;
+  // The seed exists at this dispatch instant only if the predecessor's
+  // wave completed by it on the VIRTUAL clock.  (The wave's decode may
+  // still be pending on the wall clock — execute_due orders it first.)
+  return records_[pred].completion_us <= t_free_us;
+}
+
 std::size_t Scheduler::effective_capacity(std::size_t device, std::size_t shape) {
   return clamp_wave_jobs(devices_->capacity(device, shape), config_.packing,
                          config_.max_wave_jobs);
@@ -249,11 +294,17 @@ void Scheduler::dispatch_wave(std::size_t device, double t_free_us,
                               std::size_t seed_seq) {
   const std::size_t shape = jobs_[seed_seq].shape();
   const std::size_t cap = effective_capacity(device, shape);
+  // Warmness homogeneity: the whole wave runs ONE anneal program (one
+  // schedule, one quota), so only jobs matching the seed job's warmness at
+  // this instant may fill it; the others stay queued for a later wave.
+  const bool warm = warm_eligible(seed_seq, t_free_us);
 
   // Fill with the policy-best same-shape jobs (the seed is one of them).
   std::vector<std::size_t> same_shape;
   for (const std::size_t seq : pending_)
-    if (jobs_[seq].shape() == shape) same_shape.push_back(seq);
+    if (jobs_[seq].shape() == shape &&
+        warm_eligible(seq, t_free_us) == warm)
+      same_shape.push_back(seq);
   std::sort(same_shape.begin(), same_shape.end(),
             [&](std::size_t a, std::size_t b) {
               return policy_before(a, b, t_free_us);
@@ -268,13 +319,18 @@ void Scheduler::dispatch_wave(std::size_t device, double t_free_us,
   wave.shape = shape;
   wave.device = device;
   wave.jobs = same_shape;
+  wave.warm = warm;
+  if (warm)
+    for (const std::size_t seq : wave.jobs)
+      wave.seeds.push_back(id_to_seq_.at(*jobs_[seq].predecessor));
   // Causality under multiple devices: members admitted at another device's
   // clock may arrive in THIS device's future; the wave starts no earlier
   // than every member's arrival.
   wave.dispatch_us = t_free_us;
   for (const std::size_t seq : wave.jobs)
     wave.dispatch_us = std::max(wave.dispatch_us, jobs_[seq].arrival_us);
-  wave.completion_us = wave.dispatch_us + wave_service_us();
+  wave.completion_us =
+      wave.dispatch_us + (warm ? warm_wave_service_us() : wave_service_us());
 
   for (const std::size_t seq : wave.jobs) {
     records_[seq].wave_id = wave.id;
@@ -293,6 +349,7 @@ void Scheduler::dispatch_wave(std::size_t device, double t_free_us,
   // The device idles from t_free to the (possibly later) dispatch.
   free_devices_.emplace(wave.completion_us, device);
   unexecuted_waves_.emplace(wave.completion_us, wave.id);
+  wave_executed_.push_back(0);
   waves_.push_back(std::move(wave));
 }
 
@@ -321,9 +378,41 @@ void Scheduler::execute_due(double t_us) {
     unexecuted_waves_.pop();
   }
   if (due.empty()) return;
-  pool_.parallel_for_lanes(due.size(), [&](std::size_t lane, std::size_t i) {
-    run_wave(lane, due[i]);
-  });
+  // Warm waves read their predecessors' decoded configurations, so the due
+  // list — already popped in (completion, id) order — runs in dependency
+  // LEVELS: each level extends until a warm wave whose predecessor wave has
+  // not executed yet.  A predecessor always completes strictly before its
+  // dependent (pred completion <= dependent dispatch < dependent
+  // completion), so it sits strictly earlier in this order — either in a
+  // previous execute_due call or in an earlier level — and the partition
+  // depends only on the virtual-clock wave log, never on poll cadence.  A
+  // cold-only backlog collapses to one level: the historical single
+  // parallel_for_lanes call, bit-identical.
+  std::size_t start = 0;
+  while (start < due.size()) {
+    std::size_t end = start;
+    while (end < due.size()) {
+      const serve::Wave& wave = waves_[due[end]];
+      bool ready = true;
+      if (wave.warm)
+        for (const std::size_t pred : wave.seeds)
+          if (!wave_executed_[records_[pred].wave_id]) {
+            ready = false;
+            break;
+          }
+      if (!ready) break;
+      ++end;
+    }
+    require(end > start,
+            "Scheduler::execute_due: warm wave scheduled before its "
+            "predecessor wave");
+    pool_.parallel_for_lanes(end - start,
+                             [&](std::size_t lane, std::size_t i) {
+                               run_wave(lane, due[start + i]);
+                             });
+    for (std::size_t i = start; i < end; ++i) wave_executed_[due[i]] = 1;
+    start = end;
+  }
 }
 
 void Scheduler::run_wave(std::size_t lane, std::size_t wave_id) {
@@ -340,9 +429,28 @@ void Scheduler::run_wave(std::size_t lane, std::size_t wave_id) {
   for (const std::size_t seq : wave.jobs)
     problems.push_back(&jobs_[seq].ising());
 
-  Rng stream = Rng::for_stream(decode_key_, wave.id);
-  const std::vector<std::vector<qubo::SpinVec>> samples =
-      worker->sample_batch(problems, config_.num_anneals, stream);
+  std::vector<std::vector<qubo::SpinVec>> samples;
+  if (wave.warm) {
+    // Reverse anneal from each member's predecessor configuration, at the
+    // warm quota, on the warm key family — cold waves' streams are never
+    // touched by this draw.
+    std::vector<qubo::SpinVec> seeds(wave.jobs.size());
+    std::vector<const qubo::SpinVec*> initial(wave.jobs.size());
+    for (std::size_t s = 0; s < wave.jobs.size(); ++s) {
+      std::optional<qubo::SpinVec> seed = planner_.seed(wave.seeds[s]);
+      require(seed.has_value(),
+              "Scheduler::run_wave: warm wave executed before its "
+              "predecessor's decode was recorded");
+      seeds[s] = std::move(*seed);
+      initial[s] = &seeds[s];
+    }
+    Rng stream = Rng::for_stream(warm_key_, wave.id);
+    samples = worker->sample_batch_seeded(problems, initial, warm_schedule_,
+                                          warm_quota(), stream);
+  } else {
+    Rng stream = Rng::for_stream(decode_key_, wave.id);
+    samples = worker->sample_batch(problems, config_.num_anneals, stream);
+  }
 
   for (std::size_t s = 0; s < wave.jobs.size(); ++s) {
     const serve::CellJob& job = jobs_[wave.jobs[s]];
@@ -383,6 +491,10 @@ void Scheduler::run_wave(std::size_t lane, std::size_t wave_id) {
 
     // Uplink: post-translate the decoded configuration to Gray bits.
     const sim::Instance& instance = job.uplink();
+    // Register the best configuration as a potential warm-start seed for a
+    // dependent subframe (keyed by sequence number; thread-safe — the
+    // dependent wave runs in a later execute_due level).
+    if (config_.warm_start) planner_.record(wave.jobs[s], *best);
     const wireless::BitVec decoded = core::gray_bits_from_spins(
         *best, instance.use.h.cols(), instance.use.mod);
     record.bit_errors =

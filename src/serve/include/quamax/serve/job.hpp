@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <variant>
 
 #include "quamax/common/error.hpp"
@@ -40,6 +41,13 @@ struct DecodeJob {
   sim::Instance instance;  ///< channel use + reduced Ising problem + truth
   double arrival_us = 0.0;   ///< release time (virtual clock, microseconds)
   double deadline_us = 0.0;  ///< absolute completion deadline (virtual clock)
+  /// Coherence chain: the previous subframe of this user's coherence block
+  /// (same channel H, same payload — a HARQ-style retransmission under
+  /// fresh noise), whose decoded configuration is a valid warm-start seed
+  /// for this job.  Engaged only by coherent workloads
+  /// (LoadConfig::coherence > 0); the scheduler warm-starts off it when
+  /// the predecessor completed before this job's dispatch.
+  std::optional<std::size_t> predecessor;
 
   /// Problem shape — the wave-packing compatibility key: only jobs with the
   /// same logical variable count share a chip wave.
@@ -66,6 +74,9 @@ struct CellJob {
   std::size_t user = 0;
   double arrival_us = 0.0;
   double deadline_us = 0.0;
+  /// Coherence-chain predecessor (see DecodeJob::predecessor); always
+  /// disengaged for downlink jobs.
+  std::optional<std::size_t> predecessor;
   std::variant<sim::Instance, vpp::PrecodeInstance> payload;
 
   CellJob() = default;
@@ -75,6 +86,7 @@ struct CellJob {
         user(job.user),
         arrival_us(job.arrival_us),
         deadline_us(job.deadline_us),
+        predecessor(job.predecessor),
         payload(std::move(job.instance)) {}
   // NOLINTNEXTLINE(google-explicit-constructor): a PrecodeJob IS a CellJob.
   CellJob(PrecodeJob job)

@@ -28,14 +28,30 @@
 // knob reshuffles nothing: uplink job k keeps the exact channel it had in a
 // pure-uplink run, and downlink_fraction = 0 reproduces the PR-3..5
 // workloads bit-for-bit.
+//
+// Coherent subframes: coherence = rho > 0 replaces the i.i.d. per-job
+// instance draw with per-user chains of coherence blocks of
+// L = max(1, round(1/(1-rho))) subframes.  Within a block the channel H
+// and the payload bits are EXACTLY constant (the HARQ chase-combining
+// framing: each subframe retransmits the block payload) and only the AWGN
+// realization is fresh per job; at block boundaries the channel takes a
+// Gauss-Markov step H <- rho H + sqrt(1-rho^2) W (Rayleigh innovation W)
+// and the payload is redrawn.  Same-block successors carry
+// CellJob::predecessor so the scheduler can warm-start them, and their
+// reductions reuse the block's couplings through anneal::WarmStartPlanner
+// (only the received-vector-dependent fields are recomputed — bit-equal
+// to a full reduction).  The coherent keys are drawn AFTER every existing
+// key family, so coherence = 0 reproduces prior workloads bit-for-bit.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "quamax/anneal/warm_start.hpp"
 #include "quamax/serve/job.hpp"
 #include "quamax/sim/instance.hpp"
 #include "quamax/vpp/precode.hpp"
@@ -79,6 +95,15 @@ struct LoadConfig {
   double downlink_deadline_us = 0.0;
   /// Anchor downlink ground energies by brute force (test/bench scale).
   bool downlink_opt_oracle = false;
+
+  /// Channel coherence across consecutive subframes of the same user
+  /// chain, in [0, 1): 0 = i.i.d. per-job instances (the historical
+  /// workload, bit-for-bit), rho > 0 = coherence blocks of
+  /// max(1, round(1/(1-rho))) subframes with constant H/payload and fresh
+  /// noise (see the header comment).  Incompatible with trace_channels
+  /// (the trace fading process has its own coherence).  Knob:
+  /// --coherence / QUAMAX_COHERENCE.
+  double coherence = 0.0;
 };
 
 class LoadGenerator {
@@ -106,12 +131,28 @@ class LoadGenerator {
   /// function of (seed, id) — independent of every other draw).
   bool is_downlink(std::size_t id) const;
 
+  /// Coherence-block length in subframes: max(1, round(1/(1-coherence))),
+  /// 1 when coherence = 0 (every subframe is its own block).
+  std::size_t coherence_block() const;
+
+  /// The warm-start predecessor of job `id`: the previous subframe of the
+  /// same user chain when both live in the same coherence block and both
+  /// are uplink; disengaged otherwise.  Pure in (config, seed, id).
+  std::optional<std::size_t> predecessor(std::size_t id) const;
+
+  /// Reduction-compiler counters for the coherent path (how many jobs took
+  /// the field-only delta vs a full reduce).
+  const anneal::WarmStartStats& compile_stats() const noexcept {
+    return planner_.stats();
+  }
+
   /// Trace-mode retention window (see job()).  Far larger than any queue a
   /// service run sustains — the service consumes ids almost in order.
   static constexpr std::size_t kTraceWindow = 4096;
 
  private:
   sim::Instance instance_for(std::size_t id);
+  sim::Instance make_coherent_instance(std::size_t id);
 
   LoadConfig config_;
   std::uint64_t arrival_key_ = 0;
@@ -122,6 +163,25 @@ class LoadGenerator {
   Rng trace_rng_;
   std::deque<sim::Instance> trace_window_;  ///< ids [trace_base_, trace_base_ + size)
   std::size_t trace_base_ = 0;
+
+  /// One Gauss-Markov channel chain per user (coherence > 0).  Blocks are
+  /// materialized strictly in order, so H_u(block) is a pure function of
+  /// (seed, u, block) however job ids are requested.
+  struct ChainState {
+    linalg::CMat h;             ///< channel of blocks_done - 1
+    wireless::BitVec bits;      ///< the block payload (retransmitted per subframe)
+    linalg::CVec symbols;       ///< Gray-modulated payload
+    std::size_t blocks_done = 0;  ///< blocks materialized so far
+    bool compiled = false;        ///< planner holds this block's reduction
+    std::size_t compiled_block = 0;
+  };
+
+  std::uint64_t coherent_channel_key_ = 0;  ///< per-(user, block) draws
+  std::uint64_t coherent_use_key_ = 0;      ///< per-id noise draws
+  std::vector<ChainState> chains_;
+  anneal::WarmStartPlanner planner_;  ///< compile side only (no seeds here)
+  std::deque<sim::Instance> coherent_window_;  ///< ids [coherent_base_, ...)
+  std::size_t coherent_base_ = 0;
 };
 
 }  // namespace quamax::serve

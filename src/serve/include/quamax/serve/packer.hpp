@@ -36,6 +36,14 @@ struct Wave {
   double dispatch_us = 0.0;         ///< set by the service
   double completion_us = 0.0;       ///< set by the service
   std::size_t device = 0;           ///< modeled QA processor that ran it
+  /// Warm-start wave (sched::SchedConfig::warm_start): every member is
+  /// reverse-annealed from its coherence-chain predecessor's decoded
+  /// configuration at the warm anneal quota.  Waves are
+  /// warmness-homogeneous — cold members never share a wave with warm ones.
+  bool warm = false;
+  /// Warm waves only: each member's predecessor SEQUENCE number, aligned
+  /// with `jobs` (the scheduler's seed-registry keys).  Empty when cold.
+  std::vector<std::size_t> seeds;
 };
 
 class WavePacker {

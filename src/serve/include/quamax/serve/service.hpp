@@ -99,6 +99,16 @@ struct ServiceConfig {
   /// both drops and misses; they never consume a device).
   bool drop_late = false;
   std::uint64_t seed = 0xC8A17;  ///< root of all decode RNG streams
+
+  /// Warm-start incremental annealing across coherent subframes: forwarded
+  /// to sched::SchedConfig::warm_start (see scheduler.hpp).  Pair with a
+  /// coherent workload (LoadConfig::coherence > 0) — on i.i.d. traffic no
+  /// job ever has a predecessor and the flag is a no-op.
+  bool warm_start = false;
+  /// Reverse-schedule depth for warm waves.
+  double warm_reverse_depth = 0.85;
+  /// Warm-wave anneal quota; 0 = num_anneals (no quota cut).
+  std::size_t warm_num_anneals = 0;
 };
 
 /// Everything a service run produced: aggregate stats, per-job records (in

@@ -36,8 +36,12 @@ class ServiceStats {
   /// Folds one completed (or dropped) job into the aggregates.
   void add(const JobRecord& record);
 
-  /// Folds one dispatched wave (its member count) into the occupancy stats.
-  void add_wave(std::size_t occupancy);
+  /// Folds one dispatched wave into the occupancy stats.  `warm` marks a
+  /// warm-start wave (reverse anneal from predecessor seeds); `anneals` is
+  /// the N_a quota the wave was charged (0 = unknown, excluded from the
+  /// anneal-quota aggregate).
+  void add_wave(std::size_t occupancy, bool warm = false,
+                std::size_t anneals = 0);
 
   std::size_t jobs() const noexcept { return jobs_; }
   std::size_t misses() const noexcept { return misses_; }
@@ -53,6 +57,14 @@ class ServiceStats {
   /// Mean jobs per wave — 1.0 with packing disabled, up to the chip
   /// capacity when the queue keeps waves full.
   double mean_wave_occupancy() const;
+
+  /// Warm-start accounting: waves served by reverse anneals from
+  /// predecessor seeds, the jobs they carried, and the total anneal quota
+  /// charged across ALL waves (the annealer-time budget the warm path
+  /// cuts — bench_warmstart's "anneal-quota cut" gate reads this).
+  std::size_t warm_waves() const noexcept { return warm_waves_; }
+  std::size_t warm_jobs() const noexcept { return warm_jobs_; }
+  std::size_t total_anneals() const noexcept { return total_anneals_; }
 
   /// Aggregate decode quality over served jobs.
   std::size_t bit_errors() const noexcept { return bit_errors_; }
@@ -102,6 +114,9 @@ class ServiceStats {
   std::size_t drops_ = 0;
   std::size_t waves_ = 0;
   std::size_t packed_jobs_ = 0;  ///< total jobs across waves
+  std::size_t warm_waves_ = 0;
+  std::size_t warm_jobs_ = 0;
+  std::size_t total_anneals_ = 0;  ///< sum of per-wave N_a quotas
   std::size_t bit_errors_ = 0;
   std::size_t total_bits_ = 0;
   std::size_t ground_states_ = 0;

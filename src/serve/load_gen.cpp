@@ -1,6 +1,7 @@
 #include "quamax/serve/load_gen.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "quamax/common/error.hpp"
 
@@ -19,11 +20,17 @@ LoadGenerator::LoadGenerator(LoadConfig config, std::uint64_t seed)
 
   require(config_.downlink_fraction >= 0.0 && config_.downlink_fraction <= 1.0,
           "LoadGenerator: downlink fraction must lie in [0, 1]");
+  require(config_.coherence >= 0.0 && config_.coherence < 1.0,
+          "LoadGenerator: coherence must lie in [0, 1)");
+  require(!(config_.coherence > 0.0 && config_.trace_channels),
+          "LoadGenerator: coherence is for the random instance family; the "
+          "trace fading process has its own coherence");
 
   // Independent key families for arrivals and instances, derived from the
   // single seed: changing the offered load must not change the channels.
-  // The full-duplex keys are drawn LAST so a pure-uplink config reproduces
-  // the pre-full-duplex stream assignment bit-for-bit.
+  // The full-duplex keys are drawn after the originals, and the coherence
+  // keys after those, so a pure-uplink incoherent config reproduces the
+  // historical stream assignment bit-for-bit.
   Rng root(seed);
   arrival_key_ = root();
   instance_key_ = root();
@@ -32,6 +39,9 @@ LoadGenerator::LoadGenerator(LoadConfig config, std::uint64_t seed)
         std::make_unique<wireless::TraceChannelModel>(config_.trace, root());
   direction_key_ = root();
   downlink_key_ = root();
+  coherent_channel_key_ = root();
+  coherent_use_key_ = root();
+  if (config_.coherence > 0.0) chains_.resize(config_.users);
 }
 
 bool LoadGenerator::is_downlink(std::size_t id) const {
@@ -41,7 +51,106 @@ bool LoadGenerator::is_downlink(std::size_t id) const {
   return stream.uniform() < config_.downlink_fraction;
 }
 
+std::size_t LoadGenerator::coherence_block() const {
+  if (config_.coherence <= 0.0) return 1;
+  const long long len = std::llround(1.0 / (1.0 - config_.coherence));
+  return len < 1 ? 1 : static_cast<std::size_t>(len);
+}
+
+std::optional<std::size_t> LoadGenerator::predecessor(std::size_t id) const {
+  if (config_.coherence <= 0.0) return std::nullopt;
+  const std::size_t subframe = id / config_.users;
+  // First subframe of a block has no same-channel/same-payload forerunner.
+  if (subframe % coherence_block() == 0) return std::nullopt;
+  const std::size_t pred = id - config_.users;
+  // Only an uplink decode leaves a spin configuration to seed from.
+  if (is_downlink(id) || is_downlink(pred)) return std::nullopt;
+  return pred;
+}
+
+sim::Instance LoadGenerator::make_coherent_instance(std::size_t id) {
+  const std::size_t user = id % config_.users;
+  const std::size_t block = (id / config_.users) / coherence_block();
+  const std::size_t nt = config_.problem.users;
+  const bool noisy = config_.problem.snr_db.has_value();
+  ChainState& chain = chains_[user];
+
+  // Materialize the chain's blocks up to `block` in order: each block's
+  // channel step and payload come from the (user, block) stream, so
+  // H_u(block) is a pure function of (seed, user, block).
+  while (chain.blocks_done <= block) {
+    const std::uint64_t b = chain.blocks_done;
+    Rng stream = Rng::for_stream(
+        coherent_channel_key_, (static_cast<std::uint64_t>(user) << 32) | b);
+    if (b == 0) {
+      // Fresh draw per the instance family (random phase when noise-free,
+      // mirroring make_noise_free_use).
+      chain.h =
+          (noisy && config_.problem.kind == wireless::ChannelKind::kRayleigh)
+              ? wireless::rayleigh_channel(nt, nt, stream)
+              : wireless::random_phase_channel(nt, nt, stream);
+    } else {
+      // Gauss-Markov step: unit-variance Rayleigh innovation keeps the
+      // average channel energy stationary at any coherence.
+      const linalg::CMat w = wireless::rayleigh_channel(nt, nt, stream);
+      const double rho = config_.coherence;
+      const double innovation = std::sqrt(1.0 - rho * rho);
+      for (std::size_t r = 0; r < nt; ++r)
+        for (std::size_t c = 0; c < nt; ++c)
+          chain.h(r, c) = rho * chain.h(r, c) + innovation * w(r, c);
+    }
+    chain.bits.resize(
+        nt * static_cast<std::size_t>(wireless::bits_per_symbol(config_.problem.mod)));
+    for (auto& bit : chain.bits) bit = stream.coin() ? 1u : 0u;
+    chain.symbols = wireless::modulate_gray(chain.bits, config_.problem.mod);
+    ++chain.blocks_done;
+  }
+
+  wireless::ChannelUse use;
+  use.mod = config_.problem.mod;
+  use.h = chain.h;
+  use.tx_bits = chain.bits;
+  use.tx_symbols = chain.symbols;
+  use.y = use.h * use.tx_symbols;
+  Rng stream = Rng::for_stream(coherent_use_key_, id);
+  if (noisy) {
+    use.snr_db = *config_.problem.snr_db;
+    use.noise_sigma = wireless::noise_sigma_for_snr(use.h, use.mod, use.snr_db);
+    wireless::add_awgn(use.y, use.noise_sigma, stream);
+  } else {
+    use.snr_db = std::numeric_limits<double>::infinity();
+    use.noise_sigma = 0.0;
+  }
+
+  // Same-block successors reuse the cached couplings (they depend only on
+  // H) and recompute just the received-vector fields — bit-equal to a full
+  // reduction, so the instance is independent of the compile path taken.
+  const bool channel_changed = !chain.compiled || chain.compiled_block != block;
+  core::MlProblem problem =
+      planner_.compile(user, use.h, use.y, use.mod, channel_changed);
+  chain.compiled = true;
+  chain.compiled_block = block;
+  return sim::make_instance_with_problem(std::move(use), std::move(problem),
+                                         config_.ml_oracle);
+}
+
 sim::Instance LoadGenerator::instance_for(std::size_t id) {
+  if (config_.coherence > 0.0) {
+    // Coherent instances are produced sequentially (the channel chains have
+    // state) and retained in the same sliding window the trace mode uses.
+    require(id >= coherent_base_,
+            "LoadGenerator: coherent instance " + std::to_string(id) +
+                " slid out of the retention window");
+    while (coherent_base_ + coherent_window_.size() <= id) {
+      coherent_window_.push_back(
+          make_coherent_instance(coherent_base_ + coherent_window_.size()));
+      if (coherent_window_.size() > kTraceWindow) {
+        coherent_window_.pop_front();
+        ++coherent_base_;
+      }
+    }
+    return coherent_window_[id - coherent_base_];
+  }
   if (trace_model_ == nullptr) {
     Rng stream = Rng::for_stream(instance_key_, id);
     return sim::make_instance(config_.problem, stream, config_.ml_oracle);
@@ -88,6 +197,10 @@ std::vector<CellJob> LoadGenerator::open_loop(std::size_t num_jobs) {
 }
 
 CellJob LoadGenerator::job(std::size_t id, std::size_t user, double release_us) {
+  if (config_.coherence > 0.0)
+    require(user == id % config_.users,
+            "LoadGenerator: coherent chains key users by id; pass "
+            "user = id % users");
   if (is_downlink(id)) {
     PrecodeJob out;
     out.id = id;
@@ -107,6 +220,7 @@ CellJob LoadGenerator::job(std::size_t id, std::size_t user, double release_us) 
   out.instance = instance_for(id);
   out.arrival_us = release_us;
   out.deadline_us = release_us + config_.deadline_us;
+  out.predecessor = predecessor(id);
   return CellJob(std::move(out));
 }
 

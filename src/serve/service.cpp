@@ -126,6 +126,9 @@ sched::SchedConfig DecodeService::sched_config() const {
   cfg.drop_late = config_.drop_late;
   cfg.num_threads = config_.num_threads;
   cfg.seed = config_.seed;
+  cfg.warm_start = config_.warm_start;
+  cfg.warm_reverse_depth = config_.warm_reverse_depth;
+  cfg.warm_num_anneals = config_.warm_num_anneals;
   return cfg;
 }
 
@@ -191,7 +194,10 @@ ServiceReport DecodeService::serve(ArrivalFeed& feed) {
   report.jobs = scheduler.records();
   report.waves = scheduler.waves();
   for (const JobRecord& record : report.jobs) report.stats.add(record);
-  for (const Wave& wave : report.waves) report.stats.add_wave(wave.jobs.size());
+  for (const Wave& wave : report.waves)
+    report.stats.add_wave(wave.jobs.size(), wave.warm,
+                          wave.warm ? scheduler.warm_quota()
+                                    : config_.num_anneals);
   return report;
 }
 

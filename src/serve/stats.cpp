@@ -48,9 +48,15 @@ void ServiceStats::add(const JobRecord& record) {
   any_ = true;
 }
 
-void ServiceStats::add_wave(std::size_t occupancy) {
+void ServiceStats::add_wave(std::size_t occupancy, bool warm,
+                            std::size_t anneals) {
   ++waves_;
   packed_jobs_ += occupancy;
+  if (warm) {
+    ++warm_waves_;
+    warm_jobs_ += occupancy;
+  }
+  total_anneals_ += anneals;
 }
 
 double ServiceStats::miss_rate() const {
@@ -108,6 +114,8 @@ std::string ServiceStats::digest() const {
   lat("service", service());
   lat("total", total());
   append("waves=%zu occupancy=%.3f\n", waves_, mean_wave_occupancy());
+  append("warm_waves=%zu warm_jobs=%zu anneals=%zu\n", warm_waves_, warm_jobs_,
+         total_anneals_);
   append("ber=%.3e ground_state_rate=%.4f bits=%zu\n", ber(),
          ground_state_rate(), total_bits_);
   append("throughput=%.3f goodput=%.3f (jobs/ms over %.1f us)\n",

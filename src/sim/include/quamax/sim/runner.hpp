@@ -156,6 +156,17 @@ double env_tau();
 /// env_tau() when the flag is absent.
 double cli_tau(int argc, char** argv);
 
+/// Reads the QUAMAX_COHERENCE environment variable: subframe channel
+/// coherence of the serve-layer workload (in [0, 1); default 0 = i.i.d.
+/// per-job channels, bit-identical to the incoherent workloads).  See
+/// serve::LoadConfig::coherence.
+double env_coherence();
+
+/// The bench/example `--coherence R` knob (also `--coherence=R`); falls
+/// back to env_coherence() when the flag is absent.  Throws
+/// InvalidArgument on a malformed value or one outside [0, 1).
+double cli_coherence(int argc, char** argv);
+
 /// Reads the QUAMAX_QUEUE_POLICY environment variable as a raw string
 /// (default "fifo").  Validation happens in sched::parse_queue_policy — the
 /// sim layer sits below sched and only transports the spelling.

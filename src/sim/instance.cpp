@@ -5,10 +5,18 @@
 namespace quamax::sim {
 
 Instance make_instance_from_use(wireless::ChannelUse use, bool ml_oracle) {
+  core::MlProblem problem =
+      (use.mod == wireless::Modulation::kQam64)
+          ? core::reduce_ml_to_ising(use.h, use.y, use.mod)
+          : core::reduce_ml_to_ising_closed_form(use.h, use.y, use.mod);
+  return make_instance_with_problem(std::move(use), std::move(problem),
+                                    ml_oracle);
+}
+
+Instance make_instance_with_problem(wireless::ChannelUse use,
+                                    core::MlProblem problem, bool ml_oracle) {
   Instance inst;
-  inst.problem = (use.mod == wireless::Modulation::kQam64)
-                     ? core::reduce_ml_to_ising(use.h, use.y, use.mod)
-                     : core::reduce_ml_to_ising_closed_form(use.h, use.y, use.mod);
+  inst.problem = std::move(problem);
   inst.tx_spins =
       core::spins_for_gray_bits(use.tx_bits, use.h.cols(), use.mod);
   inst.tx_energy = inst.problem.ising.energy(inst.tx_spins);

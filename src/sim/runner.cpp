@@ -334,6 +334,30 @@ double cli_tau(int argc, char** argv) {
   return env_tau();
 }
 
+double env_coherence() {
+  const char* raw = std::getenv("QUAMAX_COHERENCE");
+  if (raw == nullptr) return 0.0;
+  const double rho = parse_nonnegative(raw, "--coherence / QUAMAX_COHERENCE");
+  require(rho < 1.0,
+          "--coherence / QUAMAX_COHERENCE: coherence must be in [0, 1)");
+  return rho;
+}
+
+double cli_coherence(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (flag_at("coherence", argc, argv, i, value, consumed)) {
+      const double rho =
+          parse_nonnegative(value, "--coherence / QUAMAX_COHERENCE");
+      require(rho < 1.0,
+              "--coherence / QUAMAX_COHERENCE: coherence must be in [0, 1)");
+      return rho;
+    }
+  }
+  return env_coherence();
+}
+
 std::string env_queue_policy() {
   const char* raw = std::getenv("QUAMAX_QUEUE_POLICY");
   return raw == nullptr ? "fifo" : raw;
@@ -359,7 +383,8 @@ std::vector<std::string> positional_args(int argc, char** argv) {
         flag_at("devices", argc, argv, i, value, consumed) ||
         flag_at("queue-policy", argc, argv, i, value, consumed) ||
         flag_at("downlink", argc, argv, i, value, consumed) ||
-        flag_at("tau", argc, argv, i, value, consumed)) {
+        flag_at("tau", argc, argv, i, value, consumed) ||
+        flag_at("coherence", argc, argv, i, value, consumed)) {
       i += consumed;
       continue;
     }

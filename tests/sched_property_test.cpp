@@ -5,8 +5,11 @@
 // Each trial derives a random scenario from its own counter stream —
 // arrival process and rate, job count, full-duplex mix, queue policy,
 // device pool (including defect-sharded devices that force shape routing),
-// packing/capping/drop-late knobs, and a random submit/poll cadence — then
-// checks, against a batch DecodeService run of the same workload:
+// packing/capping/drop-late knobs, coherent arrivals with warm-start
+// serving (ISSUE 7: half the trials draw LoadConfig::coherence > 0 and
+// turn on warm_start with a random quota cut and reverse depth), and a
+// random submit/poll cadence — then checks, against a batch DecodeService
+// run of the same workload:
 //
 //   * per-ticket records are bit-identical (field by field);
 //   * every ticket completes exactly once, poll never delivers early
@@ -92,6 +95,15 @@ Scenario draw_scenario(std::size_t trial) {
   // Poll cadence.
   s.poll_randomly = rng.coin();
   s.poll_modulus = 1 + rng.uniform_index(7);
+
+  // Coherent warm-start episodes (ISSUE 7).  Drawn LAST so the scenario
+  // stream up to here reproduces the pre-warm-start trials bit-for-bit.
+  if (rng.coin()) {
+    s.load.coherence = rng.uniform(0.5, 0.95);
+    s.service.warm_start = true;
+    s.service.warm_num_anneals = 1 + rng.uniform_index(s.service.num_anneals);
+    s.service.warm_reverse_depth = rng.uniform(0.5, 0.9);
+  }
   return s;
 }
 
@@ -107,6 +119,9 @@ sched::SchedConfig sched_config_of(const Scenario& s) {
   cfg.drop_late = s.service.drop_late;
   cfg.num_threads = s.service.num_threads;
   cfg.seed = s.service.seed;
+  cfg.warm_start = s.service.warm_start;
+  cfg.warm_reverse_depth = s.service.warm_reverse_depth;
+  cfg.warm_num_anneals = s.service.warm_num_anneals;
   return cfg;
 }
 
@@ -122,7 +137,7 @@ bool records_equal(const serve::JobRecord& a, const serve::JobRecord& b) {
 bool waves_equal(const serve::Wave& a, const serve::Wave& b) {
   return a.id == b.id && a.shape == b.shape && a.jobs == b.jobs &&
          a.dispatch_us == b.dispatch_us && a.completion_us == b.completion_us &&
-         a.device == b.device;
+         a.device == b.device && a.warm == b.warm && a.seeds == b.seeds;
 }
 
 void run_trial(std::size_t trial, sched::QueuePolicy policy) {

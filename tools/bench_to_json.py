@@ -58,7 +58,10 @@ def record_of(bench):
     }
     for counter in ("spin_updates_per_s", "replicas",
                     # bench_vpp per-point decode quality counters
-                    "vpp_ber", "zf_ber", "power_gain_db"):
+                    "vpp_ber", "zf_ber", "power_gain_db",
+                    # bench_warmstart per-arm serving counters
+                    "ber", "miss_rate", "total_anneals", "warm_waves",
+                    "achieved_jobs_per_ms"):
         if counter in bench:
             rec[counter] = bench[counter]
     return rec
