@@ -46,9 +46,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "quamax/common/stats.hpp"
+#include "quamax/obs/profile.hpp"
+#include "quamax/obs/trace.hpp"
 #include "quamax/sched/policy.hpp"
 #include "quamax/serve/load_gen.hpp"
 #include "quamax/serve/service.hpp"
@@ -59,6 +63,73 @@
 namespace {
 
 using namespace quamax;
+
+/// --trace support: the log is re-attached (and cleared) per traced run, so
+/// the file written at exit holds the LAST traced run's timeline.  All
+/// notices go to stderr — CI byte-diffs this binary's stdout.
+struct TraceCapture {
+  std::string path;
+  obs::TraceLog log;
+
+  bool enabled() const { return !path.empty(); }
+  void attach(serve::ServiceConfig& cfg) {
+    if (!enabled()) return;
+    log.clear();
+    cfg.trace = &log;
+  }
+  int write() {
+    if (!enabled()) return 0;
+    if (!obs::write_chrome_trace_file(log, path)) {
+      std::fprintf(stderr, "trace: could not write %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace written to %s\n", path.c_str());
+    return 0;
+  }
+};
+
+/// Sketch-accuracy audit (ISSUE 8 acceptance): ServiceStats now summarizes
+/// latency through obs::QuantileSketch; this recomputes p50/p95/p99 exactly
+/// from the stored per-job records and tracks the worst relative error seen
+/// across every audited report.  Gated <= 1% at exit.
+double worst_sketch_error = 0.0;
+
+void audit_sketch(const serve::ServiceReport& report) {
+  std::vector<double> queueing, service, total;
+  for (const serve::JobRecord& rec : report.jobs) {
+    if (rec.dropped) continue;
+    queueing.push_back(rec.queueing_us());
+    service.push_back(rec.service_us());
+    total.push_back(rec.total_us());
+  }
+  if (total.empty()) return;
+  const auto check = [&](std::vector<double>& exact_values,
+                         const serve::LatencySummary& summary) {
+    const double sketch[] = {summary.p50_us, summary.p95_us, summary.p99_us};
+    const double percentiles[] = {50.0, 95.0, 99.0};
+    for (int i = 0; i < 3; ++i) {
+      const double exact = percentile(exact_values, percentiles[i]);
+      const double err = exact == 0.0
+                             ? (sketch[i] == 0.0 ? 0.0 : 1.0)
+                             : std::abs(sketch[i] - exact) / exact;
+      worst_sketch_error = std::max(worst_sketch_error, err);
+    }
+  };
+  check(queueing, report.stats.queueing());
+  check(service, report.stats.service());
+  check(total, report.stats.total());
+}
+
+/// Prints the gate line and returns non-zero on failure.  Exact-vs-sketch
+/// errors are a pure function of the virtual-clock records, so this line is
+/// byte-identical across --threads/--replicas and safe inside the CI diff.
+int sketch_gate() {
+  const bool pass = worst_sketch_error <= 0.01;
+  std::printf("sketch accuracy: max |p50/p95/p99 error| = %.5f %s\n",
+              worst_sketch_error,
+              pass ? "(acceptance: <= 1%, PASS)" : "(acceptance: <= 1%, FAIL)");
+  return pass ? 0 : 1;
+}
 
 /// Device pool for the policy sweep: device 0 pristine, every further
 /// device dead-row defective with stride 4 (cannot embed shape 16; see
@@ -176,6 +247,10 @@ int main(int argc, char** argv) {
   const double downlink_fraction = quamax::sim::cli_downlink(argc, argv);
   const std::optional<quamax::anneal::AcceptMode> accept_override =
       quamax::sim::cli_accept_mode_if_set(argc, argv);
+  TraceCapture trace;
+  trace.path = quamax::sim::cli_trace(argc, argv);
+  const bool prof = quamax::sim::cli_prof(argc, argv);
+  if (prof) obs::Profiler::instance().set_enabled(true);
 
   bool smoke = false;
   for (const std::string& arg : sim::positional_args(argc, argv))
@@ -222,20 +297,27 @@ int main(int argc, char** argv) {
       serve::ServiceConfig cfg = base;
       cfg.device_specs = sharded_pool(devices);
       cfg.queue_policy = policy;
+      trace.attach(cfg);
       const serve::ServiceReport report = serve::DecodeService(cfg).run(jobs);
       misses += report.stats.misses();
+      audit_sketch(report);
       std::printf("\nServiceStats digest (policy %s, devices %zu, downlink "
                   "%.2f):\n%s",
                   sched::to_string(policy).c_str(), devices, downlink_fraction,
                   report.stats.digest().c_str());
     }
+    std::printf("\n");
+    int exit_code = sketch_gate();
     if (misses != 0) {
       std::fprintf(stderr, "SMOKE FAILURE: %zu deadline misses at trivial load\n",
                    misses);
-      return 1;
+      exit_code = 1;
+    } else {
+      std::printf("smoke OK: zero deadline misses at trivial load\n");
     }
-    std::printf("\nsmoke OK: zero deadline misses at trivial load\n");
-    return 0;
+    exit_code |= trace.write();
+    if (prof) obs::Profiler::instance().dump(std::cerr, 5);
+    return exit_code;
   }
 
   bool failed = false;
@@ -254,8 +336,10 @@ int main(int argc, char** argv) {
       serve::LoadGenerator generator(bpsk8_load(offered, 500.0), 0xB5E0);
       serve::ServiceConfig cfg = base;
       cfg.packing = packing;
+      trace.attach(cfg);
       const serve::ServiceReport report =
           serve::DecodeService(cfg).run(generator.open_loop(jobs_per_point));
+      audit_sketch(report);
       const Point p = to_point(offered, report);
       print_point(p);
       packing_curves[packing ? 1 : 0].push_back(p);
@@ -451,6 +535,13 @@ int main(int argc, char** argv) {
       edf_wins ? "(acceptance: EDF strictly better on both, PASS)"
                : "(acceptance: EDF strictly better on both, FAIL)");
   if (!edf_wins) failed = true;
+
+  // -------------------------------------------------------------------
+  // 5. Streaming-sketch accuracy over every audited report above.
+  std::printf("\n");
+  if (sketch_gate() != 0) failed = true;
+  if (trace.write() != 0) failed = true;
+  if (prof) obs::Profiler::instance().dump(std::cerr, 5);
 
   return failed ? 1 : 0;
 }

@@ -30,7 +30,8 @@
 //
 // `--json FILE` additionally writes a google-benchmark-shaped record
 // (one entry per experiment point, items_per_second = precoded payload
-// bits per wall-clock second, vpp_ber / zf_ber / power_gain_db counters)
+// bits per wall-clock second, quamax_vpp_ber / quamax_zf_ber /
+// quamax_power_gain_db counters)
 // that tools/bench_to_json.py converts into the committed artifact format.
 
 #include <chrono>
@@ -145,8 +146,8 @@ void write_json(const std::string& path, const std::vector<Point>& points,
                  "    {\"name\": \"%s\", \"run_type\": \"iteration\", "
                  "\"iterations\": 1, \"real_time\": %.0f, \"cpu_time\": %.0f, "
                  "\"time_unit\": \"ns\", \"items_per_second\": %.6e, "
-                 "\"vpp_ber\": %.6e, \"zf_ber\": %.6e, "
-                 "\"power_gain_db\": %.4f}%s\n",
+                 "\"quamax_vpp_ber\": %.6e, \"quamax_zf_ber\": %.6e, "
+                 "\"quamax_power_gain_db\": %.4f}%s\n",
                  p.name.c_str(), wall_ns, wall_ns,
                  static_cast<double>(p.bits) / p.wall_s, p.vpp_ber, p.zf_ber,
                  p.power_gain_db, i + 1 < points.size() ? "," : "");

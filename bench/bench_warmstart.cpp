@@ -38,10 +38,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "quamax/common/error.hpp"
+#include "quamax/obs/profile.hpp"
+#include "quamax/obs/trace.hpp"
 #include "quamax/serve/load_gen.hpp"
 #include "quamax/serve/service.hpp"
 #include "quamax/sim/report.hpp"
@@ -123,8 +126,9 @@ void write_json(const std::string& path, const std::vector<Point>& points,
                  "    {\"name\": \"%s\", \"run_type\": \"iteration\", "
                  "\"iterations\": 1, \"real_time\": %.0f, \"cpu_time\": %.0f, "
                  "\"time_unit\": \"ns\", \"items_per_second\": %.6e, "
-                 "\"ber\": %.6e, \"miss_rate\": %.6f, \"total_anneals\": %zu, "
-                 "\"warm_waves\": %zu, \"achieved_jobs_per_ms\": %.4f}%s\n",
+                 "\"quamax_ber\": %.6e, \"quamax_miss_rate\": %.6f, "
+                 "\"quamax_total_anneals\": %zu, \"quamax_warm_waves\": %zu, "
+                 "\"quamax_achieved_jobs_per_ms\": %.4f}%s\n",
                  p.name.c_str(), wall_ns, wall_ns,
                  static_cast<double>(p.jobs) / p.wall_s, p.ber, p.miss_rate,
                  p.total_anneals, p.warm_waves, p.achieved_jobs_per_ms,
@@ -145,6 +149,10 @@ int main(int argc, char** argv) {
   const double coherence_knob = quamax::sim::cli_coherence(argc, argv);
   // Default subframe coherence: rho = 0.9 => 10-subframe blocks.
   const double coherence = coherence_knob > 0.0 ? coherence_knob : 0.9;
+  const std::string trace_path = quamax::sim::cli_trace(argc, argv);
+  const bool prof = quamax::sim::cli_prof(argc, argv);
+  if (prof) obs::Profiler::instance().set_enabled(true);
+  obs::TraceLog trace_log;
 
   bool smoke = false;
   std::string json_path;
@@ -185,8 +193,10 @@ int main(int argc, char** argv) {
         users * std::max<std::size_t>(4, sim::scaled(24));
     serve::LoadGenerator generator(
         coherent_load(coherence, 10.0 * cold_service_us, users), 0x3A97);
+    serve::ServiceConfig traced_cfg = warm_cfg;
+    if (!trace_path.empty()) traced_cfg.trace = &trace_log;
     const serve::ServiceReport report =
-        serve::DecodeService(warm_cfg).run(generator.open_loop(num_jobs));
+        serve::DecodeService(traced_cfg).run(generator.open_loop(num_jobs));
     std::printf("ServiceStats digest (warm-start smoke, devices %zu, "
                 "coherence %.2f):\n%s",
                 devices, coherence, report.stats.digest().c_str());
@@ -194,6 +204,17 @@ int main(int argc, char** argv) {
                 generator.compile_stats().full_compiles,
                 generator.compile_stats().delta_compiles,
                 generator.coherence_block());
+    int exit_code = 0;
+    if (!trace_path.empty()) {
+      // Notice on stderr: CI byte-diffs this binary's stdout.
+      if (obs::write_chrome_trace_file(trace_log, trace_path)) {
+        std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "trace: could not write %s\n", trace_path.c_str());
+        exit_code = 1;
+      }
+    }
+    if (prof) obs::Profiler::instance().dump(std::cerr, 5);
     if (report.stats.warm_waves() == 0) {
       std::fprintf(stderr, "SMOKE FAILURE: no warm waves on a coherent load\n");
       return 1;
@@ -205,7 +226,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\nsmoke OK: zero deadline misses, %zu warm waves\n",
                 report.stats.warm_waves());
-    return 0;
+    return exit_code;
   }
 
   const std::size_t users = 4;
@@ -310,6 +331,7 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty())
     write_json(json_path, points, threads, replicas, coherence);
+  if (prof) obs::Profiler::instance().dump(std::cerr, 5);
 
   return failed ? 1 : 0;
 }

@@ -19,10 +19,20 @@
 //
 // All output derives from the virtual clock + counter-derived streams:
 // re-running at any --threads / --replicas setting prints identical text.
+//
+// Observability (quamax::obs): pass `--trace FILE` to record the packing-ON
+// run's job/wave timeline as Chrome trace-event JSON (open in Perfetto or
+// chrome://tracing; one track per device, flow arrows from each job's
+// arrival to its wave), and `--prof` to print the top-5 wall-clock compute
+// stages at exit.  Both notices go to stderr — stdout stays byte-identical
+// traced or not, which is the obs determinism contract.
 
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
+#include "quamax/obs/profile.hpp"
+#include "quamax/obs/trace.hpp"
 #include "quamax/sched/client.hpp"
 #include "quamax/serve/load_gen.hpp"
 #include "quamax/serve/service.hpp"
@@ -37,7 +47,12 @@ int main(int argc, char** argv) {
   const std::size_t devices = quamax::sim::cli_devices(argc, argv);
   const quamax::sched::QueuePolicy policy =
       quamax::sched::parse_queue_policy(quamax::sim::cli_queue_policy(argc, argv));
+  const std::string trace_path = quamax::sim::cli_trace(argc, argv);
+  const bool prof = quamax::sim::cli_prof(argc, argv);
   using namespace quamax;
+
+  if (prof) obs::Profiler::instance().set_enabled(true);
+  obs::TraceLog trace_log;
 
   const std::size_t num_jobs = sim::scaled(160);
   sim::print_banner("C-RAN decode service walkthrough",
@@ -72,6 +87,9 @@ int main(int argc, char** argv) {
 
   for (const bool packing : {true, false}) {
     cfg.packing = packing;
+    // Trace the packing-ON run: its wave structure (8 jobs folded into one
+    // chip wave per subframe) is the interesting picture.
+    cfg.trace = (packing && !trace_path.empty()) ? &trace_log : nullptr;
     serve::DecodeService service(cfg);
     serve::LoadGenerator generator(load, 0xA2905);
     const serve::ServiceReport report =
@@ -147,5 +165,14 @@ int main(int argc, char** argv) {
       "what makes one annealer a plausible cluster-scale decode appliance.\n"
       "The async client streams the identical schedule: submit() as\n"
       "subframes release, poll() per subframe, drain() at end of stream.\n");
+
+  if (!trace_path.empty()) {
+    if (obs::write_chrome_trace_file(trace_log, trace_path))
+      std::cerr << "trace written to " << trace_path
+                << " (open in Perfetto or chrome://tracing)\n";
+    else
+      std::cerr << "trace write FAILED: " << trace_path << "\n";
+  }
+  if (prof) obs::Profiler::instance().dump(std::cerr, 5);
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "quamax/obs/profile.hpp"
+
 namespace quamax::anneal {
 
 const char* to_string(AcceptMode mode) noexcept {
@@ -385,6 +387,7 @@ std::vector<qubo::SpinVec> SaEngine::batch_dispatch(
     const double* couplings_rm, bool replicated_coefficients,
     std::vector<Rng>& rngs, const qubo::SpinVec* initial,
     AcceptMode mode) const {
+  QUAMAX_PROF_SCOPE("anneal.batch_sweep");
   const std::size_t n = num_spins();
   const std::size_t m = num_couplings();
   const std::size_t R = rngs.size();

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "quamax/obs/profile.hpp"
+
 namespace quamax::chimera {
 namespace {
 
@@ -90,6 +92,7 @@ std::vector<Embedding> find_parallel_embeddings(std::size_t num_logical,
 
 EmbeddedProblem embed(const qubo::IsingModel& logical, const Embedding& embedding,
                       const ChimeraGraph& graph, const EmbedParams& params) {
+  QUAMAX_PROF_SCOPE("chimera.embed");
   require(embedding.num_logical == logical.num_spins(),
           "embed: embedding size does not match problem");
   require(params.jf > 0.0, "embed: |J_F| must be positive");
@@ -155,6 +158,7 @@ EmbeddedProblem embed(const qubo::IsingModel& logical, const Embedding& embeddin
 qubo::SpinVec unembed(const qubo::SpinVec& physical_spins,
                       const EmbeddedProblem& problem, Rng& rng,
                       std::size_t* broken_chains) {
+  QUAMAX_PROF_SCOPE("chimera.unembed");
   require(physical_spins.size() == problem.compact_to_qubit.size(),
           "unembed: configuration size mismatch");
   qubo::SpinVec logical(problem.chains.size());

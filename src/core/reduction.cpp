@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "quamax/common/error.hpp"
+#include "quamax/obs/profile.hpp"
 
 namespace quamax::core {
 
@@ -303,6 +304,7 @@ qubo::QuboModel reduce_ml_to_qubo(const CMat& h, const CVec& y, Modulation mod) 
 }
 
 void update_ml_fields(MlProblem& problem, const CMat& h, const CVec& y) {
+  QUAMAX_PROF_SCOPE("core.update_ml_fields");
   require(h.rows() == y.size(), "update_ml_fields: H rows must match y length");
   require(problem.nt == h.cols(),
           "update_ml_fields: problem was reduced for a different channel size");

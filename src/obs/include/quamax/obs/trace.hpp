@@ -1,0 +1,145 @@
+// Virtual-clock job tracing: sinks, the in-memory log, and the
+// Chrome/Perfetto trace-event JSON exporter.
+//
+// The scheduler's virtual clock is a discrete-event timeline computed
+// serially on the driver thread — every queueing decision, wave dispatch,
+// and completion time is a pure function of config + workload.  A TraceSink
+// taps that timeline: the scheduler calls it at job admission, wave
+// dispatch (which fixes each member job's dispatch AND completion time —
+// the wave cost model is closed-form), and deadline drops.  Because all
+// emission happens on the driver thread inside virtual-clock code, sinks
+// need no locks, consume no RNG, and cannot perturb any result: the decode
+// compute running on ThreadPool lanes never touches them.  The v2 contract
+// is therefore preserved by construction — reports are bit-identical with
+// tracing on or off — and tests/CI gate it anyway.
+//
+// Span decomposition (QuAMax §7's latency breakdown, reproduced from the
+// trace instead of re-derived): a wave occupies its device for
+// program_overhead_us + num_anneals * schedule_duration.  The overhead
+// models programming + readout, so the exporter splits it half-before /
+// half-after the anneal span:
+//
+//   queue   = [submit_us, dispatch_us]
+//   program = [dispatch_us, program_end_us]      (overhead / 2)
+//   anneal  = [program_end_us, readout_start_us] (num_anneals * duration)
+//   readout = [readout_start_us, completion_us]  (overhead / 2)
+//
+// The four spans tile [submit, completion] exactly, so per-job totals from
+// the trace equal the virtual-clock latency to the last bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace quamax::obs {
+
+/// Job admitted to the scheduler queue.
+struct JobSubmitEvent {
+  std::uint64_t job_id = 0;
+  int user = 0;
+  int direction = 0;  ///< 0 = uplink decode, 1 = downlink precode
+  double submit_us = 0.0;
+  double deadline_us = 0.0;
+};
+
+/// Job packed into a wave and dispatched to a device.  The virtual clock
+/// fixes completion at dispatch time (closed-form wave cost), so one event
+/// carries the whole remaining lifecycle.
+struct JobDispatchEvent {
+  std::uint64_t job_id = 0;
+  std::uint64_t wave_id = 0;
+  int device = 0;
+  double dispatch_us = 0.0;
+  double completion_us = 0.0;
+};
+
+/// Job swept as a deadline miss before it could be dispatched.
+struct JobDropEvent {
+  std::uint64_t job_id = 0;
+  double drop_us = 0.0;
+  double deadline_us = 0.0;
+};
+
+/// Wave dispatched to a device: the device-occupancy slice plus the
+/// program/anneal/readout split (see the header comment) and the scheduling
+/// context (policy that ordered admission, warm/cold, anneal quota).
+struct WaveEvent {
+  std::uint64_t wave_id = 0;
+  int device = 0;
+  bool warm = false;
+  int num_anneals = 0;
+  std::size_t num_jobs = 0;
+  std::string policy;  ///< queue policy name: "fifo", "edf", "slack"
+  std::string shape;   ///< block-shape label, e.g. "4u x 2x2"
+  double dispatch_us = 0.0;
+  double program_end_us = 0.0;
+  double readout_start_us = 0.0;
+  double completion_us = 0.0;
+};
+
+/// Sink interface the scheduler emits into.  All callbacks run on the
+/// driver thread inside virtual-clock code; implementations must not
+/// consume RNG or block.  Default implementations ignore everything, so a
+/// sink overrides only what it needs.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_job_submit(const JobSubmitEvent&) {}
+  virtual void on_job_dispatch(const JobDispatchEvent&) {}
+  virtual void on_job_drop(const JobDropEvent&) {}
+  virtual void on_wave(const WaveEvent&) {}
+};
+
+/// In-memory sink: appends events in emission order (which is itself
+/// deterministic — the driver thread advances the virtual clock serially).
+class TraceLog final : public TraceSink {
+ public:
+  void on_job_submit(const JobSubmitEvent& e) override {
+    submits_.push_back(e);
+  }
+  void on_job_dispatch(const JobDispatchEvent& e) override {
+    dispatches_.push_back(e);
+  }
+  void on_job_drop(const JobDropEvent& e) override { drops_.push_back(e); }
+  void on_wave(const WaveEvent& e) override { waves_.push_back(e); }
+
+  const std::vector<JobSubmitEvent>& submits() const { return submits_; }
+  const std::vector<JobDispatchEvent>& dispatches() const {
+    return dispatches_;
+  }
+  const std::vector<JobDropEvent>& drops() const { return drops_; }
+  const std::vector<WaveEvent>& waves() const { return waves_; }
+
+  void clear() {
+    submits_.clear();
+    dispatches_.clear();
+    drops_.clear();
+    waves_.clear();
+  }
+
+ private:
+  std::vector<JobSubmitEvent> submits_;
+  std::vector<JobDispatchEvent> dispatches_;
+  std::vector<JobDropEvent> drops_;
+  std::vector<WaveEvent> waves_;
+};
+
+/// Writes the log as Chrome trace-event JSON (catapult "traceEvents"
+/// format, loadable in chrome://tracing and Perfetto).  Track layout:
+/// tid 0 is the "arrivals" track (submit/drop instant events); tid 1 + d is
+/// device d, carrying each wave as a complete ("X") slice with nested
+/// program/anneal/readout child slices.  Every job gets a flow arrow
+/// (s/f events keyed by job id) from its submit instant to its wave slice.
+/// Timestamps are virtual-clock microseconds written verbatim — the
+/// trace-event "ts" unit is also microseconds.
+void write_chrome_trace(const TraceLog& log, std::ostream& out);
+
+/// Convenience wrapper: opens `path` (truncating) and writes the trace.
+/// Returns false if the file cannot be opened.  Never touches stdout —
+/// serving binaries diff their stdout byte-for-byte in CI.
+bool write_chrome_trace_file(const TraceLog& log, const std::string& path);
+
+}  // namespace quamax::obs

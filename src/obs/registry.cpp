@@ -1,0 +1,11 @@
+#include "quamax/obs/registry.hpp"
+
+namespace quamax::obs {
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
+  for (const auto& [name, sk] : other.sketches_) sketches_[name].merge(sk);
+}
+
+}  // namespace quamax::obs

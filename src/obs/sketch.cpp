@@ -1,0 +1,104 @@
+#include "quamax/obs/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace quamax::obs {
+
+std::size_t QuantileSketch::bucket_of(double value) const {
+  if (!(value > 0.0)) return 0;  // zeros, negatives, NaNs -> zero bucket
+  int exp = 0;
+  // frexp: value = frac * 2^exp with frac in [0.5, 1), so value lies in
+  // octave [2^(exp-1), 2^exp).  Sub-bucket index is the linear position of
+  // frac within [0.5, 1).
+  const double frac = std::frexp(value, &exp);
+  if (exp < kMinExp) return 1;          // clamp tiny values to first bucket
+  if (exp >= kMaxExp) return kBuckets - 1;  // clamp huge values to last
+  const std::size_t octave = static_cast<std::size_t>(exp - kMinExp);
+  std::size_t sub = static_cast<std::size_t>((frac - 0.5) * 2.0 *
+                                             static_cast<double>(kSubBuckets));
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return 1 + octave * kSubBuckets + sub;
+}
+
+void QuantileSketch::add(double value) {
+  if (buckets_.empty()) buckets_.assign(kBuckets, 0);
+  ++buckets_[bucket_of(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (buckets_.empty()) buckets_.assign(kBuckets, 0);
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double QuantileSketch::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double QuantileSketch::value_at_rank(double rank) const {
+  // Walk the cumulative histogram to the bucket holding order statistic
+  // floor(rank), then place the value within the bucket by linear
+  // interpolation on the local rank (the same within-bucket uniformity
+  // assumption every fixed-layout sketch makes).
+  const double target = rank;
+  double seen = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double n = static_cast<double>(buckets_[i]);
+    if (n == 0.0) continue;
+    if (target < seen + n) {
+      if (i == 0) return 0.0;  // exact-zero bucket
+      const std::size_t idx = i - 1;
+      const int exp = kMinExp + static_cast<int>(idx / kSubBuckets);
+      const std::size_t sub = idx % kSubBuckets;
+      const double lo = std::ldexp(
+          0.5 + static_cast<double>(sub) / static_cast<double>(kSubBuckets) * 0.5,
+          exp);
+      const double width =
+          std::ldexp(0.5 / static_cast<double>(kSubBuckets), exp);
+      // Local rank within the bucket in [0, n); map [−0.5-ish .. n) onto the
+      // bucket span so a lone sample sits at the bucket midpoint.
+      const double local = target - seen;
+      const double fraction = (local + 0.5) / n;
+      double v = lo + width * std::min(std::max(fraction, 0.0), 1.0);
+      return std::min(std::max(v, min_), max_);
+    }
+    seen += n;
+  }
+  return max_;
+}
+
+double QuantileSketch::quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (count_ == 1) return max_;
+  const double pp = std::min(std::max(p, 0.0), 100.0);
+  // Same convention as quamax::percentile: rank r = p/100 * (n-1), linear
+  // interpolation between the bracketing order statistics.
+  const double rank = pp / 100.0 * static_cast<double>(count_ - 1);
+  const double lo_rank = std::floor(rank);
+  const double frac = rank - lo_rank;
+  const double lo = value_at_rank(lo_rank);
+  if (frac == 0.0) return lo;
+  const double hi = value_at_rank(lo_rank + 1.0);
+  return lo + frac * (hi - lo);
+}
+
+}  // namespace quamax::obs

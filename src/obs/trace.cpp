@@ -1,0 +1,160 @@
+#include "quamax/obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+namespace quamax::obs {
+namespace {
+
+/// Doubles are written with %.17g so the JSON round-trips the exact binary
+/// value — the round-trip CTest re-adds span durations and compares against
+/// the virtual-clock total, which only works if nothing is rounded away.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& out) : out_(out) {
+    out_ << "{\"traceEvents\":[";
+  }
+  void emit(const std::string& body) {
+    if (!first_) out_ << ",";
+    first_ = false;
+    out_ << "\n" << body;
+  }
+  void finish() { out_ << "\n]}\n"; }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+std::string meta_thread_name(int tid, const std::string& name) {
+  return "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+         std::to_string(tid) + ",\"args\":{\"name\":\"" + escaped(name) +
+         "\"}}";
+}
+
+std::string slice(const std::string& name, int tid, double ts, double dur,
+                  const std::string& args) {
+  std::string s = "{\"name\":\"" + escaped(name) +
+                  "\",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+                  ",\"ts\":" + num(ts) + ",\"dur\":" + num(dur);
+  if (!args.empty()) s += ",\"args\":{" + args + "}";
+  return s + "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(const TraceLog& log, std::ostream& out) {
+  EventWriter w(out);
+
+  int max_device = -1;
+  for (const auto& wave : log.waves())
+    if (wave.device > max_device) max_device = wave.device;
+
+  // Track metadata: tid 0 = arrivals, tid 1+d = modeled device d.
+  w.emit(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"quamax virtual clock\"}}");
+  w.emit(meta_thread_name(0, "arrivals"));
+  for (int d = 0; d <= max_device; ++d)
+    w.emit(meta_thread_name(1 + d, "device " + std::to_string(d)));
+
+  // Arrival track: one instant per submit and per drop, plus the flow
+  // origin ("s") for each job at its submit time.
+  for (const auto& e : log.submits()) {
+    const std::string name = "job " + std::to_string(e.job_id) + " submit";
+    w.emit("{\"name\":\"" + escaped(name) +
+           "\",\"ph\":\"i\",\"pid\":1,\"tid\":0,\"s\":\"t\",\"ts\":" +
+           num(e.submit_us) + ",\"args\":{\"job\":" + std::to_string(e.job_id) +
+           ",\"user\":" + std::to_string(e.user) +
+           ",\"direction\":" + std::to_string(e.direction) +
+           ",\"deadline_us\":" + num(e.deadline_us) + "}}");
+    w.emit("{\"name\":\"job " + std::to_string(e.job_id) +
+           "\",\"cat\":\"job\",\"ph\":\"s\",\"id\":" +
+           std::to_string(e.job_id) + ",\"pid\":1,\"tid\":0,\"ts\":" +
+           num(e.submit_us) + "}");
+  }
+  for (const auto& e : log.drops()) {
+    w.emit("{\"name\":\"job " + std::to_string(e.job_id) +
+           " drop\",\"ph\":\"i\",\"pid\":1,\"tid\":0,\"s\":\"t\",\"ts\":" +
+           num(e.drop_us) + ",\"args\":{\"job\":" + std::to_string(e.job_id) +
+           ",\"deadline_us\":" + num(e.deadline_us) + "}}");
+  }
+
+  // Device tracks: each wave is a slice with nested program/anneal/readout
+  // children.  Children share the parent's tid and nest because their
+  // [ts, ts+dur] ranges tile the parent's exactly.
+  for (const auto& v : log.waves()) {
+    const int tid = 1 + v.device;
+    const std::string wave_args =
+        "\"wave\":" + std::to_string(v.wave_id) +
+        ",\"device\":" + std::to_string(v.device) +
+        ",\"warm\":" + (v.warm ? std::string("true") : std::string("false")) +
+        ",\"num_anneals\":" + std::to_string(v.num_anneals) +
+        ",\"num_jobs\":" + std::to_string(v.num_jobs) + ",\"policy\":\"" +
+        escaped(v.policy) + "\",\"shape\":\"" + escaped(v.shape) + "\"";
+    w.emit(slice("wave " + std::to_string(v.wave_id), tid, v.dispatch_us,
+                 v.completion_us - v.dispatch_us, wave_args));
+    w.emit(slice("program", tid, v.dispatch_us,
+                 v.program_end_us - v.dispatch_us, ""));
+    w.emit(slice("anneal", tid, v.program_end_us,
+                 v.readout_start_us - v.program_end_us,
+                 "\"num_anneals\":" + std::to_string(v.num_anneals) +
+                     ",\"warm\":" +
+                     (v.warm ? std::string("true") : std::string("false"))));
+    w.emit(slice("readout", tid, v.readout_start_us,
+                 v.completion_us - v.readout_start_us, ""));
+  }
+
+  // Flow terminators: each dispatched job's arrow lands on its wave slice
+  // ("bp":"e" binds to the enclosing slice at that timestamp).
+  for (const auto& e : log.dispatches()) {
+    w.emit("{\"name\":\"job " + std::to_string(e.job_id) +
+           "\",\"cat\":\"job\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" +
+           std::to_string(e.job_id) + ",\"pid\":1,\"tid\":" +
+           std::to_string(1 + e.device) + ",\"ts\":" + num(e.dispatch_us) +
+           ",\"args\":{\"wave\":" + std::to_string(e.wave_id) +
+           ",\"completion_us\":" + num(e.completion_us) + "}}");
+  }
+
+  w.finish();
+}
+
+bool write_chrome_trace_file(const TraceLog& log, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  write_chrome_trace(log, out);
+  return out.good();
+}
+
+}  // namespace quamax::obs

@@ -60,6 +60,7 @@
 #include "quamax/anneal/annealer.hpp"
 #include "quamax/anneal/warm_start.hpp"
 #include "quamax/core/thread_pool.hpp"
+#include "quamax/obs/trace.hpp"
 #include "quamax/sched/device_set.hpp"
 #include "quamax/sched/policy.hpp"
 #include "quamax/serve/job.hpp"
@@ -124,6 +125,14 @@ struct SchedConfig {
   /// N_a for warm waves; 0 = use num_anneals (seed reuse without the
   /// anneal-quota cut).
   std::size_t warm_num_anneals = 0;
+
+  /// Optional trace sink (non-owning; nullptr = tracing off).  The engine
+  /// emits job-submit / wave-dispatch / job-drop events from the
+  /// virtual-clock code paths, which all run serially on the driver thread
+  /// — so the sink needs no locks and the decode compute never touches it.
+  /// Emission reads already-computed values only and consumes no RNG:
+  /// records/waves are bit-identical with tracing on or off.
+  obs::TraceSink* trace = nullptr;
 };
 
 class Scheduler {

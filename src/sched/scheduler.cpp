@@ -99,6 +99,15 @@ std::size_t Scheduler::submit(serve::CellJob job) {
   if (config_.warm_start && !job.downlink()) id_to_seq_[job.id] = seq;
   records_.push_back(record);
   states_.push_back(JobState::kQueued);
+  if (config_.trace != nullptr) {
+    obs::JobSubmitEvent event;
+    event.job_id = job.id;
+    event.user = static_cast<int>(job.user);
+    event.direction = job.downlink() ? 1 : 0;
+    event.submit_us = job.arrival_us;
+    event.deadline_us = job.deadline_us;
+    config_.trace->on_job_submit(event);
+  }
   jobs_.push_back(std::move(job));
   return seq;
 }
@@ -229,6 +238,13 @@ void Scheduler::sweep_drops(double t_free_us) {
     records_[seq].completion_us = start_us;
     states_[seq] = JobState::kDropped;
     undelivered_.emplace(start_us, seq);
+    if (config_.trace != nullptr) {
+      obs::JobDropEvent event;
+      event.job_id = jobs_[seq].id;
+      event.drop_us = start_us;
+      event.deadline_us = jobs_[seq].deadline_us;
+      config_.trace->on_job_drop(event);
+    }
     if (hook_) hook_(jobs_[seq], start_us);
   }
   pending_ = std::move(survivors);
@@ -332,12 +348,45 @@ void Scheduler::dispatch_wave(std::size_t device, double t_free_us,
   wave.completion_us =
       wave.dispatch_us + (warm ? warm_wave_service_us() : wave_service_us());
 
+  if (config_.trace != nullptr) {
+    // The trace decomposition reproduces QuAMax §7's latency split from the
+    // wave cost model: program_overhead_us covers programming + readout, so
+    // it brackets the anneal span half-and-half; the anneal span itself is
+    // exactly quota * schedule duration.  The four spans tile
+    // [dispatch, completion], so per-job span sums equal the virtual-clock
+    // service time bit-for-bit (the round-trip CTest re-adds them).
+    obs::WaveEvent event;
+    event.wave_id = wave.id;
+    event.device = static_cast<int>(device);
+    event.warm = warm;
+    event.num_anneals =
+        static_cast<int>(warm ? warm_quota() : config_.num_anneals);
+    event.num_jobs = wave.jobs.size();
+    event.policy = to_string(config_.policy);
+    event.shape = std::to_string(shape);
+    event.dispatch_us = wave.dispatch_us;
+    const double half_overhead = config_.program_overhead_us / 2.0;
+    event.program_end_us = wave.dispatch_us + half_overhead;
+    event.readout_start_us = wave.completion_us - half_overhead;
+    event.completion_us = wave.completion_us;
+    config_.trace->on_wave(event);
+  }
+
   for (const std::size_t seq : wave.jobs) {
     records_[seq].wave_id = wave.id;
     records_[seq].dispatch_us = wave.dispatch_us;
     records_[seq].completion_us = wave.completion_us;
     states_[seq] = JobState::kDispatched;
     undelivered_.emplace(wave.completion_us, seq);
+    if (config_.trace != nullptr) {
+      obs::JobDispatchEvent event;
+      event.job_id = jobs_[seq].id;
+      event.wave_id = wave.id;
+      event.device = static_cast<int>(device);
+      event.dispatch_us = wave.dispatch_us;
+      event.completion_us = wave.completion_us;
+      config_.trace->on_job_dispatch(event);
+    }
     if (hook_) hook_(jobs_[seq], wave.completion_us);
   }
   pending_.erase(std::remove_if(pending_.begin(), pending_.end(),

@@ -109,6 +109,11 @@ struct ServiceConfig {
   double warm_reverse_depth = 0.85;
   /// Warm-wave anneal quota; 0 = num_anneals (no quota cut).
   std::size_t warm_num_anneals = 0;
+
+  /// Optional trace sink forwarded to sched::SchedConfig::trace (non-owning;
+  /// nullptr = off).  Sinks observe the virtual-clock timeline only — every
+  /// report is bit-identical with tracing on or off (obs_test gates this).
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Everything a service run produced: aggregate stats, per-job records (in

@@ -12,12 +12,19 @@
 // function of (config, jobs, seed) — so two runs of the same workload at
 // different thread counts produce BIT-IDENTICAL stats (tests/serve_test.cpp
 // checks digest equality property-style).
+//
+// Latency distributions are held in obs::QuantileSketch — O(1) memory per
+// metric instead of the historical O(records) arrays (the ROADMAP #2
+// blocker).  mean/max stay exact; p50/p95/p99 carry the sketch's bounded
+// relative error (<1%, gated against stored-record values by the serve-load
+// bench).  Digest determinism is unchanged: records fold in on the driver
+// thread in admission order, and the sketch layout is fixed.
 #pragma once
 
 #include <cstddef>
 #include <string>
-#include <vector>
 
+#include "quamax/obs/sketch.hpp"
 #include "quamax/serve/job.hpp"
 
 namespace quamax::serve {
@@ -125,9 +132,9 @@ class ServiceStats {
   double first_arrival_us_ = 0.0;
   double last_completion_us_ = 0.0;
   bool any_ = false;
-  std::vector<double> queueing_us_;
-  std::vector<double> service_us_;
-  std::vector<double> total_us_;
+  obs::QuantileSketch queueing_us_;
+  obs::QuantileSketch service_us_;
+  obs::QuantileSketch total_us_;
 };
 
 }  // namespace quamax::serve

@@ -129,6 +129,7 @@ sched::SchedConfig DecodeService::sched_config() const {
   cfg.warm_start = config_.warm_start;
   cfg.warm_reverse_depth = config_.warm_reverse_depth;
   cfg.warm_num_anneals = config_.warm_num_anneals;
+  cfg.trace = config_.trace;
   return cfg;
 }
 

@@ -3,19 +3,17 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "quamax/common/stats.hpp"
-
 namespace quamax::serve {
 namespace {
 
-LatencySummary summarize_latency(const std::vector<double>& values) {
+LatencySummary summarize_latency(const obs::QuantileSketch& sketch) {
   LatencySummary out;
-  if (values.empty()) return out;
-  out.mean_us = mean(values);
-  out.p50_us = percentile(values, 50.0);
-  out.p95_us = percentile(values, 95.0);
-  out.p99_us = percentile(values, 99.0);
-  out.max_us = *std::max_element(values.begin(), values.end());
+  if (sketch.empty()) return out;
+  out.mean_us = sketch.mean();  // exact: running sum / count
+  out.p50_us = sketch.quantile(50.0);
+  out.p95_us = sketch.quantile(95.0);
+  out.p99_us = sketch.quantile(99.0);
+  out.max_us = sketch.max();  // exact: tracked outside the buckets
   return out;
 }
 
@@ -33,9 +31,9 @@ void ServiceStats::add(const JobRecord& record) {
   if (record.dropped) {
     ++drops_;
   } else {
-    queueing_us_.push_back(record.queueing_us());
-    service_us_.push_back(record.service_us());
-    total_us_.push_back(record.total_us());
+    queueing_us_.add(record.queueing_us());
+    service_us_.add(record.service_us());
+    total_us_.add(record.total_us());
     bit_errors_ += record.bit_errors;
     total_bits_ += record.num_bits;
     direction.bit_errors += record.bit_errors;

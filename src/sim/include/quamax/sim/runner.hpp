@@ -176,11 +176,27 @@ std::string env_queue_policy();
 /// falls back to env_queue_policy() when the flag is absent.
 std::string cli_queue_policy(int argc, char** argv);
 
+/// Reads the QUAMAX_TRACE environment variable: output path for the
+/// Chrome/Perfetto trace-event JSON of a served run (empty = tracing off).
+/// A pure observability knob — every report stays bit-identical either way.
+std::string env_trace();
+
+/// The serving-binary `--trace FILE` knob (also `--trace=FILE`); falls back
+/// to env_trace() when the flag is absent.  Throws InvalidArgument on an
+/// empty path.
+std::string cli_trace(int argc, char** argv);
+
+/// The bench/example `--prof` knob (bare flag; also the QUAMAX_PROF
+/// environment variable, any non-empty value other than "0"): enables the
+/// obs::Profiler's wall-clock stage scopes and a per-stage table dump to
+/// stderr at exit.  Results are unaffected; only wall time is observed.
+bool cli_prof(int argc, char** argv);
+
 /// argv entries that are not part of the --threads / --replicas /
-/// --accept-mode / --devices / --queue-policy flags (program name
-/// excluded), in order.  Binaries with positional arguments parse these
-/// instead of argv so their positional handling cannot drift out of sync
-/// with the flag spellings.
+/// --accept-mode / --devices / --queue-policy / --downlink / --tau /
+/// --coherence / --trace / --prof flags (program name excluded), in order.
+/// Binaries with positional arguments parse these instead of argv so their
+/// positional handling cannot drift out of sync with the flag spellings.
 std::vector<std::string> positional_args(int argc, char** argv);
 
 }  // namespace quamax::sim

@@ -363,6 +363,30 @@ std::string env_queue_policy() {
   return raw == nullptr ? "fifo" : raw;
 }
 
+std::string env_trace() {
+  const char* raw = std::getenv("QUAMAX_TRACE");
+  return raw == nullptr ? "" : raw;
+}
+
+std::string cli_trace(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (flag_at("trace", argc, argv, i, value, consumed)) {
+      require(!value.empty(), "--trace: need an output path");
+      return value;
+    }
+  }
+  return env_trace();
+}
+
+bool cli_prof(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--prof") return true;
+  const char* raw = std::getenv("QUAMAX_PROF");
+  return raw != nullptr && std::string(raw) != "0" && std::string(raw) != "";
+}
+
 std::string cli_queue_policy(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -384,8 +408,13 @@ std::vector<std::string> positional_args(int argc, char** argv) {
         flag_at("queue-policy", argc, argv, i, value, consumed) ||
         flag_at("downlink", argc, argv, i, value, consumed) ||
         flag_at("tau", argc, argv, i, value, consumed) ||
-        flag_at("coherence", argc, argv, i, value, consumed)) {
+        flag_at("coherence", argc, argv, i, value, consumed) ||
+        flag_at("trace", argc, argv, i, value, consumed)) {
       i += consumed;
+      continue;
+    }
+    if (std::string(argv[i]) == "--prof") {  // bare boolean flag
+      ++i;
       continue;
     }
     out.emplace_back(argv[i]);

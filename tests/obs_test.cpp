@@ -1,0 +1,331 @@
+// quamax::obs — tracing, metrics, and the determinism contract (ISSUE 8).
+//
+// The contracts under test:
+//   * TraceLog captures a COMPLETE job lifecycle: every served job is
+//     submitted exactly once and then dispatched or dropped exactly once,
+//     dispatch events agree field-for-field with the JobRecords, and every
+//     wave's program/anneal/readout spans tile [dispatch, completion]
+//     exactly (the §7 latency decomposition);
+//   * QuantileSketch keeps count/sum/min/max exact, answers p50/p95/p99
+//     within the gated 1% relative error, and merges deterministically —
+//     a sketch merged from shards equals the sketch of the whole stream;
+//   * attaching a trace sink changes NOTHING: the full ServiceReport digest
+//     is byte-identical traced vs untraced across threads x replicas x
+//     devices, and the async SchedClient path (a different poll cadence
+//     over the same virtual clock) emits the identical event stream.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "quamax/common/rng.hpp"
+#include "quamax/common/stats.hpp"
+#include "quamax/obs/registry.hpp"
+#include "quamax/obs/sketch.hpp"
+#include "quamax/obs/trace.hpp"
+#include "quamax/sched/client.hpp"
+#include "quamax/serve/load_gen.hpp"
+#include "quamax/serve/service.hpp"
+
+namespace quamax {
+namespace {
+
+// ---------------------------------------------------------------------------
+// QuantileSketch.
+
+TEST(SketchTest, ExactMomentsAndEdgeCases) {
+  obs::QuantileSketch sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.count(), 0u);
+
+  // Integer-valued samples: sums are exact in double, so mean must be too.
+  const std::vector<double> values = {4.0, 1.0, 9.0, 0.0, 16.0, 2.0};
+  for (const double v : values) sketch.add(v);
+  EXPECT_FALSE(sketch.empty());
+  EXPECT_EQ(sketch.count(), values.size());
+  EXPECT_DOUBLE_EQ(sketch.mean(), 32.0 / 6.0);
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 16.0);
+  // Quantiles never leave the observed range.
+  for (const double p : {0.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0}) {
+    EXPECT_GE(sketch.quantile(p), 0.0);
+    EXPECT_LE(sketch.quantile(p), 16.0);
+  }
+
+  obs::QuantileSketch lone;
+  lone.add(42.5);
+  for (const double p : {0.0, 50.0, 100.0})
+    EXPECT_DOUBLE_EQ(lone.quantile(p), 42.5);
+
+  // The all-zero stream (ServiceStats feeds queueing_us = 0 at light load;
+  // serve_test pins its digest line to exact zeros).
+  obs::QuantileSketch zeros;
+  for (int i = 0; i < 10; ++i) zeros.add(0.0);
+  EXPECT_DOUBLE_EQ(zeros.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(zeros.max(), 0.0);
+  EXPECT_DOUBLE_EQ(zeros.quantile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(zeros.quantile(99.0), 0.0);
+}
+
+TEST(SketchTest, QuantilesWithinOnePercentOfStoredRecords) {
+  // Latency-shaped samples spanning several octaves: a floor plus a
+  // heavy-ish multiplicative tail, deterministic stream.
+  Rng rng(0x0B5E);
+  std::vector<double> values;
+  obs::QuantileSketch sketch;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = 40.0 + 900.0 * std::exp(2.0 * rng.normal());
+    values.push_back(v);
+    sketch.add(v);
+  }
+  for (const double p : {10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const double exact = percentile(values, p);
+    const double approx = sketch.quantile(p);
+    EXPECT_LE(std::abs(approx - exact) / exact, 0.01)
+        << "p" << p << ": sketch " << approx << " vs exact " << exact;
+  }
+}
+
+TEST(SketchTest, MergeOfShardsEqualsWholeStream) {
+  // Integer-valued samples again so shard-order summation is exact and the
+  // merged sketch must match the whole-stream sketch bit for bit.
+  Rng rng(0xFACE);
+  std::vector<double> values;
+  for (int i = 0; i < 4096; ++i)
+    values.push_back(std::floor(rng.uniform(0.0, 1e6)));
+
+  obs::QuantileSketch whole;
+  for (const double v : values) whole.add(v);
+
+  obs::QuantileSketch merged;
+  for (std::size_t shard = 0; shard < 8; ++shard) {
+    obs::QuantileSketch part;
+    for (std::size_t i = shard; i < values.size(); i += 8)
+      part.add(values[i]);
+    merged.merge(part);
+  }
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  for (const double p : {1.0, 25.0, 50.0, 75.0, 95.0, 99.0})
+    EXPECT_DOUBLE_EQ(merged.quantile(p), whole.quantile(p))
+        << "merge is bucket-wise, so quantiles must agree exactly at p" << p;
+
+  obs::QuantileSketch empty;
+  merged.merge(empty);  // no-op
+  EXPECT_EQ(merged.count(), whole.count());
+}
+
+TEST(RegistryTest, NamedInstrumentsAndMerge) {
+  obs::Registry a;
+  EXPECT_TRUE(a.empty());
+  a.counter("waves") += 3;
+  a.gauge("occupancy") = 7.5;
+  a.sketch("latency_us").add(100.0);
+
+  obs::Registry b;
+  b.counter("waves") += 2;
+  b.gauge("occupancy") = 8.0;
+  b.sketch("latency_us").add(300.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("waves"), 5);
+  EXPECT_DOUBLE_EQ(a.gauge("occupancy"), 8.0);  // gauges: last writer wins
+  EXPECT_EQ(a.sketch("latency_us").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.sketch("latency_us").mean(), 200.0);
+}
+
+// ---------------------------------------------------------------------------
+// Trace sink completeness.
+
+serve::ServiceConfig fast_service(std::size_t threads = 1,
+                                  std::size_t replicas = 8,
+                                  std::size_t devices = 1) {
+  serve::ServiceConfig cfg;
+  cfg.annealer.schedule.anneal_time_us = 1.0;
+  cfg.annealer.schedule.pause_time_us = 0.0;
+  cfg.annealer.batch_replicas = replicas;
+  cfg.num_anneals = 20;
+  cfg.num_threads = threads;
+  cfg.num_devices = devices;
+  cfg.packing = true;
+  cfg.program_overhead_us = 10.0;
+  return cfg;
+}
+
+serve::LoadConfig bpsk8_load(double jobs_per_ms, double deadline_us = 1000.0) {
+  serve::LoadConfig cfg;
+  cfg.offered_load_jobs_per_ms = jobs_per_ms;
+  cfg.deadline_us = deadline_us;
+  cfg.users = 8;
+  cfg.problem.users = 8;
+  cfg.problem.mod = wireless::Modulation::kBpsk;
+  cfg.problem.kind = wireless::ChannelKind::kRandomPhase;
+  cfg.problem.snr_db = std::nullopt;
+  return cfg;
+}
+
+TEST(TraceSinkTest, LifecycleCompleteAndConsistentWithRecords) {
+  obs::TraceLog log;
+  serve::ServiceConfig cfg = fast_service();
+  cfg.trace = &log;
+  serve::DecodeService service(cfg);
+  serve::LoadGenerator gen(bpsk8_load(80.0), 0xA11CE);
+  const serve::ServiceReport report = service.run(gen.open_loop(48));
+
+  // One submit per job, in admission (arrival) order.
+  ASSERT_EQ(log.submits().size(), report.jobs.size());
+  for (std::size_t i = 0; i + 1 < log.submits().size(); ++i)
+    EXPECT_LE(log.submits()[i].submit_us, log.submits()[i + 1].submit_us);
+
+  std::map<std::uint64_t, obs::JobDispatchEvent> dispatched;
+  for (const auto& e : log.dispatches())
+    EXPECT_TRUE(dispatched.emplace(e.job_id, e).second)
+        << "job " << e.job_id << " dispatched twice";
+  EXPECT_TRUE(log.drops().empty()) << "roomy deadline: nothing drops";
+  ASSERT_EQ(dispatched.size(), report.jobs.size());
+
+  // Dispatch events agree with the records the report keeps.
+  for (const serve::JobRecord& rec : report.jobs) {
+    const auto it = dispatched.find(rec.job_id);
+    ASSERT_NE(it, dispatched.end());
+    EXPECT_EQ(it->second.wave_id, rec.wave_id);
+    EXPECT_EQ(it->second.dispatch_us, rec.dispatch_us);
+    EXPECT_EQ(it->second.completion_us, rec.completion_us);
+    const obs::JobSubmitEvent& sub =
+        log.submits()[rec.job_id];  // ids are dense submit indices
+    EXPECT_EQ(sub.job_id, rec.job_id);
+    EXPECT_EQ(sub.submit_us, rec.arrival_us);
+    EXPECT_EQ(sub.deadline_us, rec.deadline_us);
+  }
+
+  // Wave spans tile [dispatch, completion] exactly and account for the
+  // closed-form wave cost: overhead/2 + anneals * duration + overhead/2.
+  ASSERT_EQ(log.waves().size(), report.waves.size());
+  const double duration_us = cfg.annealer.schedule.duration_us();
+  std::map<std::uint64_t, std::size_t> jobs_in_wave;
+  for (const auto& e : log.dispatches()) ++jobs_in_wave[e.wave_id];
+  for (const obs::WaveEvent& w : log.waves()) {
+    EXPECT_EQ(w.policy, "fifo");
+    EXPECT_EQ(w.num_jobs, jobs_in_wave[w.wave_id]);
+    EXPECT_DOUBLE_EQ(w.program_end_us - w.dispatch_us,
+                     cfg.program_overhead_us / 2.0);
+    EXPECT_DOUBLE_EQ(w.completion_us - w.readout_start_us,
+                     cfg.program_overhead_us / 2.0);
+    EXPECT_DOUBLE_EQ(w.readout_start_us - w.program_end_us,
+                     static_cast<double>(w.num_anneals) * duration_us);
+    EXPECT_EQ(w.num_anneals, static_cast<int>(cfg.num_anneals));
+  }
+}
+
+TEST(TraceSinkTest, DropsEmitDropEventsNotDispatches) {
+  obs::TraceLog log;
+  serve::ServiceConfig cfg = fast_service();
+  cfg.drop_late = true;
+  cfg.trace = &log;
+  serve::DecodeService service(cfg);
+  // Saturating load with a deadline shorter than one wave's service time:
+  // queued jobs expire before dispatch.
+  serve::LoadGenerator gen(bpsk8_load(2000.0, /*deadline_us=*/25.0), 0xD401);
+  const serve::ServiceReport report = service.run(gen.open_loop(64));
+
+  std::set<std::uint64_t> dropped_ids;
+  for (const auto& e : log.drops()) dropped_ids.insert(e.job_id);
+  std::size_t dropped_records = 0;
+  for (const serve::JobRecord& rec : report.jobs) {
+    if (!rec.dropped) continue;
+    ++dropped_records;
+    EXPECT_TRUE(dropped_ids.count(rec.job_id))
+        << "dropped job " << rec.job_id << " missing a drop event";
+  }
+  ASSERT_GT(dropped_records, 0u) << "workload failed to force any drop";
+  EXPECT_EQ(dropped_ids.size(), dropped_records);
+  EXPECT_EQ(log.dispatches().size() + dropped_records, report.jobs.size());
+}
+
+// ---------------------------------------------------------------------------
+// The zero-drift contract.
+
+std::string run_digest(std::size_t threads, std::size_t replicas,
+                       std::size_t devices, obs::TraceSink* sink) {
+  serve::ServiceConfig cfg = fast_service(threads, replicas, devices);
+  cfg.trace = sink;
+  serve::DecodeService service(cfg);
+  serve::LoadGenerator gen(bpsk8_load(120.0), 0xB0B);
+  return service.run(gen.open_loop(40)).stats.digest();
+}
+
+TEST(TraceSinkTest, DigestBitIdenticalTracedOrNot) {
+  for (const std::size_t devices : {std::size_t{1}, std::size_t{3}}) {
+    const std::string baseline = run_digest(1, 1, devices, nullptr);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      for (const std::size_t replicas : {std::size_t{1}, std::size_t{16}}) {
+        obs::TraceLog log;
+        EXPECT_EQ(run_digest(threads, replicas, devices, &log), baseline)
+            << "traced digest drifted at threads=" << threads
+            << " replicas=" << replicas << " devices=" << devices;
+        EXPECT_FALSE(log.dispatches().empty());
+      }
+    }
+  }
+}
+
+TEST(TraceSinkTest, AsyncClientEmitsIdenticalEventStream) {
+  // The same workload through the batch service and through SchedClient
+  // with an aggressive poll cadence (poll after every submit).  Both drive
+  // the same virtual clock, so the traces must match event for event.
+  serve::LoadGenerator gen(bpsk8_load(120.0), 0x57EA);
+  const std::vector<serve::CellJob> jobs = gen.open_loop(32);
+
+  obs::TraceLog batch_log;
+  serve::ServiceConfig cfg = fast_service();
+  cfg.trace = &batch_log;
+  serve::DecodeService service(cfg);
+  const serve::ServiceReport report = service.run(jobs);
+
+  obs::TraceLog async_log;
+  sched::SchedConfig async_cfg;
+  async_cfg.annealer = cfg.annealer;
+  async_cfg.devices = sched::uniform_devices(cfg.annealer, 1);
+  async_cfg.num_anneals = cfg.num_anneals;
+  async_cfg.program_overhead_us = cfg.program_overhead_us;
+  async_cfg.seed = cfg.seed;
+  async_cfg.trace = &async_log;
+  sched::SchedClient client(async_cfg);
+  std::size_t polled = 0;
+  for (const serve::CellJob& job : jobs) {
+    client.submit(job);
+    polled += client.poll().size();  // cadence: poll every submit
+  }
+  polled += client.drain().size();
+  EXPECT_EQ(polled, report.jobs.size());
+
+  ASSERT_EQ(async_log.submits().size(), batch_log.submits().size());
+  ASSERT_EQ(async_log.dispatches().size(), batch_log.dispatches().size());
+  ASSERT_EQ(async_log.waves().size(), batch_log.waves().size());
+  for (std::size_t i = 0; i < batch_log.dispatches().size(); ++i) {
+    EXPECT_EQ(async_log.dispatches()[i].job_id,
+              batch_log.dispatches()[i].job_id);
+    EXPECT_EQ(async_log.dispatches()[i].dispatch_us,
+              batch_log.dispatches()[i].dispatch_us);
+    EXPECT_EQ(async_log.dispatches()[i].completion_us,
+              batch_log.dispatches()[i].completion_us);
+  }
+  for (std::size_t i = 0; i < batch_log.waves().size(); ++i) {
+    EXPECT_EQ(async_log.waves()[i].dispatch_us,
+              batch_log.waves()[i].dispatch_us);
+    EXPECT_EQ(async_log.waves()[i].completion_us,
+              batch_log.waves()[i].completion_us);
+    EXPECT_EQ(async_log.waves()[i].num_jobs, batch_log.waves()[i].num_jobs);
+  }
+}
+
+}  // namespace
+}  // namespace quamax

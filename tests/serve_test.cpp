@@ -362,9 +362,11 @@ TEST(FullDuplexTest, MixedDirectionsServeThroughOneScheduler) {
   for (const serve::Wave& wave : report.waves)
     EXPECT_TRUE(wave.shape == 8u || wave.shape == 16u);
   // Downlink records carry the VPP payload size (4 users x 2 QPSK bits).
-  for (const serve::JobRecord& rec : report.jobs)
-    if (rec.direction == serve::Direction::kDownlink && !rec.dropped)
+  for (const serve::JobRecord& rec : report.jobs) {
+    if (rec.direction == serve::Direction::kDownlink && !rec.dropped) {
       EXPECT_EQ(rec.num_bits, 8u);
+    }
+  }
 }
 
 TEST(FullDuplexTest, ReportBitIdenticalAcrossThreadsReplicasDevices) {

@@ -56,14 +56,13 @@ def record_of(bench):
         "cpu_time_ns": bench.get("cpu_time"),
         "iterations": bench.get("iterations"),
     }
-    for counter in ("spin_updates_per_s", "replicas",
-                    # bench_vpp per-point decode quality counters
-                    "vpp_ber", "zf_ber", "power_gain_db",
-                    # bench_warmstart per-arm serving counters
-                    "ber", "miss_rate", "total_anneals", "warm_waves",
-                    "achieved_jobs_per_ms"):
-        if counter in bench:
-            rec[counter] = bench[counter]
+    # Every bench binary publishes its domain counters under a quamax_
+    # prefix (obs::Registry naming convention), so the record carries them
+    # through without a hand-maintained whitelist: adding a counter to a
+    # bench is enough to land it in the artifact.
+    for counter, value in bench.items():
+        if counter.startswith("quamax_"):
+            rec[counter] = value
     return rec
 
 

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Round-trip validator for quamax's Chrome trace-event JSON.
+
+Usage:
+    trace_to_chrome.py TRACE.json
+    trace_to_chrome.py --emit BINARY [ARG...]
+
+The first form validates an existing trace written by
+`obs::write_chrome_trace` (the `--trace FILE` / `QUAMAX_TRACE` knob of the
+serving binaries).  The second form runs BINARY with QUAMAX_TRACE pointed
+at a temp file, then validates what it wrote — this is the `trace_roundtrip`
+CTest, so a change to the emitter that breaks the JSON, the span nesting,
+or the virtual-clock accounting fails the suite offline.
+
+Checks, in order:
+
+  1. the file is valid JSON with a non-empty `traceEvents` list;
+  2. track metadata is present (process_name, an "arrivals" thread, one
+     thread per device that dispatched a wave);
+  3. every wave slice is tiled EXACTLY by its program/anneal/readout
+     children: child spans are contiguous, non-negative, start and end on
+     the parent's bounds, and their durations sum to the parent's — the
+     emitter prints doubles with %.17g precisely so this re-addition is
+     exact, not approximate;
+  4. every job flow arrow ("s" at submit, "f" at dispatch) lands inside a
+     wave slice on its device track whose end matches the job's recorded
+     completion — i.e. each job's latency decomposes into queue
+     (submit -> dispatch) plus the wave's program/anneal/readout spans,
+     summing to the virtual-clock total;
+  5. every submitted job is either dispatched (has a flow terminator) or
+     dropped (has a drop instant), never both, and each wave's `num_jobs`
+     arg equals the number of jobs whose arrows land on it.
+
+Exit code 0 = trace valid, 1 = a check failed, 2 = bad input/usage.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(problems):
+    for problem in problems:
+        print(f"trace_to_chrome: FAIL: {problem}", file=sys.stderr)
+    return 1
+
+
+def validate(path):
+    try:
+        with open(path) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"trace_to_chrome: cannot read trace: {err}", file=sys.stderr)
+        return 2
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail(["traceEvents missing or empty"])
+
+    problems = []
+    slices = [e for e in events if e.get("ph") == "X"]
+    instants = [e for e in events if e.get("ph") == "i"]
+    flow_starts = [e for e in events if e.get("ph") == "s"]
+    flow_ends = [e for e in events if e.get("ph") == "f"]
+    metas = [e for e in events if e.get("ph") == "M"]
+
+    # -- 2. track metadata -------------------------------------------------
+    thread_names = {e["tid"]: e["args"]["name"] for e in metas
+                    if e.get("name") == "thread_name"}
+    if not any(e.get("name") == "process_name" for e in metas):
+        problems.append("no process_name metadata")
+    if thread_names.get(0) != "arrivals":
+        problems.append("tid 0 is not named 'arrivals'")
+    for tid in sorted({s["tid"] for s in slices}):
+        if thread_names.get(tid) != f"device {tid - 1}":
+            problems.append(f"device track tid {tid} has no thread_name")
+
+    # -- 3. wave slices tile exactly ---------------------------------------
+    # The emitter writes each wave slice immediately followed by its three
+    # children, so consume the slice list in order.
+    waves = []  # (tid, start, end, args)
+    i = 0
+    while i < len(slices):
+        wave = slices[i]
+        name = wave.get("name", "")
+        if not name.startswith("wave "):
+            problems.append(f"unexpected top-level slice '{name}'")
+            i += 1
+            continue
+        children = slices[i + 1:i + 4]
+        i += 4
+        start, end = wave["ts"], wave["ts"] + wave["dur"]
+        waves.append((wave["tid"], start, end, wave.get("args", {})))
+        if [c.get("name") for c in children] != ["program", "anneal",
+                                                 "readout"]:
+            problems.append(f"{name}: children are not program/anneal/readout")
+            continue
+        cursor = start
+        for child in children:
+            if child["tid"] != wave["tid"]:
+                problems.append(f"{name}: {child['name']} on wrong track")
+            if child["dur"] < 0:
+                problems.append(f"{name}: {child['name']} has negative dur")
+            if child["ts"] != cursor:
+                problems.append(f"{name}: {child['name']} starts at "
+                                f"{child['ts']}, expected {cursor}")
+            cursor = child["ts"] + child["dur"]
+        if cursor != end:
+            problems.append(f"{name}: children end at {cursor}, parent at "
+                            f"{end}")
+        if sum(c["dur"] for c in children) != wave["dur"]:
+            problems.append(f"{name}: child durations do not sum to parent's")
+
+    # -- 4. job flow arrows land on their wave -----------------------------
+    submits = {e["args"]["job"]: e for e in instants
+               if e.get("name", "").endswith(" submit")}
+    drops = {e["args"]["job"]: e for e in instants
+             if e.get("name", "").endswith(" drop")}
+    starts = {e["id"]: e for e in flow_starts}
+    jobs_per_wave = {}
+    for f_ev in flow_ends:
+        job = f_ev["id"]
+        if f_ev.get("bp") != "e":
+            problems.append(f"job {job}: flow terminator lacks bp=e")
+        s_ev = starts.get(job)
+        if s_ev is None:
+            problems.append(f"job {job}: flow terminator without origin")
+            continue
+        if f_ev["ts"] < s_ev["ts"]:
+            problems.append(f"job {job}: dispatched before submit")
+        hosts = [w for w in waves
+                 if w[0] == f_ev["tid"] and w[1] <= f_ev["ts"] < w[2]]
+        if len(hosts) != 1:
+            problems.append(f"job {job}: arrow lands on {len(hosts)} waves")
+            continue
+        tid, start, end, args = hosts[0]
+        if f_ev["args"]["completion_us"] != end:
+            problems.append(f"job {job}: completion {f_ev['args']} != wave "
+                            f"end {end} — spans do not sum to the "
+                            f"virtual-clock total")
+        jobs_per_wave[(tid, start)] = jobs_per_wave.get((tid, start), 0) + 1
+
+    # -- 5. conservation: submitted = dispatched + dropped ------------------
+    dispatched = {e["id"] for e in flow_ends}
+    for job in submits:
+        if (job in dispatched) == (job in drops):
+            problems.append(f"job {job}: not exactly one of dispatch/drop")
+    for job in dispatched | set(drops):
+        if job not in submits:
+            problems.append(f"job {job}: dispatched/dropped but never "
+                            f"submitted")
+    for tid, start, end, args in waves:
+        got = jobs_per_wave.get((tid, start), 0)
+        if args.get("num_jobs") != got:
+            problems.append(f"wave at ts {start}: num_jobs "
+                            f"{args.get('num_jobs')} but {got} arrows land")
+
+    if problems:
+        return fail(problems)
+    print(f"trace_to_chrome: OK: {len(waves)} waves, {len(submits)} jobs "
+          f"({len(drops)} dropped) across {len({w[0] for w in waves})} "
+          f"device track(s), spans tile and sum exactly")
+    return 0
+
+
+def main(argv):
+    if len(argv) >= 3 and argv[1] == "--emit":
+        with tempfile.TemporaryDirectory() as tmp:
+            trace_path = os.path.join(tmp, "trace.json")
+            env = dict(os.environ, QUAMAX_TRACE=trace_path)
+            proc = subprocess.run(argv[2:], env=env, stdout=subprocess.DEVNULL)
+            if proc.returncode != 0:
+                print(f"trace_to_chrome: emitter exited "
+                      f"{proc.returncode}", file=sys.stderr)
+                return 2
+            if not os.path.exists(trace_path):
+                print("trace_to_chrome: emitter wrote no trace",
+                      file=sys.stderr)
+                return 2
+            return validate(trace_path)
+    if len(argv) == 2 and not argv[1].startswith("-"):
+        return validate(argv[1])
+    print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
+    print(__doc__.strip().splitlines()[3].strip(), file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
