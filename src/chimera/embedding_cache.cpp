@@ -38,6 +38,19 @@ std::size_t EmbeddingCache::capacity(std::size_t num_logical) {
   return parallel(num_logical)->size();
 }
 
+void EmbeddingCache::invalidate(ChimeraGraph graph) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  graph_ = std::move(graph);
+  clique_.clear();
+  parallel_.clear();
+  infeasible_.clear();
+}
+
+void EmbeddingCache::clear_negative() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  infeasible_.clear();
+}
+
 std::size_t EmbeddingCache::try_capacity(std::size_t num_logical) {
   {
     const std::lock_guard<std::mutex> lock(mu_);

@@ -58,6 +58,21 @@ class EmbeddingCache {
   /// without paying the failed placement search on every query.
   std::size_t try_capacity(std::size_t num_logical);
 
+  /// Rebinds the cache to a new chip topology and discards every cached
+  /// placement — positive AND negative (try_capacity) entries, which would
+  /// otherwise go stale in both directions when a defect map changes
+  /// (placements routed through now-dead qubits; shapes marked infeasible
+  /// that the new topology might serve).  Values already handed out stay
+  /// valid for their holders (shared_ptr-to-const); only the table forgets
+  /// them, so the cache object's identity — and every ChimeraAnnealer wired
+  /// to it — survives the swap.
+  void invalidate(ChimeraGraph graph);
+
+  /// Drops only the negative try_capacity entries, keeping compiled
+  /// placements.  For callers that learned the infeasibility verdicts under
+  /// transient conditions and want them re-tested.
+  void clear_negative();
+
  private:
   ChimeraGraph graph_;
   std::mutex mu_;

@@ -1,0 +1,29 @@
+#include "quamax/fault/fallback.hpp"
+
+#include "quamax/common/error.hpp"
+#include "quamax/detect/linear.hpp"
+#include "quamax/vpp/precode.hpp"
+#include "quamax/wireless/channel.hpp"
+
+namespace quamax::fault {
+
+ClassicalDecode classical_decode(const serve::CellJob& job, FallbackMode mode) {
+  if (mode == FallbackMode::kNone)
+    throw InvalidArgument("classical_decode: fallback mode is none");
+  ClassicalDecode out;
+  if (job.downlink()) {
+    const vpp::PrecodeInstance& instance = job.precode();
+    out.bit_errors = vpp::zero_forcing_bit_errors(instance);
+    out.num_bits = instance.tx_bits.size();
+  } else {
+    const wireless::ChannelUse& use = job.uplink().use;
+    const wireless::BitVec decoded = mode == FallbackMode::kMmse
+                                         ? detect::mmse_detect(use)
+                                         : detect::zero_forcing_detect(use);
+    out.bit_errors = wireless::count_bit_errors(decoded, use.tx_bits);
+    out.num_bits = use.tx_bits.size();
+  }
+  return out;
+}
+
+}  // namespace quamax::fault

@@ -1,0 +1,29 @@
+// Classical fallback decoding for jobs the annealing path could not serve
+// (retry budget exhausted, shape no longer embeddable, or deadline-doomed).
+//
+// The fallback runs the existing detect:: linear decoders on the job's own
+// channel use — zero RNG, driver thread, virtual-clock-free — so a degraded
+// job completes instantly at classical BER instead of missing its deadline.
+// Downlink jobs degrade to plain zero-forcing precoding (the v = 0
+// perturbation on the same channel/payload/noise draw), the paper's §5.2
+// baseline; MMSE mode shares that downlink baseline since vpp:: models no
+// regularized precoder.
+#pragma once
+
+#include "quamax/fault/plan.hpp"
+#include "quamax/serve/job.hpp"
+
+namespace quamax::fault {
+
+/// Solution quality of a classical fallback decode — slots directly into
+/// JobRecord::{bit_errors, num_bits}.
+struct ClassicalDecode {
+  std::size_t bit_errors = 0;
+  std::size_t num_bits = 0;
+};
+
+/// Decodes `job` with the classical chain selected by `mode` (must not be
+/// kNone).  Deterministic: a pure function of the job's stored instance.
+ClassicalDecode classical_decode(const serve::CellJob& job, FallbackMode mode);
+
+}  // namespace quamax::fault

@@ -78,6 +78,48 @@ struct WaveEvent {
   double program_end_us = 0.0;
   double readout_start_us = 0.0;
   double completion_us = 0.0;
+  /// Fault injection (quamax::fault): the wave aborts at fail_us — an
+  /// outage or defect growth hits its device mid-flight, or its anneal /
+  /// readout draw fails — and yields no samples; members are retried or
+  /// degraded.  Failed waves occupy [dispatch_us, fail_us] and have no
+  /// program/anneal/readout children.
+  bool failed = false;
+  double fail_us = 0.0;
+};
+
+/// Device enters a fault::OutageWindow (emitted when the virtual clock
+/// first processes the window; down_us/up_us are the window bounds).
+struct DeviceDownEvent {
+  int device = 0;
+  double down_us = 0.0;
+  double up_us = 0.0;
+};
+
+/// Device leaves an outage window and accepts waves again.
+struct DeviceUpEvent {
+  int device = 0;
+  double up_us = 0.0;
+};
+
+/// Member of a failed wave re-queued for another attempt.
+struct JobRetryEvent {
+  std::uint64_t job_id = 0;
+  std::uint64_t wave_id = 0;  ///< the wave that failed
+  int device = 0;             ///< the device it failed on
+  double fail_us = 0.0;
+  double ready_us = 0.0;  ///< earliest re-dispatch (fail + retry backoff)
+  int retry = 0;          ///< failed attempts so far (1 = first retry)
+};
+
+/// Job degraded to the classical fallback decoder (fault::classical_decode)
+/// — served instantly at fallback_us with classical BER.
+struct JobFallbackEvent {
+  std::uint64_t job_id = 0;
+  int direction = 0;  ///< 0 = uplink decode, 1 = downlink precode
+  double fallback_us = 0.0;
+  double deadline_us = 0.0;
+  std::size_t bit_errors = 0;
+  std::size_t num_bits = 0;
 };
 
 /// Sink interface the scheduler emits into.  All callbacks run on the
@@ -91,6 +133,10 @@ class TraceSink {
   virtual void on_job_dispatch(const JobDispatchEvent&) {}
   virtual void on_job_drop(const JobDropEvent&) {}
   virtual void on_wave(const WaveEvent&) {}
+  virtual void on_device_down(const DeviceDownEvent&) {}
+  virtual void on_device_up(const DeviceUpEvent&) {}
+  virtual void on_job_retry(const JobRetryEvent&) {}
+  virtual void on_job_fallback(const JobFallbackEvent&) {}
 };
 
 /// In-memory sink: appends events in emission order (which is itself
@@ -105,6 +151,14 @@ class TraceLog final : public TraceSink {
   }
   void on_job_drop(const JobDropEvent& e) override { drops_.push_back(e); }
   void on_wave(const WaveEvent& e) override { waves_.push_back(e); }
+  void on_device_down(const DeviceDownEvent& e) override {
+    downs_.push_back(e);
+  }
+  void on_device_up(const DeviceUpEvent& e) override { ups_.push_back(e); }
+  void on_job_retry(const JobRetryEvent& e) override { retries_.push_back(e); }
+  void on_job_fallback(const JobFallbackEvent& e) override {
+    fallbacks_.push_back(e);
+  }
 
   const std::vector<JobSubmitEvent>& submits() const { return submits_; }
   const std::vector<JobDispatchEvent>& dispatches() const {
@@ -112,12 +166,20 @@ class TraceLog final : public TraceSink {
   }
   const std::vector<JobDropEvent>& drops() const { return drops_; }
   const std::vector<WaveEvent>& waves() const { return waves_; }
+  const std::vector<DeviceDownEvent>& downs() const { return downs_; }
+  const std::vector<DeviceUpEvent>& ups() const { return ups_; }
+  const std::vector<JobRetryEvent>& retries() const { return retries_; }
+  const std::vector<JobFallbackEvent>& fallbacks() const { return fallbacks_; }
 
   void clear() {
     submits_.clear();
     dispatches_.clear();
     drops_.clear();
     waves_.clear();
+    downs_.clear();
+    ups_.clear();
+    retries_.clear();
+    fallbacks_.clear();
   }
 
  private:
@@ -125,6 +187,10 @@ class TraceLog final : public TraceSink {
   std::vector<JobDispatchEvent> dispatches_;
   std::vector<JobDropEvent> drops_;
   std::vector<WaveEvent> waves_;
+  std::vector<DeviceDownEvent> downs_;
+  std::vector<DeviceUpEvent> ups_;
+  std::vector<JobRetryEvent> retries_;
+  std::vector<JobFallbackEvent> fallbacks_;
 };
 
 /// Writes the log as Chrome trace-event JSON (catapult "traceEvents"

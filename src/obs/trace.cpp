@@ -80,6 +80,8 @@ void write_chrome_trace(const TraceLog& log, std::ostream& out) {
   int max_device = -1;
   for (const auto& wave : log.waves())
     if (wave.device > max_device) max_device = wave.device;
+  for (const auto& down : log.downs())
+    if (down.device > max_device) max_device = down.device;
 
   // Track metadata: tid 0 = arrivals, tid 1+d = modeled device d.
   w.emit(
@@ -110,6 +112,36 @@ void write_chrome_trace(const TraceLog& log, std::ostream& out) {
            num(e.drop_us) + ",\"args\":{\"job\":" + std::to_string(e.job_id) +
            ",\"deadline_us\":" + num(e.deadline_us) + "}}");
   }
+  // Fault-injection instants share the arrival track: retries (a failed
+  // wave's member re-queued) and fallbacks (a job degraded to the classical
+  // decoder — terminal, so it also closes the job's flow arrow budget).
+  for (const auto& e : log.retries()) {
+    w.emit("{\"name\":\"job " + std::to_string(e.job_id) +
+           " retry\",\"ph\":\"i\",\"pid\":1,\"tid\":0,\"s\":\"t\",\"ts\":" +
+           num(e.fail_us) + ",\"args\":{\"job\":" + std::to_string(e.job_id) +
+           ",\"wave\":" + std::to_string(e.wave_id) +
+           ",\"device\":" + std::to_string(e.device) +
+           ",\"ready_us\":" + num(e.ready_us) +
+           ",\"retry\":" + std::to_string(e.retry) + "}}");
+  }
+  for (const auto& e : log.fallbacks()) {
+    w.emit("{\"name\":\"job " + std::to_string(e.job_id) +
+           " fallback\",\"ph\":\"i\",\"pid\":1,\"tid\":0,\"s\":\"t\",\"ts\":" +
+           num(e.fallback_us) +
+           ",\"args\":{\"job\":" + std::to_string(e.job_id) +
+           ",\"direction\":" + std::to_string(e.direction) +
+           ",\"deadline_us\":" + num(e.deadline_us) +
+           ",\"bit_errors\":" + std::to_string(e.bit_errors) +
+           ",\"num_bits\":" + std::to_string(e.num_bits) + "}}");
+  }
+  // Outage windows as slices on the device tracks (paired Up events are
+  // redundant with the window bounds the Down event already carries, so the
+  // slice is drawn from Down alone and Up stays a queryable log entry).
+  for (const auto& e : log.downs()) {
+    w.emit(slice("outage", 1 + e.device, e.down_us, e.up_us - e.down_us,
+                 "\"device\":" + std::to_string(e.device) +
+                     ",\"up_us\":" + num(e.up_us)));
+  }
 
   // Device tracks: each wave is a slice with nested program/anneal/readout
   // children.  Children share the parent's tid and nest because their
@@ -123,6 +155,15 @@ void write_chrome_trace(const TraceLog& log, std::ostream& out) {
         ",\"num_anneals\":" + std::to_string(v.num_anneals) +
         ",\"num_jobs\":" + std::to_string(v.num_jobs) + ",\"policy\":\"" +
         escaped(v.policy) + "\",\"shape\":\"" + escaped(v.shape) + "\"";
+    if (v.failed) {
+      // A failed wave occupies the device only until its abort instant and
+      // yields no program/anneal/readout decomposition.
+      w.emit(slice("wave " + std::to_string(v.wave_id) + " FAILED", tid,
+                   v.dispatch_us, v.fail_us - v.dispatch_us,
+                   wave_args + ",\"failed\":true,\"fail_us\":" +
+                       num(v.fail_us)));
+      continue;
+    }
     w.emit(slice("wave " + std::to_string(v.wave_id), tid, v.dispatch_us,
                  v.completion_us - v.dispatch_us, wave_args));
     w.emit(slice("program", tid, v.dispatch_us,

@@ -77,6 +77,34 @@ anneal::AnnealerConfig DeviceSet::worker_config(std::size_t device) const {
   return cfg;
 }
 
+void DeviceSet::grow_defects(std::size_t device,
+                             const std::vector<chimera::Qubit>& qubits) {
+  require(device < size(), "grow_defects: device out of range");
+  require(!qubits.empty(), "grow_defects: no qubits to disable");
+  chimera::ChimeraGraph graph = caches_.at(device)->graph();
+  for (const chimera::Qubit q : qubits) {
+    require(q < graph.num_qubits(),
+            "grow_defects: disabled qubit id outside the chip");
+    graph.disable_qubit(q);
+  }
+  // worker_config must rebuild future workers on the grown fault list.
+  DeviceSpec& spec = specs_.at(device);
+  spec.disabled.insert(spec.disabled.end(), qubits.begin(), qubits.end());
+  // Break topology sharing before invalidating: other devices still have
+  // the OLD chip, so they must keep the old cache (and its placements).
+  bool shared = false;
+  for (std::size_t e = 0; e < size(); ++e) {
+    if (e != device && caches_[e] == caches_[device]) {
+      shared = true;
+      break;
+    }
+  }
+  if (shared)
+    caches_[device] = std::make_shared<chimera::EmbeddingCache>(std::move(graph));
+  else
+    caches_[device]->invalidate(std::move(graph));
+}
+
 std::size_t DeviceSet::max_capacity(std::size_t shape) {
   std::size_t best = 0;
   for (std::size_t d = 0; d < size(); ++d)

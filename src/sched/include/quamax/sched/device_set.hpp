@@ -103,6 +103,17 @@ class DeviceSet {
   /// serve the shape (such jobs are rejected at submission).
   std::size_t max_capacity(std::size_t shape);
 
+  /// Mid-run defect growth (fault::DefectGrowth): disables `qubits` on
+  /// device `device`'s chip and invalidates its embedding cache — positive
+  /// and negative entries both, since stale placements may route through
+  /// the dead qubits and stale infeasibility verdicts bound routing.  If
+  /// the cache was topology-shared with another device, that device keeps
+  /// the old cache untouched and `device` gets a fresh one.  Caller's
+  /// responsibility: no decode may be in flight on `device` (the scheduler
+  /// flushes executed waves first).
+  void grow_defects(std::size_t device,
+                    const std::vector<chimera::Qubit>& qubits);
+
  private:
   anneal::AnnealerConfig base_;
   std::vector<DeviceSpec> specs_;

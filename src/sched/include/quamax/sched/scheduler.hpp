@@ -60,6 +60,7 @@
 #include "quamax/anneal/annealer.hpp"
 #include "quamax/anneal/warm_start.hpp"
 #include "quamax/core/thread_pool.hpp"
+#include "quamax/fault/plan.hpp"
 #include "quamax/obs/trace.hpp"
 #include "quamax/sched/device_set.hpp"
 #include "quamax/sched/policy.hpp"
@@ -125,6 +126,29 @@ struct SchedConfig {
   /// N_a for warm waves; 0 = use num_anneals (seed reuse without the
   /// anneal-quota cut).
   std::size_t warm_num_anneals = 0;
+
+  /// Deterministic fault schedule (fault::FaultPlan): device outage
+  /// windows, mid-run defect growth, and per-wave anneal/readout failure
+  /// injection, all on the virtual clock.  nullptr — or a plan for which
+  /// FaultPlan::empty() holds — reproduces the historical fault-free engine
+  /// bit-for-bit: the fault path consumes no RNG (injection draws come from
+  /// the plan's OWN seed via a dedicated stream family keyed by wave id,
+  /// never from `seed`'s root stream) and adds no virtual-clock events.
+  std::shared_ptr<const fault::FaultPlan> fault;
+  /// Retry budget per job: a member of a failed wave is re-queued (policy
+  /// re-sorted, earliest re-dispatch fail + retry_backoff_us) at most this
+  /// many times before the fallback ladder ends it.  0 = no retries.
+  std::size_t max_retries = 0;
+  double retry_backoff_us = 0.0;
+  /// Classical fallback (fault::classical_decode, zero RNG, driver thread):
+  /// a job the annealing path cannot serve — retry budget exhausted, shape
+  /// no longer embeddable after defect growth, or already doomed to miss
+  /// its deadline — completes INSTANTLY at classical linear-decoder BER
+  /// instead of failing or dropping.  With a fallback configured the doom
+  /// sweep runs even when drop_late is off (degraded-mode guarantee: slack
+  /// that cannot fit an anneal is served classically, and fallback wins
+  /// over drop_late for doomed jobs).  kNone preserves historical behavior.
+  fault::FallbackMode fallback = fault::FallbackMode::kNone;
 
   /// Optional trace sink (non-owning; nullptr = tracing off).  The engine
   /// emits job-submit / wave-dispatch / job-drop events from the
@@ -208,12 +232,77 @@ class Scheduler {
   const std::vector<serve::Wave>& waves() const noexcept { return waves_; }
 
  private:
-  enum class JobState : std::uint8_t { kQueued, kDispatched, kDropped };
-  enum class Round { kNoWork, kHorizon, kParked, kSwept, kDispatched };
+  /// kInFlight: member of a wave pre-decided to fail — in limbo between the
+  /// wave's dispatch and the kWaveFail event at its abort instant, when the
+  /// retry/fallback ladder resolves it.  kFailed/kFallback are terminal.
+  enum class JobState : std::uint8_t {
+    kQueued,
+    kDispatched,
+    kDropped,
+    kInFlight,
+    kFailed,
+    kFallback
+  };
+  /// kDeferred: the popped device sits inside an outage window; it was
+  /// re-queued at the window's end without advancing any other state.
+  enum class Round {
+    kNoWork,
+    kHorizon,
+    kParked,
+    kSwept,
+    kDispatched,
+    kDeferred
+  };
+  /// Virtual-clock fault timeline entries, processed in (time, insertion)
+  /// order by the first round whose effective time reaches them.  Outage
+  /// start/end entries are trace-only (scheduling reads the window list
+  /// directly); growth applies the defect map; wave-fail runs the
+  /// retry/fallback ladder for the failed wave's members.
+  enum class FaultKind : std::uint8_t {
+    kOutageStart,
+    kOutageEnd,
+    kGrowth,
+    kWaveFail
+  };
+  struct FaultEvent {
+    double t_us = 0.0;
+    std::size_t order = 0;  ///< insertion tie-break at equal times
+    FaultKind kind = FaultKind::kOutageStart;
+    std::size_t index = 0;  ///< outage/growth index in the plan, or wave id
+    bool operator>(const FaultEvent& other) const {
+      if (t_us != other.t_us) return t_us > other.t_us;
+      return order > other.order;
+    }
+  };
 
   Round round(double horizon_us);
   void admit_up_to(double t_us);
-  void sweep_drops(double t_free_us);
+  void sweep_doomed(double t_free_us);
+  /// Pops and applies every fault event with time <= t_us.  Returns true
+  /// when a job was FINALIZED (fallback or terminal failure) — progress a
+  /// closed-loop driver must observe.
+  bool process_faults(double t_us);
+  /// End of the outage (union of overlapping windows) covering `t_us` on
+  /// `device`; returns t_us when the device is up.
+  double outage_until(std::size_t device, double t_us) const;
+  /// The instant a wave on `device` spanning [dispatch, completion) would
+  /// abort, or +infinity: the earliest unprocessed outage start / defect
+  /// growth hitting the span (clamped to dispatch), or an injected
+  /// anneal/readout failure drawn from the wave's dedicated fault stream.
+  double wave_fail_us(std::size_t device, std::size_t wave_id,
+                      double dispatch_us, double completion_us);
+  /// Terminal outcomes.  `dispatch_us` is the failed wave's dispatch (==
+  /// t_us for never-dispatched jobs); completion is t_us in both cases.
+  void finalize_fallback(std::size_t seq, double dispatch_us, double t_us);
+  void finalize_failed(std::size_t seq, double dispatch_us, double t_us);
+  /// Job `seq`'s earliest legal service start at dispatch instant `t_us`
+  /// (arrival and retry-backoff readiness both bound it) — the doom
+  /// predicate's start time.
+  double start_at(std::size_t seq, double t_us) const {
+    const double lo = t_us > jobs_[seq].arrival_us ? t_us
+                                                   : jobs_[seq].arrival_us;
+    return lo > job_ready_us_[seq] ? lo : job_ready_us_[seq];
+  }
   /// Whether job `seq` would be warm-started at dispatch instant
   /// `t_free_us`: warm_start on, uplink with a known predecessor that was
   /// dispatched (not dropped), decoded uplink, and completed by
@@ -233,6 +322,19 @@ class Scheduler {
   core::ThreadPool pool_;
   std::uint64_t decode_key_ = 0;
   std::uint64_t warm_key_ = 0;  ///< disjoint stream family for warm waves
+  /// Normalized fault plan: nullptr when config_.fault is null or empty, so
+  /// `plan_ == nullptr` IS the fault-free fast path everywhere.
+  std::shared_ptr<const fault::FaultPlan> plan_;
+  std::uint64_t fault_key_ = 0;  ///< keyed by the PLAN's seed, not config seed
+  std::vector<std::vector<fault::OutageWindow>> outage_windows_;  ///< per device
+  std::priority_queue<FaultEvent, std::vector<FaultEvent>, std::greater<>>
+      fault_events_;
+  std::size_t fault_event_order_ = 0;
+  /// Growth i has been applied to devices_ — wave-fail pre-decision must
+  /// only charge waves for growths still ahead of the virtual clock.
+  std::vector<char> growth_applied_;
+  std::vector<double> job_ready_us_;      ///< retry backoff gate, by seq
+  std::vector<std::size_t> job_retries_;  ///< failed attempts, by seq
   anneal::Schedule warm_schedule_;  ///< reverse schedule warm waves run
   /// Seed registry: best decoded configuration per uplink sequence number
   /// (recorded from decode lanes, read when a dependent warm wave runs).

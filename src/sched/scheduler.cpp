@@ -8,6 +8,7 @@
 
 #include "quamax/common/error.hpp"
 #include "quamax/core/transform.hpp"
+#include "quamax/fault/fallback.hpp"
 #include "quamax/metrics/solution_stats.hpp"
 #include "quamax/vpp/precode.hpp"
 #include "quamax/wireless/channel.hpp"
@@ -59,6 +60,39 @@ Scheduler::Scheduler(SchedConfig config, std::shared_ptr<DeviceSet> devices)
   Rng root(config_.seed);
   decode_key_ = root();
   warm_key_ = root();
+
+  // Fault plan (normalized: an empty plan IS the fault-free path).  The
+  // fault stream family is keyed by the PLAN's own seed — the root draws
+  // above never move, so attaching a plan keeps every decode and warm
+  // stream bit-compatible with history.
+  if (config_.fault != nullptr && !config_.fault->empty()) {
+    config_.fault->validate(devices_->size());
+    plan_ = config_.fault;
+    fault_key_ = Rng(plan_->seed)();
+    // Defect growth mutates the device pool mid-run; a caller-shared
+    // DeviceSet must never see that, so take a private pool built from the
+    // same specs (placements recompile — correctness over reuse here).
+    if (!plan_->growths.empty())
+      devices_ = std::make_shared<DeviceSet>(config_.annealer, config_.devices);
+    outage_windows_.assign(devices_->size(), {});
+    for (std::size_t i = 0; i < plan_->outages.size(); ++i) {
+      const fault::OutageWindow& w = plan_->outages[i];
+      outage_windows_[w.device].push_back(w);
+      fault_events_.push(
+          {w.start_us, fault_event_order_++, FaultKind::kOutageStart, i});
+      fault_events_.push(
+          {w.end_us, fault_event_order_++, FaultKind::kOutageEnd, i});
+    }
+    for (auto& windows : outage_windows_)
+      std::sort(windows.begin(), windows.end(),
+                [](const fault::OutageWindow& a, const fault::OutageWindow& b) {
+                  return a.start_us < b.start_us;
+                });
+    growth_applied_.assign(plan_->growths.size(), 0);
+    for (std::size_t i = 0; i < plan_->growths.size(); ++i)
+      fault_events_.push({plan_->growths[i].time_us, fault_event_order_++,
+                          FaultKind::kGrowth, i});
+  }
 }
 
 double Scheduler::wave_service_us() const {
@@ -80,7 +114,11 @@ double Scheduler::warm_wave_service_us() const {
 std::size_t Scheduler::submit(serve::CellJob job) {
   require(job.arrival_us >= last_arrival_us_,
           "Scheduler::submit: jobs must arrive in non-decreasing order");
-  if (devices_->max_capacity(job.shape()) == 0)
+  // Under a fault plan an unservable shape (a defect growth may have eaten
+  // the last embedding mid-run) rides the fallback ladder below instead of
+  // throwing; without one the historical contract holds.
+  const bool servable = devices_->max_capacity(job.shape()) > 0;
+  if (!servable && plan_ == nullptr)
     throw CapacityError("Scheduler::submit: no device can embed shape " +
                         std::to_string(job.shape()));
   advance_to(job.arrival_us);
@@ -99,6 +137,8 @@ std::size_t Scheduler::submit(serve::CellJob job) {
   if (config_.warm_start && !job.downlink()) id_to_seq_[job.id] = seq;
   records_.push_back(record);
   states_.push_back(JobState::kQueued);
+  job_ready_us_.push_back(0.0);
+  job_retries_.push_back(0);
   if (config_.trace != nullptr) {
     obs::JobSubmitEvent event;
     event.job_id = job.id;
@@ -109,6 +149,12 @@ std::size_t Scheduler::submit(serve::CellJob job) {
     config_.trace->on_job_submit(event);
   }
   jobs_.push_back(std::move(job));
+  if (!servable) {
+    if (config_.fallback != fault::FallbackMode::kNone)
+      finalize_fallback(seq, jobs_[seq].arrival_us, jobs_[seq].arrival_us);
+    else
+      finalize_failed(seq, jobs_[seq].arrival_us, jobs_[seq].arrival_us);
+  }
   return seq;
 }
 
@@ -144,16 +190,24 @@ Scheduler::Round Scheduler::round(double horizon_us) {
   const auto [freed_us, device] = free_devices_.top();
   free_devices_.pop();
   double t_free = freed_us;
+  bool finalized = false;  // process_faults ended a job (hook fired)
 
   while (true) {
     // An idle device jumps to the next submitted arrival (the batch loop
-    // jumped to the feed's next release).
+    // jumped to the feed's next release) or the next fault event —
+    // whichever comes first, so fault processing stays globally
+    // time-ordered against every dispatch decision.
     if (pending_.empty()) {
-      if (admit_cursor_ >= jobs_.size()) {
-        free_devices_.emplace(freed_us, device);
-        return Round::kNoWork;
+      double next = kInfinity;
+      if (admit_cursor_ < jobs_.size())
+        next = jobs_[admit_cursor_].arrival_us;
+      if (!fault_events_.empty() && fault_events_.top().t_us < next)
+        next = fault_events_.top().t_us;
+      if (next == kInfinity) {
+        free_devices_.emplace(finalized ? t_free : freed_us, device);
+        return finalized ? Round::kSwept : Round::kNoWork;
       }
-      t_free = std::max(t_free, jobs_[admit_cursor_].arrival_us);
+      t_free = std::max(t_free, next);
     }
     if (t_free >= horizon_us) {
       // Re-queue at the ORIGINAL free time, not the jumped one: a round
@@ -168,11 +222,27 @@ Scheduler::Round Scheduler::round(double horizon_us) {
       return Round::kHorizon;
     }
 
-    // Admit everything released by t_free, then shed doomed jobs.
+    // Apply the fault timeline up to this instant: defect growth, outage
+    // trace marks, failed waves' retry/fallback ladders (which may
+    // re-queue members into pending_).  Every event <= t_free is processed
+    // before any decision at t_free, in (time, insertion) order — the same
+    // order in every driver, whatever its advance_to() cadence.
+    if (process_faults(t_free)) finalized = true;
+
+    // A device inside an outage window serves nothing until it ends.
+    const double up_us = outage_until(device, t_free);
+    if (up_us > t_free) {
+      free_devices_.emplace(up_us, device);
+      return finalized ? Round::kSwept : Round::kDeferred;
+    }
+
+    // Admit everything released by t_free, then shed doomed jobs (the doom
+    // sweep also runs with a fallback configured — doomed jobs are served
+    // classically instead of dropped).
     admit_up_to(t_free);
-    if (config_.drop_late) {
+    if (config_.drop_late || config_.fallback != fault::FallbackMode::kNone) {
       const std::size_t before = pending_.size();
-      sweep_drops(t_free);
+      sweep_doomed(t_free);
       if (pending_.empty() && before > 0) {
         // The sweep emptied the queue: requeue the device and let the next
         // round (any device) jump forward, exactly like the batch loop.
@@ -209,7 +279,21 @@ void Scheduler::admit_up_to(double t_us) {
   bool admitted = false;
   while (admit_cursor_ < jobs_.size() &&
          jobs_[admit_cursor_].arrival_us <= t_us) {
-    pending_.push_back(admit_cursor_++);
+    const std::size_t seq = admit_cursor_++;
+    // submit() may have finalized a staged job already (shape unservable on
+    // arrival under a fault plan) — never re-admit a resolved job.
+    if (states_[seq] != JobState::kQueued) continue;
+    // Defect growth between staging and admission may have eaten the last
+    // embedding for this shape; resolve at admission instead of routing.
+    if (plan_ != nullptr && !plan_->growths.empty() &&
+        devices_->max_capacity(jobs_[seq].shape()) == 0) {
+      if (config_.fallback != fault::FallbackMode::kNone)
+        finalize_fallback(seq, jobs_[seq].arrival_us, jobs_[seq].arrival_us);
+      else
+        finalize_failed(seq, jobs_[seq].arrival_us, jobs_[seq].arrival_us);
+      continue;
+    }
+    pending_.push_back(seq);
     admitted = true;
   }
   if (admitted && !parked_.empty()) {
@@ -219,21 +303,29 @@ void Scheduler::admit_up_to(double t_us) {
   }
 }
 
-// Deadline-aware admission (ServiceConfig::drop_late): shed every queued
-// job that even immediate service — starting at max(t_free, its arrival) —
-// can no longer save.  Scans the whole queue, so it is correct for
-// heterogeneous per-job budgets (HARQ class mixes).
-void Scheduler::sweep_drops(double t_free_us) {
+// Deadline-aware admission (ServiceConfig::drop_late and the fallback
+// ladder): every queued job that even immediate service — starting at
+// start_at(seq, t_free) — can no longer save is shed.  With a fallback
+// configured a doomed job completes classically RIGHT NOW instead of
+// dropping (the degraded-mode guarantee; fallback wins over drop_late).
+// Scans the whole queue, so it is correct for heterogeneous per-job budgets
+// (HARQ class mixes).
+void Scheduler::sweep_doomed(double t_free_us) {
   const double service_us = wave_service_us();
   std::vector<std::size_t> survivors;
   survivors.reserve(pending_.size());
   for (const std::size_t seq : pending_) {
-    const double start_us = std::max(t_free_us, jobs_[seq].arrival_us);
+    const double start_us = start_at(seq, t_free_us);
     if (jobs_[seq].deadline_us >= start_us + service_us) {
       survivors.push_back(seq);
       continue;
     }
+    if (config_.fallback != fault::FallbackMode::kNone) {
+      finalize_fallback(seq, start_us, start_us);
+      continue;
+    }
     records_[seq].dropped = true;
+    records_[seq].retries = job_retries_[seq];
     records_[seq].dispatch_us = start_us;
     records_[seq].completion_us = start_us;
     states_[seq] = JobState::kDropped;
@@ -248,6 +340,208 @@ void Scheduler::sweep_drops(double t_free_us) {
     if (hook_) hook_(jobs_[seq], start_us);
   }
   pending_ = std::move(survivors);
+}
+
+bool Scheduler::process_faults(double t_us) {
+  bool finalized = false;
+  while (!fault_events_.empty() && fault_events_.top().t_us <= t_us) {
+    const FaultEvent ev = fault_events_.top();
+    fault_events_.pop();
+    switch (ev.kind) {
+      case FaultKind::kOutageStart: {
+        // Scheduling reads the window list directly (outage_until,
+        // wave_fail_us); the timeline entry exists so the down-mark lands
+        // in the trace exactly once, in global time order, in every driver.
+        if (config_.trace != nullptr) {
+          const fault::OutageWindow& w = plan_->outages[ev.index];
+          obs::DeviceDownEvent event;
+          event.device = static_cast<int>(w.device);
+          event.down_us = w.start_us;
+          event.up_us = w.end_us;
+          config_.trace->on_device_down(event);
+        }
+        break;
+      }
+      case FaultKind::kOutageEnd: {
+        if (config_.trace != nullptr) {
+          const fault::OutageWindow& w = plan_->outages[ev.index];
+          obs::DeviceUpEvent event;
+          event.device = static_cast<int>(w.device);
+          event.up_us = w.end_us;
+          config_.trace->on_device_up(event);
+        }
+        break;
+      }
+      case FaultKind::kGrowth: {
+        const fault::DefectGrowth& growth = plan_->growths[ev.index];
+        // Flush every decode due by the growth instant FIRST: those waves
+        // annealed on the pre-growth topology and must sample it.
+        execute_due(growth.time_us);
+        devices_->grow_defects(growth.device, growth.qubits);
+        growth_applied_[ev.index] = 1;
+        // Lane workers cached the old chip; rebuild lazily on next use.
+        for (auto& lane : workers_) lane[growth.device].reset();
+        // Pending jobs whose shape the shrunken pool can no longer embed
+        // anywhere resolve now (fallback or terminal failure).
+        std::vector<std::size_t> survivors;
+        survivors.reserve(pending_.size());
+        for (const std::size_t seq : pending_) {
+          if (devices_->max_capacity(jobs_[seq].shape()) > 0) {
+            survivors.push_back(seq);
+            continue;
+          }
+          const double at = std::max(growth.time_us, jobs_[seq].arrival_us);
+          if (config_.fallback != fault::FallbackMode::kNone)
+            finalize_fallback(seq, at, at);
+          else
+            finalize_failed(seq, at, at);
+          finalized = true;
+        }
+        pending_ = std::move(survivors);
+        break;
+      }
+      case FaultKind::kWaveFail: {
+        // The failed wave's members (in sequence order — canonical wave
+        // membership order) ride the retry/fallback ladder.
+        const serve::Wave& wave = waves_[ev.index];
+        bool requeued = false;
+        for (const std::size_t seq : wave.jobs) {
+          if (states_[seq] != JobState::kInFlight) continue;
+          ++job_retries_[seq];
+          const double ready = wave.fail_us + config_.retry_backoff_us;
+          const bool budget_ok =
+              job_retries_[seq] <= config_.max_retries &&
+              devices_->max_capacity(jobs_[seq].shape()) > 0;
+          const bool slack_ok =
+              jobs_[seq].deadline_us >= ready + wave_service_us();
+          // Retry while the budget lasts; with a fallback configured only
+          // retries that can still make the deadline are worth burning
+          // device time on — otherwise degrade immediately.  Without one,
+          // a doomed retry is still the job's best remaining shot.
+          if (budget_ok &&
+              (config_.fallback == fault::FallbackMode::kNone || slack_ok)) {
+            states_[seq] = JobState::kQueued;
+            job_ready_us_[seq] = ready;
+            pending_.insert(
+                std::lower_bound(pending_.begin(), pending_.end(), seq), seq);
+            requeued = true;
+            if (config_.trace != nullptr) {
+              obs::JobRetryEvent event;
+              event.job_id = jobs_[seq].id;
+              event.wave_id = wave.id;
+              event.device = static_cast<int>(wave.device);
+              event.fail_us = wave.fail_us;
+              event.ready_us = ready;
+              event.retry = static_cast<int>(job_retries_[seq]);
+              config_.trace->on_job_retry(event);
+            }
+            continue;
+          }
+          if (config_.fallback != fault::FallbackMode::kNone)
+            finalize_fallback(seq, wave.dispatch_us, wave.fail_us);
+          else
+            finalize_failed(seq, wave.dispatch_us, wave.fail_us);
+          finalized = true;
+        }
+        if (requeued && !parked_.empty()) {
+          // Re-queued work may fit a parked device; re-arm the bench.
+          for (const Device& d : parked_) free_devices_.push(d);
+          parked_.clear();
+        }
+        break;
+      }
+    }
+  }
+  return finalized;
+}
+
+double Scheduler::outage_until(std::size_t device, double t_us) const {
+  if (plan_ == nullptr) return t_us;
+  // Union of overlapping/adjacent windows: extend past every window
+  // covering t until a fixpoint (the per-device list is start-sorted, so
+  // one forward pass suffices).
+  double t = t_us;
+  for (const fault::OutageWindow& w : outage_windows_[device])
+    if (w.start_us <= t && t < w.end_us) t = w.end_us;
+  return t;
+}
+
+double Scheduler::wave_fail_us(std::size_t device, std::size_t wave_id,
+                               double dispatch_us, double completion_us) {
+  double fail = kInfinity;
+  for (const fault::OutageWindow& w : outage_windows_[device])
+    if (w.start_us < completion_us && w.end_us > dispatch_us)
+      fail = std::min(fail, std::max(dispatch_us, w.start_us));
+  for (std::size_t i = 0; i < plan_->growths.size(); ++i) {
+    const fault::DefectGrowth& g = plan_->growths[i];
+    // Only growths NOT yet applied to the pool can abort this wave: a
+    // parked device may pop with a free time predating an already-applied
+    // growth, but its wave anneals on the post-growth topology.
+    if (growth_applied_[i] == 0 && g.device == device &&
+        g.time_us < completion_us)
+      fail = std::min(fail, std::max(dispatch_us, g.time_us));
+  }
+  if (plan_->anneal_failure_prob > 0.0 || plan_->readout_failure_prob > 0.0) {
+    // Both uniforms are ALWAYS drawn when either probability is set, so
+    // toggling one injection never shifts the other's draw for any wave.
+    Rng draw = Rng::for_stream(fault_key_, wave_id);
+    const double u_anneal = draw.uniform();
+    const double u_readout = draw.uniform();
+    const double half_overhead = config_.program_overhead_us / 2.0;
+    if (u_anneal < plan_->anneal_failure_prob)
+      fail = std::min(fail, completion_us - half_overhead);
+    else if (u_readout < plan_->readout_failure_prob)
+      fail = std::min(fail, completion_us);
+  }
+  return fail;
+}
+
+void Scheduler::finalize_fallback(std::size_t seq, double dispatch_us,
+                                  double t_us) {
+  const fault::ClassicalDecode decode =
+      fault::classical_decode(jobs_[seq], config_.fallback);
+  serve::JobRecord& record = records_[seq];
+  record.fallback = true;
+  record.retries = job_retries_[seq];
+  record.dispatch_us = dispatch_us;
+  record.completion_us = t_us;
+  record.bit_errors = decode.bit_errors;
+  record.num_bits = decode.num_bits;
+  record.ground_state = false;
+  states_[seq] = JobState::kFallback;
+  undelivered_.emplace(t_us, seq);
+  if (config_.trace != nullptr) {
+    obs::JobFallbackEvent event;
+    event.job_id = jobs_[seq].id;
+    event.direction = jobs_[seq].downlink() ? 1 : 0;
+    event.fallback_us = t_us;
+    event.deadline_us = jobs_[seq].deadline_us;
+    event.bit_errors = decode.bit_errors;
+    event.num_bits = decode.num_bits;
+    config_.trace->on_job_fallback(event);
+  }
+  if (hook_) hook_(jobs_[seq], t_us);
+}
+
+void Scheduler::finalize_failed(std::size_t seq, double dispatch_us,
+                                double t_us) {
+  serve::JobRecord& record = records_[seq];
+  record.failed = true;
+  record.retries = job_retries_[seq];
+  record.dispatch_us = dispatch_us;
+  record.completion_us = t_us;
+  states_[seq] = JobState::kFailed;
+  undelivered_.emplace(t_us, seq);
+  if (config_.trace != nullptr) {
+    // A terminal failure is a miss the same way a drop is; it shares the
+    // drop event so downstream tooling needs no third terminal kind.
+    obs::JobDropEvent event;
+    event.job_id = jobs_[seq].id;
+    event.drop_us = t_us;
+    event.deadline_us = jobs_[seq].deadline_us;
+    config_.trace->on_job_drop(event);
+  }
+  if (hook_) hook_(jobs_[seq], t_us);
 }
 
 bool Scheduler::warm_eligible(std::size_t seq, double t_free_us) const {
@@ -291,8 +585,7 @@ bool Scheduler::policy_before(std::size_t a, std::size_t b, double t_us) const {
       // back rather than burn device time ahead of winnable work.
       const double service_us = wave_service_us();
       const auto doomed = [&](std::size_t seq) {
-        const double start_us = std::max(t_us, jobs_[seq].arrival_us);
-        return jobs_[seq].deadline_us < start_us + service_us;
+        return jobs_[seq].deadline_us < start_at(seq, t_us) + service_us;
       };
       const bool doomed_a = doomed(a);
       const bool doomed_b = doomed(b);
@@ -340,13 +633,27 @@ void Scheduler::dispatch_wave(std::size_t device, double t_free_us,
     for (const std::size_t seq : wave.jobs)
       wave.seeds.push_back(id_to_seq_.at(*jobs_[seq].predecessor));
   // Causality under multiple devices: members admitted at another device's
-  // clock may arrive in THIS device's future; the wave starts no earlier
-  // than every member's arrival.
+  // clock may arrive in THIS device's future (and a retried member may
+  // still be inside its backoff); the wave starts no earlier than every
+  // member's earliest legal start.
   wave.dispatch_us = t_free_us;
   for (const std::size_t seq : wave.jobs)
-    wave.dispatch_us = std::max(wave.dispatch_us, jobs_[seq].arrival_us);
+    wave.dispatch_us = std::max(wave.dispatch_us, start_at(seq, t_free_us));
   wave.completion_us =
       wave.dispatch_us + (warm ? warm_wave_service_us() : wave_service_us());
+
+  // Fault pre-decision: the wave's fate is fixed AT DISPATCH on the virtual
+  // clock (the fail instant is a pure function of the plan and the wave id),
+  // so the decode lanes never see failed waves and the wall clock stays
+  // fault-blind.
+  if (plan_ != nullptr) {
+    const double fail =
+        wave_fail_us(device, wave.id, wave.dispatch_us, wave.completion_us);
+    if (fail <= wave.completion_us) {
+      wave.failed = true;
+      wave.fail_us = fail;
+    }
+  }
 
   if (config_.trace != nullptr) {
     // The trace decomposition reproduces QuAMax §7's latency split from the
@@ -369,11 +676,37 @@ void Scheduler::dispatch_wave(std::size_t device, double t_free_us,
     event.program_end_us = wave.dispatch_us + half_overhead;
     event.readout_start_us = wave.completion_us - half_overhead;
     event.completion_us = wave.completion_us;
+    event.failed = wave.failed;
+    event.fail_us = wave.fail_us;
     config_.trace->on_wave(event);
+  }
+
+  if (wave.failed) {
+    // A failed wave yields no samples: members go in-flight until the
+    // kWaveFail event at the abort instant runs their retry/fallback
+    // ladder.  No completion record, no delivery, no dispatch trace, no
+    // hook — on the virtual clock nothing has been promised yet.  The
+    // device is occupied only until the abort.
+    for (const std::size_t seq : wave.jobs) {
+      records_[seq].wave_id = wave.id;
+      states_[seq] = JobState::kInFlight;
+    }
+    pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                  [&](std::size_t seq) {
+                                    return states_[seq] != JobState::kQueued;
+                                  }),
+                   pending_.end());
+    free_devices_.emplace(wave.fail_us, device);
+    fault_events_.push(
+        {wave.fail_us, fault_event_order_++, FaultKind::kWaveFail, wave.id});
+    wave_executed_.push_back(1);  // never decodes
+    waves_.push_back(std::move(wave));
+    return;
   }
 
   for (const std::size_t seq : wave.jobs) {
     records_[seq].wave_id = wave.id;
+    records_[seq].retries = job_retries_[seq];
     records_[seq].dispatch_us = wave.dispatch_us;
     records_[seq].completion_us = wave.completion_us;
     states_[seq] = JobState::kDispatched;

@@ -137,6 +137,17 @@ struct JobRecord {
   /// Admission control rejected the job at dispatch time because it could
   /// no longer meet its deadline (ServiceConfig::drop_late); never decoded.
   bool dropped = false;
+  /// Failed anneal attempts this job survived (fault::FaultPlan wave
+  /// failures); dispatch/completion describe the final attempt.
+  std::size_t retries = 0;
+  /// Served by the classical fallback decoder (ServiceConfig::fallback)
+  /// instead of the annealing path: bit_errors/num_bits carry the classical
+  /// decode, completion_us the (instant) fallback time, ground_state false.
+  bool fallback = false;
+  /// Terminally failed — retry budget exhausted (or shape no longer
+  /// embeddable) with no fallback configured; never decoded, counts as a
+  /// miss like a drop.
+  bool failed = false;
 
   // Solution quality (zero-initialized for dropped jobs).  Uplink: decoded
   // Gray bits vs transmitted bits.  Downlink: payload bits surviving the
@@ -148,8 +159,12 @@ struct JobRecord {
   double queueing_us() const { return dispatch_us - arrival_us; }
   double service_us() const { return completion_us - dispatch_us; }
   double total_us() const { return completion_us - arrival_us; }
-  /// A dropped job is a miss by definition (it never completed in time).
-  bool missed_deadline() const { return dropped || completion_us > deadline_us; }
+  /// A dropped or terminally failed job is a miss by definition (it never
+  /// completed in time); a fallback job misses only if the classical serve
+  /// itself landed past the deadline.
+  bool missed_deadline() const {
+    return dropped || failed || completion_us > deadline_us;
+  }
 };
 
 }  // namespace quamax::serve

@@ -44,6 +44,13 @@ struct Wave {
   /// Warm waves only: each member's predecessor SEQUENCE number, aligned
   /// with `jobs` (the scheduler's seed-registry keys).  Empty when cold.
   std::vector<std::size_t> seeds;
+  /// Fault injection (sched::SchedConfig::fault): the wave aborted at
+  /// fail_us — its device hit an outage or defect growth mid-flight, or its
+  /// anneal/readout draw failed — yielding no samples.  Members were
+  /// retried or degraded; the device was occupied for
+  /// [dispatch_us, fail_us] only.  Always false without a fault plan.
+  bool failed = false;
+  double fail_us = 0.0;
 };
 
 class WavePacker {

@@ -46,6 +46,7 @@
 
 #include "quamax/anneal/annealer.hpp"
 #include "quamax/chimera/embedding_cache.hpp"
+#include "quamax/fault/plan.hpp"
 #include "quamax/sched/device_set.hpp"
 #include "quamax/sched/policy.hpp"
 #include "quamax/sched/scheduler.hpp"
@@ -109,6 +110,22 @@ struct ServiceConfig {
   double warm_reverse_depth = 0.85;
   /// Warm-wave anneal quota; 0 = num_anneals (no quota cut).
   std::size_t warm_num_anneals = 0;
+
+  /// Deterministic fault schedule forwarded to sched::SchedConfig::fault
+  /// (see scheduler.hpp): device outage windows, mid-run defect growth, and
+  /// per-wave anneal/readout failure injection.  nullptr / empty plan =
+  /// the historical fault-free service, bit for bit.  Knobs:
+  /// --fault-plan / QUAMAX_FAULT_PLAN (a fault::load_fault_plan file).
+  std::shared_ptr<const fault::FaultPlan> fault;
+  /// Retry budget per job for members of failed waves (0 = no retries).
+  /// Knob: --max-retries / QUAMAX_MAX_RETRIES.
+  std::size_t max_retries = 0;
+  /// Delay before a retried job may re-dispatch, added to the fail instant.
+  double retry_backoff_us = 0.0;
+  /// Classical fallback decoder for jobs the annealing path cannot serve
+  /// (fault::classical_decode — ZF or MMSE uplink, ZF precoding downlink).
+  /// Knob: --fallback / QUAMAX_FALLBACK (none|zf|mmse).
+  fault::FallbackMode fallback = fault::FallbackMode::kNone;
 
   /// Optional trace sink forwarded to sched::SchedConfig::trace (non-owning;
   /// nullptr = off).  Sinks observe the virtual-clock timeline only — every

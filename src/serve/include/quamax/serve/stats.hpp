@@ -46,9 +46,11 @@ class ServiceStats {
   /// Folds one dispatched wave into the occupancy stats.  `warm` marks a
   /// warm-start wave (reverse anneal from predecessor seeds); `anneals` is
   /// the N_a quota the wave was charged (0 = unknown, excluded from the
-  /// anneal-quota aggregate).
+  /// anneal-quota aggregate).  A `failed` wave (fault injection) yielded no
+  /// samples: it is counted in failed_waves() only and excluded from the
+  /// wave / occupancy / anneal-quota aggregates.
   void add_wave(std::size_t occupancy, bool warm = false,
-                std::size_t anneals = 0);
+                std::size_t anneals = 0, bool failed = false);
 
   std::size_t jobs() const noexcept { return jobs_; }
   std::size_t misses() const noexcept { return misses_; }
@@ -73,6 +75,22 @@ class ServiceStats {
   std::size_t warm_jobs() const noexcept { return warm_jobs_; }
   std::size_t total_anneals() const noexcept { return total_anneals_; }
 
+  /// Fault accounting (quamax::fault; all zero on fault-free runs, and the
+  /// digest omits the fault block entirely then — zero-fault digests are
+  /// byte-identical to pre-fault history).  `retries` sums failed anneal
+  /// attempts across jobs; `fallbacks` / `failed` count terminal outcomes;
+  /// `failed_waves` counts aborted waves (excluded from waves()).
+  std::size_t retries() const noexcept { return retries_; }
+  std::size_t fallbacks() const noexcept { return fallbacks_; }
+  std::size_t failed() const noexcept { return failed_; }
+  std::size_t failed_waves() const noexcept { return failed_waves_; }
+  /// BER of the classically-served (fallback) jobs alone — their bits are
+  /// NOT folded into ber()/bit_errors(), so the annealing path's decode
+  /// quality stays comparable across fault and fault-free runs.
+  std::size_t fallback_bit_errors() const noexcept { return fallback_bit_errors_; }
+  std::size_t fallback_bits() const noexcept { return fallback_bits_; }
+  double fallback_ber() const;
+
   /// Aggregate decode quality over served jobs.
   std::size_t bit_errors() const noexcept { return bit_errors_; }
   std::size_t total_bits() const noexcept { return total_bits_; }
@@ -87,6 +105,17 @@ class ServiceStats {
     std::size_t misses = 0;
     std::size_t bit_errors = 0;
     std::size_t total_bits = 0;
+    /// Fault split (zero on fault-free runs): classically-served jobs and
+    /// their bits (kept out of bit_errors/total_bits), terminal failures.
+    std::size_t fallbacks = 0;
+    std::size_t fallback_bit_errors = 0;
+    std::size_t fallback_bits = 0;
+    std::size_t failed = 0;
+    double fallback_ber() const {
+      return fallback_bits == 0 ? 0.0
+                                : static_cast<double>(fallback_bit_errors) /
+                                      static_cast<double>(fallback_bits);
+    }
     double miss_rate() const {
       return jobs == 0 ? 0.0
                        : static_cast<double>(misses) / static_cast<double>(jobs);
@@ -124,6 +153,12 @@ class ServiceStats {
   std::size_t warm_waves_ = 0;
   std::size_t warm_jobs_ = 0;
   std::size_t total_anneals_ = 0;  ///< sum of per-wave N_a quotas
+  std::size_t retries_ = 0;        ///< failed attempts summed across jobs
+  std::size_t fallbacks_ = 0;      ///< jobs served classically
+  std::size_t failed_ = 0;         ///< terminal failures (never served)
+  std::size_t failed_waves_ = 0;   ///< aborted waves (fault injection)
+  std::size_t fallback_bit_errors_ = 0;
+  std::size_t fallback_bits_ = 0;
   std::size_t bit_errors_ = 0;
   std::size_t total_bits_ = 0;
   std::size_t ground_states_ = 0;

@@ -129,6 +129,10 @@ sched::SchedConfig DecodeService::sched_config() const {
   cfg.warm_start = config_.warm_start;
   cfg.warm_reverse_depth = config_.warm_reverse_depth;
   cfg.warm_num_anneals = config_.warm_num_anneals;
+  cfg.fault = config_.fault;
+  cfg.max_retries = config_.max_retries;
+  cfg.retry_backoff_us = config_.retry_backoff_us;
+  cfg.fallback = config_.fallback;
   cfg.trace = config_.trace;
   return cfg;
 }
@@ -198,7 +202,8 @@ ServiceReport DecodeService::serve(ArrivalFeed& feed) {
   for (const Wave& wave : report.waves)
     report.stats.add_wave(wave.jobs.size(), wave.warm,
                           wave.warm ? scheduler.warm_quota()
-                                    : config_.num_anneals);
+                                    : config_.num_anneals,
+                          wave.failed);
   return report;
 }
 

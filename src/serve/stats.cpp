@@ -21,6 +21,7 @@ LatencySummary summarize_latency(const obs::QuantileSketch& sketch) {
 
 void ServiceStats::add(const JobRecord& record) {
   ++jobs_;
+  retries_ += record.retries;
   DirectionStats& direction =
       record.direction == Direction::kDownlink ? downlink_ : uplink_;
   ++direction.jobs;
@@ -30,6 +31,22 @@ void ServiceStats::add(const JobRecord& record) {
   }
   if (record.dropped) {
     ++drops_;
+  } else if (record.failed) {
+    ++failed_;
+    ++direction.failed;
+  } else if (record.fallback) {
+    // A classically-served job has real timing (its service leg is the
+    // instant classical decode) but its bits stay out of the annealing-path
+    // BER — the fallback split keeps the two decoders comparable.
+    ++fallbacks_;
+    ++direction.fallbacks;
+    queueing_us_.add(record.queueing_us());
+    service_us_.add(record.service_us());
+    total_us_.add(record.total_us());
+    fallback_bit_errors_ += record.bit_errors;
+    fallback_bits_ += record.num_bits;
+    direction.fallback_bit_errors += record.bit_errors;
+    direction.fallback_bits += record.num_bits;
   } else {
     queueing_us_.add(record.queueing_us());
     service_us_.add(record.service_us());
@@ -47,7 +64,14 @@ void ServiceStats::add(const JobRecord& record) {
 }
 
 void ServiceStats::add_wave(std::size_t occupancy, bool warm,
-                            std::size_t anneals) {
+                            std::size_t anneals, bool failed) {
+  if (failed) {
+    // Aborted waves produced no samples; keeping them out of the occupancy
+    // and anneal-quota aggregates keeps those comparable across fault and
+    // fault-free runs.
+    ++failed_waves_;
+    return;
+  }
   ++waves_;
   packed_jobs_ += occupancy;
   if (warm) {
@@ -76,8 +100,16 @@ double ServiceStats::ber() const {
              : static_cast<double>(bit_errors_) / static_cast<double>(total_bits_);
 }
 
+double ServiceStats::fallback_ber() const {
+  return fallback_bits_ == 0 ? 0.0
+                             : static_cast<double>(fallback_bit_errors_) /
+                                   static_cast<double>(fallback_bits_);
+}
+
 double ServiceStats::ground_state_rate() const {
-  const std::size_t served = jobs_ - drops_;
+  // Anneal-served jobs only: drops/failures never decoded and fallback jobs
+  // never annealed.
+  const std::size_t served = jobs_ - drops_ - failed_ - fallbacks_;
   return served == 0 ? 0.0
                      : static_cast<double>(ground_states_) / static_cast<double>(served);
 }
@@ -86,7 +118,7 @@ double ServiceStats::achieved_jobs_per_ms() const {
   const double horizon_ms = (last_completion_us_ - first_arrival_us_) / 1000.0;
   return horizon_ms <= 0.0
              ? 0.0
-             : static_cast<double>(jobs_ - drops_) / horizon_ms;
+             : static_cast<double>(jobs_ - drops_ - failed_) / horizon_ms;
 }
 
 double ServiceStats::goodput_jobs_per_ms() const {
@@ -114,6 +146,18 @@ std::string ServiceStats::digest() const {
   append("waves=%zu occupancy=%.3f\n", waves_, mean_wave_occupancy());
   append("warm_waves=%zu warm_jobs=%zu anneals=%zu\n", warm_waves_, warm_jobs_,
          total_anneals_);
+  // The fault block appears ONLY when the run actually hit the fault path:
+  // a zero-fault run's digest stays byte-identical to pre-fault history
+  // (the CI cross-shape smoke and sched_property_test diff on this).
+  if (retries_ + fallbacks_ + failed_ + failed_waves_ > 0) {
+    append("retries=%zu fallbacks=%zu failed=%zu failed_waves=%zu\n", retries_,
+           fallbacks_, failed_, failed_waves_);
+    append("fallback: ber=%.3e bits=%zu | uplink fallbacks=%zu ber=%.3e | "
+           "downlink fallbacks=%zu ber=%.3e\n",
+           fallback_ber(), fallback_bits_, uplink_.fallbacks,
+           uplink_.fallback_ber(), downlink_.fallbacks,
+           downlink_.fallback_ber());
+  }
   append("ber=%.3e ground_state_rate=%.4f bits=%zu\n", ber(),
          ground_state_rate(), total_bits_);
   append("throughput=%.3f goodput=%.3f (jobs/ms over %.1f us)\n",

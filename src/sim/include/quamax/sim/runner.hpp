@@ -192,9 +192,38 @@ std::string cli_trace(int argc, char** argv);
 /// stderr at exit.  Results are unaffected; only wall time is observed.
 bool cli_prof(int argc, char** argv);
 
+/// Reads the QUAMAX_FAULT_PLAN environment variable: path to a
+/// fault::load_fault_plan schedule file (empty = no fault injection — the
+/// historical fault-free service, bit for bit).  The sim layer only
+/// transports the path; parsing/validation happens in quamax::fault.
+std::string env_fault_plan();
+
+/// The serving-binary `--fault-plan FILE` knob (also `--fault-plan=FILE`);
+/// falls back to env_fault_plan() when the flag is absent.  Throws
+/// InvalidArgument on an empty path.
+std::string cli_fault_plan(int argc, char** argv);
+
+/// Reads the QUAMAX_MAX_RETRIES environment variable: per-job retry budget
+/// for members of failed waves (default 0 = no retries).
+std::size_t env_max_retries();
+
+/// The serving-binary `--max-retries N` knob (also `--max-retries=N`);
+/// falls back to env_max_retries() when the flag is absent.
+std::size_t cli_max_retries(int argc, char** argv);
+
+/// Reads the QUAMAX_FALLBACK environment variable as a raw string (default
+/// "none").  Validation happens in fault::parse_fallback_mode — the sim
+/// layer sits below fault and only transports the spelling.
+std::string env_fallback();
+
+/// The serving-binary `--fallback M` knob (also `--fallback=M`,
+/// M in none|zf|mmse); falls back to env_fallback() when the flag is absent.
+std::string cli_fallback(int argc, char** argv);
+
 /// argv entries that are not part of the --threads / --replicas /
 /// --accept-mode / --devices / --queue-policy / --downlink / --tau /
-/// --coherence / --trace / --prof flags (program name excluded), in order.
+/// --coherence / --trace / --fault-plan / --max-retries / --fallback /
+/// --prof flags (program name excluded), in order.
 /// Binaries with positional arguments parse these instead of argv so their
 /// positional handling cannot drift out of sync with the flag spellings.
 std::vector<std::string> positional_args(int argc, char** argv);

@@ -396,6 +396,48 @@ std::string cli_queue_policy(int argc, char** argv) {
   return env_queue_policy();
 }
 
+std::string env_fault_plan() {
+  const char* raw = std::getenv("QUAMAX_FAULT_PLAN");
+  return raw == nullptr ? "" : raw;
+}
+
+std::string cli_fault_plan(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (flag_at("fault-plan", argc, argv, i, value, consumed)) {
+      require(!value.empty(), "--fault-plan: need a schedule file path");
+      return value;
+    }
+  }
+  return env_fault_plan();
+}
+
+std::size_t env_max_retries() {
+  const char* raw = std::getenv("QUAMAX_MAX_RETRIES");
+  if (raw == nullptr) return 0;
+  return parse_count(raw, "--max-retries / QUAMAX_MAX_RETRIES");
+}
+
+std::size_t cli_max_retries(int argc, char** argv) {
+  return cli_flag_or("max-retries", argc, argv, env_max_retries,
+                     "--max-retries / QUAMAX_MAX_RETRIES");
+}
+
+std::string env_fallback() {
+  const char* raw = std::getenv("QUAMAX_FALLBACK");
+  return raw == nullptr ? "none" : raw;
+}
+
+std::string cli_fallback(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (flag_at("fallback", argc, argv, i, value, consumed)) return value;
+  }
+  return env_fallback();
+}
+
 std::vector<std::string> positional_args(int argc, char** argv) {
   std::vector<std::string> out;
   for (int i = 1; i < argc;) {
@@ -409,7 +451,10 @@ std::vector<std::string> positional_args(int argc, char** argv) {
         flag_at("downlink", argc, argv, i, value, consumed) ||
         flag_at("tau", argc, argv, i, value, consumed) ||
         flag_at("coherence", argc, argv, i, value, consumed) ||
-        flag_at("trace", argc, argv, i, value, consumed)) {
+        flag_at("trace", argc, argv, i, value, consumed) ||
+        flag_at("fault-plan", argc, argv, i, value, consumed) ||
+        flag_at("max-retries", argc, argv, i, value, consumed) ||
+        flag_at("fallback", argc, argv, i, value, consumed)) {
       i += consumed;
       continue;
     }

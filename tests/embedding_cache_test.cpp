@@ -133,6 +133,41 @@ TEST(EmbeddingCacheTest, FailedSearchLeavesNoPoisonedEntryBehind) {
   EXPECT_THROW(cache.clique(16), CapacityError);  // still throws, no null hit
 }
 
+TEST(EmbeddingCacheTest, InvalidateSwapsTopologyAndPreservesHandedOutPointers) {
+  // Mid-run defect growth (fault::DefectGrowth) invalidates the device's
+  // cache IN PLACE: the cache object identity survives (workers and the
+  // DeviceSet keep their shared_ptr), already-handed-out placements stay
+  // valid immutable objects, and fresh lookups compile on the new topology.
+  EmbeddingCache cache{ChimeraGraph()};
+  const auto clique = cache.clique(8);
+  const auto parallel = cache.parallel(8);
+  const std::size_t pristine_cap = cache.capacity(8);
+  EXPECT_GT(cache.capacity(16), 0u);  // feasible (and cached) pre-growth
+
+  cache.invalidate(dead_row_graph());
+  ASSERT_TRUE(cache.graph().same_topology(dead_row_graph()));
+  // The old placement objects are untouched by the swap.
+  EXPECT_EQ(clique->num_logical, 8u);
+  EXPECT_EQ(parallel->size(), pristine_cap);
+  // Fresh lookups see the defective chip: fewer shape-8 slots, and shape 16
+  // (cached feasible before on the pristine chip) now reports infeasible —
+  // the negative table was rebuilt too.
+  EXPECT_LT(cache.capacity(8), pristine_cap);
+  EXPECT_NE(cache.parallel(8), parallel);
+  EXPECT_EQ(cache.try_capacity(16), 0u);
+}
+
+TEST(EmbeddingCacheTest, ClearNegativeDropsOnlyInfeasibilityEntries) {
+  EmbeddingCache cache{dead_row_graph()};
+  EXPECT_EQ(cache.try_capacity(16), 0u);  // pays the failed search
+  const auto parallel8 = cache.parallel(8);
+  cache.clear_negative();
+  // Positive entries survive (same shared object); the negative entry is
+  // re-probed from scratch (and, topology unchanged, re-fails).
+  EXPECT_EQ(cache.parallel(8), parallel8);
+  EXPECT_EQ(cache.try_capacity(16), 0u);
+}
+
 TEST(EmbeddingCacheTest, AnnealerRejectsTopologyMismatchedCache) {
   anneal::AnnealerConfig config;
   anneal::ChimeraAnnealer annealer(config);

@@ -26,10 +26,12 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "quamax/common/rng.hpp"
+#include "quamax/fault/plan.hpp"
 #include "quamax/sched/client.hpp"
 #include "quamax/sched/device_set.hpp"
 #include "quamax/sched/policy.hpp"
@@ -96,13 +98,51 @@ Scenario draw_scenario(std::size_t trial) {
   s.poll_randomly = rng.coin();
   s.poll_modulus = 1 + rng.uniform_index(7);
 
-  // Coherent warm-start episodes (ISSUE 7).  Drawn LAST so the scenario
-  // stream up to here reproduces the pre-warm-start trials bit-for-bit.
+  // Coherent warm-start episodes (ISSUE 7).  Drawn after the base scenario
+  // so the stream up to here reproduces the pre-warm-start trials
+  // bit-for-bit.
   if (rng.coin()) {
     s.load.coherence = rng.uniform(0.5, 0.95);
     s.service.warm_start = true;
     s.service.warm_num_anneals = 1 + rng.uniform_index(s.service.num_anneals);
     s.service.warm_reverse_depth = rng.uniform(0.5, 0.9);
+  }
+
+  // Fault episodes (ISSUE 9).  Drawn LAST — the same bit-compat rule: every
+  // pre-fault trial reproduces unchanged, and the async==batch contract is
+  // now exercised under outages, injected wave failures, defect growth, and
+  // the retry/fallback ladder at every cadence x policy x device count.
+  if (rng.coin()) {
+    auto plan = std::make_shared<fault::FaultPlan>();
+    plan->seed = 0xFA0 + trial;
+    const std::size_t windows = rng.uniform_index(3);  // 0-2 outage windows
+    for (std::size_t w = 0; w < windows; ++w) {
+      fault::OutageWindow window;
+      window.device = rng.uniform_index(num_devices);
+      window.start_us = rng.uniform(0.0, 2000.0);
+      window.end_us = window.start_us + rng.uniform(50.0, 800.0);
+      plan->outages.push_back(window);
+    }
+    if (rng.coin()) plan->anneal_failure_prob = rng.uniform(0.05, 0.4);
+    if (rng.coin()) plan->readout_failure_prob = rng.uniform(0.05, 0.3);
+    if (num_devices > 1 && rng.coin()) {
+      // Mid-run defect growth on the last device (the one the sharding
+      // branch above may already have degraded): a full dead row exercises
+      // cache invalidation without necessarily killing every shape.
+      fault::DefectGrowth growth;
+      growth.device = num_devices - 1;
+      growth.time_us = rng.uniform(100.0, 1500.0);
+      growth.qubits = sched::dead_row_fault_map(
+          chimera::ChimeraGraph(), 7 + rng.uniform_index(5));
+      plan->growths.push_back(growth);
+    }
+    s.service.fault = plan;
+    s.service.max_retries = rng.uniform_index(3);
+    s.service.retry_backoff_us = rng.uniform(0.0, 40.0);
+    const fault::FallbackMode fallbacks[] = {fault::FallbackMode::kNone,
+                                             fault::FallbackMode::kZf,
+                                             fault::FallbackMode::kMmse};
+    s.service.fallback = fallbacks[rng.uniform_index(3)];
   }
   return s;
 }
@@ -122,6 +162,10 @@ sched::SchedConfig sched_config_of(const Scenario& s) {
   cfg.warm_start = s.service.warm_start;
   cfg.warm_reverse_depth = s.service.warm_reverse_depth;
   cfg.warm_num_anneals = s.service.warm_num_anneals;
+  cfg.fault = s.service.fault;
+  cfg.max_retries = s.service.max_retries;
+  cfg.retry_backoff_us = s.service.retry_backoff_us;
+  cfg.fallback = s.service.fallback;
   return cfg;
 }
 
@@ -130,14 +174,17 @@ bool records_equal(const serve::JobRecord& a, const serve::JobRecord& b) {
          a.direction == b.direction && a.wave_id == b.wave_id &&
          a.arrival_us == b.arrival_us && a.dispatch_us == b.dispatch_us &&
          a.completion_us == b.completion_us && a.deadline_us == b.deadline_us &&
-         a.dropped == b.dropped && a.bit_errors == b.bit_errors &&
-         a.num_bits == b.num_bits && a.ground_state == b.ground_state;
+         a.dropped == b.dropped && a.retries == b.retries &&
+         a.fallback == b.fallback && a.failed == b.failed &&
+         a.bit_errors == b.bit_errors && a.num_bits == b.num_bits &&
+         a.ground_state == b.ground_state;
 }
 
 bool waves_equal(const serve::Wave& a, const serve::Wave& b) {
   return a.id == b.id && a.shape == b.shape && a.jobs == b.jobs &&
          a.dispatch_us == b.dispatch_us && a.completion_us == b.completion_us &&
-         a.device == b.device && a.warm == b.warm && a.seeds == b.seeds;
+         a.device == b.device && a.warm == b.warm && a.seeds == b.seeds &&
+         a.failed == b.failed && a.fail_us == b.fail_us;
 }
 
 void run_trial(std::size_t trial, sched::QueuePolicy policy) {

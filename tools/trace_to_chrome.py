@@ -23,13 +23,19 @@ Checks, in order:
      emitter prints doubles with %.17g precisely so this re-addition is
      exact, not approximate;
   4. every job flow arrow ("s" at submit, "f" at dispatch) lands inside a
-     wave slice on its device track whose end matches the job's recorded
-     completion — i.e. each job's latency decomposes into queue
+     LIVE wave slice on its device track whose end matches the job's
+     recorded completion — i.e. each job's latency decomposes into queue
      (submit -> dispatch) plus the wave's program/anneal/readout spans,
-     summing to the virtual-clock total;
-  5. every submitted job is either dispatched (has a flow terminator) or
-     dropped (has a drop instant), never both, and each wave's `num_jobs`
-     arg equals the number of jobs whose arrows land on it.
+     summing to the virtual-clock total.  Aborted waves ("wave N FAILED",
+     fault injection) have no children and host no arrows;
+  5. every submitted job reaches EXACTLY ONE terminal: dispatched (flow
+     terminator), dropped (drop instant), or degraded to the classical
+     fallback (fallback instant).  Retry instants are informational and
+     bounded by the terminal.  Each live wave's `num_jobs` arg equals the
+     number of jobs whose arrows land on it;
+  6. outage slices (fault::FaultPlan windows) sit on their device's track
+     with non-negative duration, and no live wave overlaps an outage on
+     the same device — the scheduler never serves through a window.
 
 Exit code 0 = trace valid, 1 = a check failed, 2 = bad input/usage.
 """
@@ -80,13 +86,30 @@ def validate(path):
     # -- 3. wave slices tile exactly ---------------------------------------
     # The emitter writes each wave slice immediately followed by its three
     # children, so consume the slice list in order.
-    waves = []  # (tid, start, end, args)
+    waves = []   # live waves: (tid, start, end, args)
+    failed = []  # aborted waves (fault injection): (tid, start, end)
+    outages = []  # FaultPlan windows: (tid, start, end)
     i = 0
     while i < len(slices):
         wave = slices[i]
         name = wave.get("name", "")
+        if name == "outage":
+            if wave["dur"] < 0:
+                problems.append("outage slice has negative dur")
+            outages.append((wave["tid"], wave["ts"],
+                            wave["ts"] + wave["dur"]))
+            i += 1
+            continue
         if not name.startswith("wave "):
             problems.append(f"unexpected top-level slice '{name}'")
+            i += 1
+            continue
+        if name.endswith(" FAILED"):
+            # Aborted mid-anneal: no program/anneal/readout children, and no
+            # job arrow may terminate on it (the members were requeued).
+            if not wave.get("args", {}).get("failed"):
+                problems.append(f"{name}: slice lacks failed arg")
+            failed.append((wave["tid"], wave["ts"], wave["ts"] + wave["dur"]))
             i += 1
             continue
         children = slices[i + 1:i + 4]
@@ -118,6 +141,9 @@ def validate(path):
                if e.get("name", "").endswith(" submit")}
     drops = {e["args"]["job"]: e for e in instants
              if e.get("name", "").endswith(" drop")}
+    fallbacks = {e["args"]["job"]: e for e in instants
+                 if e.get("name", "").endswith(" fallback")}
+    retries = [e for e in instants if e.get("name", "").endswith(" retry")]
     starts = {e["id"]: e for e in flow_starts}
     jobs_per_wave = {}
     for f_ev in flow_ends:
@@ -130,6 +156,10 @@ def validate(path):
             continue
         if f_ev["ts"] < s_ev["ts"]:
             problems.append(f"job {job}: dispatched before submit")
+        if any(w[0] == f_ev["tid"] and w[1] <= f_ev["ts"] < w[2]
+               for w in failed):
+            problems.append(f"job {job}: arrow terminates on an aborted wave")
+            continue
         hosts = [w for w in waves
                  if w[0] == f_ev["tid"] and w[1] <= f_ev["ts"] < w[2]]
         if len(hosts) != 1:
@@ -142,26 +172,47 @@ def validate(path):
                             f"virtual-clock total")
         jobs_per_wave[(tid, start)] = jobs_per_wave.get((tid, start), 0) + 1
 
-    # -- 5. conservation: submitted = dispatched + dropped ------------------
+    # -- 5. conservation: submitted = dispatched + dropped + fallback -------
     dispatched = {e["id"] for e in flow_ends}
     for job in submits:
-        if (job in dispatched) == (job in drops):
-            problems.append(f"job {job}: not exactly one of dispatch/drop")
-    for job in dispatched | set(drops):
+        terminals = ((job in dispatched) + (job in drops)
+                     + (job in fallbacks))
+        if terminals != 1:
+            problems.append(f"job {job}: {terminals} terminals, expected "
+                            f"exactly one of dispatch/drop/fallback")
+    for job in dispatched | set(drops) | set(fallbacks):
         if job not in submits:
-            problems.append(f"job {job}: dispatched/dropped but never "
-                            f"submitted")
+            problems.append(f"job {job}: terminated but never submitted")
+    for e in retries:
+        job = e["args"]["job"]
+        if job not in submits:
+            problems.append(f"job {job}: retried but never submitted")
     for tid, start, end, args in waves:
         got = jobs_per_wave.get((tid, start), 0)
         if args.get("num_jobs") != got:
             problems.append(f"wave at ts {start}: num_jobs "
                             f"{args.get('num_jobs')} but {got} arrows land")
 
+    # -- 6. outages sit on device tracks; live waves never overlap one ------
+    for tid, start, end in outages:
+        if tid < 1:
+            problems.append(f"outage at ts {start} on non-device tid {tid}")
+    for tid, start, end, args in waves:
+        for o_tid, o_start, o_end in outages:
+            if tid == o_tid and start < o_end and end > o_start:
+                problems.append(f"wave at ts {start} on tid {tid} overlaps "
+                                f"outage [{o_start}, {o_end})")
+
     if problems:
         return fail(problems)
+    extras = ""
+    if failed or outages or fallbacks or retries:
+        extras = (f", faults: {len(failed)} aborted wave(s), "
+                  f"{len(outages)} outage(s), {len(retries)} retry(ies), "
+                  f"{len(fallbacks)} fallback(s)")
     print(f"trace_to_chrome: OK: {len(waves)} waves, {len(submits)} jobs "
           f"({len(drops)} dropped) across {len({w[0] for w in waves})} "
-          f"device track(s), spans tile and sum exactly")
+          f"device track(s), spans tile and sum exactly{extras}")
     return 0
 
 
