@@ -39,6 +39,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -49,6 +50,7 @@
 #include "quamax/obs/profile.hpp"
 #include "quamax/obs/trace.hpp"
 #include "quamax/serve/load_gen.hpp"
+#include "quamax/serve/metrics_export.hpp"
 #include "quamax/serve/service.hpp"
 #include "quamax/sim/report.hpp"
 #include "quamax/sim/runner.hpp"
@@ -91,11 +93,16 @@ struct Point {
 
 Point run_arm(const std::string& name, const serve::LoadConfig& load,
               const serve::ServiceConfig& service, std::size_t num_jobs,
-              double availability) {
+              double availability, obs::TraceLog* trace = nullptr) {
   const auto t0 = std::chrono::steady_clock::now();
   serve::LoadGenerator generator(load, 0xFA57);
+  serve::ServiceConfig traced = service;
+  if (trace != nullptr) {
+    trace->clear();
+    traced.trace = trace;
+  }
   const serve::ServiceReport report =
-      serve::DecodeService(service).run(generator.open_loop(num_jobs));
+      serve::DecodeService(traced).run(generator.open_loop(num_jobs));
   Point p;
   p.name = name;
   p.wall_s =
@@ -122,8 +129,8 @@ void print_point(const Point& p) {
 }
 
 void write_json(const std::string& path, const std::vector<Point>& points,
-                std::size_t threads, std::size_t replicas,
-                std::size_t devices) {
+                std::size_t threads, std::size_t replicas, std::size_t devices,
+                bool prof) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   quamax::require(f != nullptr, "bench_fault: cannot open --json path " + path);
   std::fprintf(f,
@@ -154,7 +161,24 @@ void write_json(const std::string& path, const std::vector<Point>& points,
         static_cast<double>(p.jobs) / p.wall_s, p.miss_rate, p.ber,
         p.fallback_ber, fallback_fraction, p.retries, p.fallbacks, p.failed,
         p.failed_waves, p.availability, p.achieved_jobs_per_ms,
-        i + 1 < points.size() ? "," : "");
+        i + 1 < points.size() || prof ? "," : "");
+  }
+  if (prof) {
+    // Pseudo-benchmark carrying the per-stage profile as quamax_prof_*
+    // counters — bench_to_json.py forwards any quamax_-prefixed key, so the
+    // profile lands in the BENCH_fault.json artifact with no tool change.
+    std::string counters;
+    for (const auto& r : quamax::obs::Profiler::instance().table()) {
+      const std::string prefix = quamax::obs::Profiler::counter_prefix(r.name);
+      counters += ", \"" + prefix + "_calls\": " + std::to_string(r.calls) +
+                  ", \"" + prefix +
+                  "_total_ns\": " + std::to_string(r.total_ns);
+    }
+    std::fprintf(f,
+                 "    {\"name\": \"prof\", \"run_type\": \"iteration\", "
+                 "\"iterations\": 1, \"real_time\": 0, \"cpu_time\": 0, "
+                 "\"time_unit\": \"ns\"%s}\n",
+                 counters.c_str());
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -183,7 +207,12 @@ int main(int argc, char** argv) {
       fault::parse_fallback_mode(sim::cli_fallback(argc, argv));
   const std::string trace_path = sim::cli_trace(argc, argv);
   const bool prof = sim::cli_prof(argc, argv);
-  if (prof) obs::Profiler::instance().set_enabled(true);
+  const std::string prof_json = sim::cli_prof_json(argc, argv);
+  if (prof || !prof_json.empty()) obs::Profiler::instance().set_enabled(true);
+  serve::MetricsOptions metrics;
+  metrics.path = sim::cli_metrics(argc, argv);
+  metrics.window_us = sim::cli_metrics_window(argc, argv);
+  metrics.slo = sim::cli_slo(argc, argv);
   obs::TraceLog trace_log;
 
   bool smoke = false;
@@ -278,7 +307,8 @@ int main(int argc, char** argv) {
     storm_cfg.max_retries = max_retries;
     storm_cfg.retry_backoff_us = 0.5 * service_us;
     storm_cfg.fallback = fallback;
-    if (!trace_path.empty()) storm_cfg.trace = &trace_log;
+    if (!trace_path.empty() || metrics.enabled())
+      storm_cfg.trace = &trace_log;
     serve::LoadGenerator gen_c(load, 0xFA57);
     const serve::ServiceReport stormed =
         serve::DecodeService(storm_cfg).run(gen_c.open_loop(smoke_jobs));
@@ -287,6 +317,22 @@ int main(int argc, char** argv) {
                 100.0 * kDowntimeFraction, max_retries,
                 fault::to_string(fallback), stormed.stats.digest().c_str());
     int exit_code = 0;
+    if (metrics.enabled()) {
+      // Windowing + SLO evaluation run BEFORE the trace write so the alert
+      // track lands in the Chrome trace.  All notices go to stderr.
+      const serve::WindowedView view =
+          serve::window_trace(trace_log, storm_cfg, metrics, &trace_log);
+      if (!metrics.path.empty()) {
+        if (serve::export_metrics(view, metrics)) {
+          std::fprintf(stderr, "metrics written to %s\n",
+                       metrics.path.c_str());
+        } else {
+          std::fprintf(stderr, "metrics: could not write %s\n",
+                       metrics.path.c_str());
+          exit_code = 1;
+        }
+      }
+    }
     if (!trace_path.empty()) {
       // Notice on stderr: CI byte-diffs this binary's stdout.
       if (obs::write_chrome_trace_file(trace_log, trace_path)) {
@@ -297,6 +343,16 @@ int main(int argc, char** argv) {
       }
     }
     if (prof) obs::Profiler::instance().dump(std::cerr, 5);
+    if (!prof_json.empty()) {
+      if (obs::Profiler::instance().dump_json_file(prof_json)) {
+        std::fprintf(stderr, "profile json written to %s\n",
+                     prof_json.c_str());
+      } else {
+        std::fprintf(stderr, "prof-json: could not write %s\n",
+                     prof_json.c_str());
+        exit_code = 1;
+      }
+    }
     if (stormed.stats.jobs() != smoke_jobs || stormed.stats.failed() != 0) {
       std::fprintf(stderr, "SMOKE FAILURE: %zu/%zu jobs accounted, %zu "
                            "terminal failures with the ladder armed\n",
@@ -324,8 +380,12 @@ int main(int argc, char** argv) {
   sim::print_columns({"arm", "miss rate", "BER", "retries", "fallbacks",
                       "failed", "failed waves", "achieved j/ms"});
 
+  // The fault-free and fully-mitigated arms are traced so the windowed
+  // showcase below can compare their series: end-of-run aggregates hide the
+  // storm dip that the per-window miss-rate makes obvious.
+  obs::TraceLog fault_free_log;
   const Point fault_free =
-      run_arm("fault_free", load, base, num_jobs, 1.0);
+      run_arm("fault_free", load, base, num_jobs, 1.0, &fault_free_log);
 
   serve::ServiceConfig no_mitigation = base;
   no_mitigation.fault = storm;
@@ -344,7 +404,7 @@ int main(int argc, char** argv) {
   mitigated.fallback = fallback;
   const Point full =
       run_arm("storm_retries_fallback", load, mitigated, num_jobs,
-              availability);
+              availability, &trace_log);
 
   print_point(fault_free);
   print_point(unmitigated);
@@ -381,10 +441,97 @@ int main(int argc, char** argv) {
               "annealed %.3e)\n",
               full.fallbacks, full.jobs, full.fallback_ber, full.ber);
 
+  // -------------------------------------------------------------------
+  // Windowed showcase (obs v2): the per-window miss-rate series of the
+  // mitigated arm must SHOW the storm — at least one burn-rate alert fires
+  // in a window overlapping a scheduled outage — while the fault-free arm
+  // stays silent under the same SLO.  A default miss-rate SLO at the
+  // acceptance bound arms the monitor even when --slo is not given.
+  serve::MetricsOptions showcase = metrics;
+  if (showcase.slo.empty())
+    showcase.slo = "miss_rate<=" + sim::fmt_double(kMissBound, 2);
+  const serve::WindowedView storm_view =
+      serve::window_trace(trace_log, mitigated, showcase, &trace_log);
+  const serve::WindowedView quiet_view =
+      serve::window_trace(fault_free_log, base, showcase, nullptr);
+
+  std::printf("\n=== windowed series, %s (window %.0f us) ===\n",
+              full.name.c_str(), storm_view.collector.width_us());
+  sim::print_columns({"window", "t [ms]", "miss rate", "fallbacks", "queue",
+                      "occupancy", "p99 [us]"});
+  for (const auto& w : storm_view.collector.windows()) {
+    sim::print_row({std::to_string(w.index),
+                    sim::fmt_double(w.start_us / 1000.0, 1),
+                    sim::fmt_double(w.miss_rate, 3),
+                    std::to_string(w.fallbacks),
+                    std::to_string(w.queue_depth),
+                    sim::fmt_double(w.occupancy, 2),
+                    sim::fmt_double(w.latency.quantile(99.0), 0)});
+  }
+
+  std::size_t storm_alerts = 0;
+  std::size_t outage_alerts = 0;
+  for (const auto& report : storm_view.slos) {
+    for (const auto& alert : report.alerts) {
+      ++storm_alerts;
+      for (const auto& outage : storm->outages) {
+        if (alert.start_us < outage.end_us && outage.start_us < alert.end_us) {
+          ++outage_alerts;
+          break;
+        }
+      }
+      std::printf("ALERT %s window %zu [%.0f, %.0f) us: value %.4f "
+                  "(long %.4f), burn %.2fx\n",
+                  alert.slo.c_str(), alert.window, alert.start_us,
+                  alert.end_us, alert.value, alert.long_value, alert.burn);
+    }
+  }
+  std::size_t quiet_alerts = 0;
+  for (const auto& report : quiet_view.slos) quiet_alerts += report.alerts.size();
+
+  std::printf("storm-dip visibility: %zu alerts, %zu during scheduled "
+              "outages %s\n",
+              storm_alerts, outage_alerts,
+              outage_alerts >= 1 ? "(acceptance: >= 1, PASS)"
+                                 : "(acceptance: >= 1, FAIL)");
+  if (outage_alerts < 1) failed = true;
+
+  std::printf("fault-free arm under the same SLO: %zu alerts %s\n",
+              quiet_alerts,
+              quiet_alerts == 0 ? "(acceptance: == 0, PASS)"
+                                : "(acceptance: == 0, FAIL)");
+  if (quiet_alerts != 0) failed = true;
+
+  if (!metrics.path.empty()) {
+    if (serve::export_metrics(storm_view, showcase)) {
+      std::fprintf(stderr, "metrics written to %s\n", metrics.path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: could not write %s\n",
+                   metrics.path.c_str());
+      failed = true;
+    }
+  }
+  if (!trace_path.empty()) {
+    // The mitigated arm's trace, alert track included.
+    if (obs::write_chrome_trace_file(trace_log, trace_path)) {
+      std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: could not write %s\n", trace_path.c_str());
+      failed = true;
+    }
+  }
+
   if (!json_path.empty())
     write_json(json_path, {fault_free, unmitigated, ablation, full}, threads,
-               replicas, devices);
+               replicas, devices, prof || !prof_json.empty());
   if (prof) obs::Profiler::instance().dump(std::cerr, 5);
+  if (!prof_json.empty() &&
+      !obs::Profiler::instance().dump_json_file(prof_json)) {
+    std::fprintf(stderr, "prof-json: could not write %s\n", prof_json.c_str());
+    failed = true;
+  } else if (!prof_json.empty()) {
+    std::fprintf(stderr, "profile json written to %s\n", prof_json.c_str());
+  }
 
   return failed ? 1 : 0;
 }

@@ -55,6 +55,7 @@
 #include "quamax/obs/trace.hpp"
 #include "quamax/sched/policy.hpp"
 #include "quamax/serve/load_gen.hpp"
+#include "quamax/serve/metrics_export.hpp"
 #include "quamax/serve/service.hpp"
 #include "quamax/sim/report.hpp"
 #include "quamax/sim/runner.hpp"
@@ -64,27 +65,51 @@ namespace {
 
 using namespace quamax;
 
-/// --trace support: the log is re-attached (and cleared) per traced run, so
-/// the file written at exit holds the LAST traced run's timeline.  All
-/// notices go to stderr — CI byte-diffs this binary's stdout.
+/// --trace / --metrics / --slo support: the log is re-attached (and
+/// cleared) per observed run, so the files written at exit hold the LAST
+/// observed run's timeline, windowed series, and alerts.  All notices go to
+/// stderr — CI byte-diffs this binary's stdout.
 struct TraceCapture {
   std::string path;
+  serve::MetricsOptions metrics;
   obs::TraceLog log;
+  serve::ServiceConfig last_cfg;  ///< device pool of the last observed run
+  bool observed = false;
 
-  bool enabled() const { return !path.empty(); }
+  bool enabled() const { return !path.empty() || metrics.enabled(); }
   void attach(serve::ServiceConfig& cfg) {
     if (!enabled()) return;
     log.clear();
     cfg.trace = &log;
+    last_cfg = cfg;
+    observed = true;
   }
   int write() {
-    if (!enabled()) return 0;
+    if (!enabled() || !observed) return 0;
+    int exit_code = 0;
+    if (metrics.enabled()) {
+      // Window + evaluate SLOs first so the Chrome trace below carries the
+      // alert track.
+      const serve::WindowedView view =
+          serve::window_trace(log, last_cfg, metrics, &log);
+      if (!metrics.path.empty()) {
+        if (serve::export_metrics(view, metrics)) {
+          std::fprintf(stderr, "metrics written to %s\n",
+                       metrics.path.c_str());
+        } else {
+          std::fprintf(stderr, "metrics: could not write %s\n",
+                       metrics.path.c_str());
+          exit_code = 1;
+        }
+      }
+    }
+    if (path.empty()) return exit_code;
     if (!obs::write_chrome_trace_file(log, path)) {
       std::fprintf(stderr, "trace: could not write %s\n", path.c_str());
       return 1;
     }
     std::fprintf(stderr, "trace written to %s\n", path.c_str());
-    return 0;
+    return exit_code;
   }
 };
 
@@ -249,8 +274,12 @@ int main(int argc, char** argv) {
       quamax::sim::cli_accept_mode_if_set(argc, argv);
   TraceCapture trace;
   trace.path = quamax::sim::cli_trace(argc, argv);
+  trace.metrics.path = quamax::sim::cli_metrics(argc, argv);
+  trace.metrics.window_us = quamax::sim::cli_metrics_window(argc, argv);
+  trace.metrics.slo = quamax::sim::cli_slo(argc, argv);
   const bool prof = quamax::sim::cli_prof(argc, argv);
-  if (prof) obs::Profiler::instance().set_enabled(true);
+  const std::string prof_json = quamax::sim::cli_prof_json(argc, argv);
+  if (prof || !prof_json.empty()) obs::Profiler::instance().set_enabled(true);
 
   bool smoke = false;
   for (const std::string& arg : sim::positional_args(argc, argv))
@@ -317,6 +346,16 @@ int main(int argc, char** argv) {
     }
     exit_code |= trace.write();
     if (prof) obs::Profiler::instance().dump(std::cerr, 5);
+    if (!prof_json.empty()) {
+      if (obs::Profiler::instance().dump_json_file(prof_json)) {
+        std::fprintf(stderr, "profile json written to %s\n",
+                     prof_json.c_str());
+      } else {
+        std::fprintf(stderr, "prof-json: could not write %s\n",
+                     prof_json.c_str());
+        exit_code = 1;
+      }
+    }
     return exit_code;
   }
 
@@ -542,6 +581,15 @@ int main(int argc, char** argv) {
   if (sketch_gate() != 0) failed = true;
   if (trace.write() != 0) failed = true;
   if (prof) obs::Profiler::instance().dump(std::cerr, 5);
+  if (!prof_json.empty()) {
+    if (obs::Profiler::instance().dump_json_file(prof_json)) {
+      std::fprintf(stderr, "profile json written to %s\n", prof_json.c_str());
+    } else {
+      std::fprintf(stderr, "prof-json: could not write %s\n",
+                   prof_json.c_str());
+      failed = true;
+    }
+  }
 
   return failed ? 1 : 0;
 }

@@ -46,6 +46,7 @@
 #include "quamax/obs/profile.hpp"
 #include "quamax/obs/trace.hpp"
 #include "quamax/serve/load_gen.hpp"
+#include "quamax/serve/metrics_export.hpp"
 #include "quamax/serve/service.hpp"
 #include "quamax/sim/report.hpp"
 #include "quamax/sim/runner.hpp"
@@ -151,7 +152,12 @@ int main(int argc, char** argv) {
   const double coherence = coherence_knob > 0.0 ? coherence_knob : 0.9;
   const std::string trace_path = quamax::sim::cli_trace(argc, argv);
   const bool prof = quamax::sim::cli_prof(argc, argv);
-  if (prof) obs::Profiler::instance().set_enabled(true);
+  const std::string prof_json = quamax::sim::cli_prof_json(argc, argv);
+  if (prof || !prof_json.empty()) obs::Profiler::instance().set_enabled(true);
+  serve::MetricsOptions metrics;
+  metrics.path = quamax::sim::cli_metrics(argc, argv);
+  metrics.window_us = quamax::sim::cli_metrics_window(argc, argv);
+  metrics.slo = quamax::sim::cli_slo(argc, argv);
   obs::TraceLog trace_log;
 
   bool smoke = false;
@@ -194,7 +200,7 @@ int main(int argc, char** argv) {
     serve::LoadGenerator generator(
         coherent_load(coherence, 10.0 * cold_service_us, users), 0x3A97);
     serve::ServiceConfig traced_cfg = warm_cfg;
-    if (!trace_path.empty()) traced_cfg.trace = &trace_log;
+    if (!trace_path.empty() || metrics.enabled()) traced_cfg.trace = &trace_log;
     const serve::ServiceReport report =
         serve::DecodeService(traced_cfg).run(generator.open_loop(num_jobs));
     std::printf("ServiceStats digest (warm-start smoke, devices %zu, "
@@ -205,6 +211,22 @@ int main(int argc, char** argv) {
                 generator.compile_stats().delta_compiles,
                 generator.coherence_block());
     int exit_code = 0;
+    if (metrics.enabled()) {
+      // Window + evaluate SLOs before the trace write so the alert track
+      // lands in the Chrome trace.  Notices on stderr.
+      const serve::WindowedView view =
+          serve::window_trace(trace_log, traced_cfg, metrics, &trace_log);
+      if (!metrics.path.empty()) {
+        if (serve::export_metrics(view, metrics)) {
+          std::fprintf(stderr, "metrics written to %s\n",
+                       metrics.path.c_str());
+        } else {
+          std::fprintf(stderr, "metrics: could not write %s\n",
+                       metrics.path.c_str());
+          exit_code = 1;
+        }
+      }
+    }
     if (!trace_path.empty()) {
       // Notice on stderr: CI byte-diffs this binary's stdout.
       if (obs::write_chrome_trace_file(trace_log, trace_path)) {
@@ -215,6 +237,16 @@ int main(int argc, char** argv) {
       }
     }
     if (prof) obs::Profiler::instance().dump(std::cerr, 5);
+    if (!prof_json.empty()) {
+      if (obs::Profiler::instance().dump_json_file(prof_json)) {
+        std::fprintf(stderr, "profile json written to %s\n",
+                     prof_json.c_str());
+      } else {
+        std::fprintf(stderr, "prof-json: could not write %s\n",
+                     prof_json.c_str());
+        exit_code = 1;
+      }
+    }
     if (report.stats.warm_waves() == 0) {
       std::fprintf(stderr, "SMOKE FAILURE: no warm waves on a coherent load\n");
       return 1;
@@ -332,6 +364,15 @@ int main(int argc, char** argv) {
   if (!json_path.empty())
     write_json(json_path, points, threads, replicas, coherence);
   if (prof) obs::Profiler::instance().dump(std::cerr, 5);
+  if (!prof_json.empty()) {
+    if (obs::Profiler::instance().dump_json_file(prof_json)) {
+      std::fprintf(stderr, "profile json written to %s\n", prof_json.c_str());
+    } else {
+      std::fprintf(stderr, "prof-json: could not write %s\n",
+                   prof_json.c_str());
+      failed = true;
+    }
+  }
 
   return failed ? 1 : 0;
 }

@@ -24,8 +24,16 @@
 // run's job/wave timeline as Chrome trace-event JSON (open in Perfetto or
 // chrome://tracing; one track per device, flow arrows from each job's
 // arrival to its wave), and `--prof` to print the top-5 wall-clock compute
-// stages at exit.  Both notices go to stderr — stdout stays byte-identical
-// traced or not, which is the obs determinism contract.
+// stages at exit (`--prof-json FILE` for the machine-readable table).  The
+// packing-ON run is always windowed (obs v2): the walkthrough prints its
+// per-window miss-rate series plus any SLO burn-rate alerts — the spec
+// defaults to `miss_rate<=0.05` and is overridden with `--slo SPEC`.
+// `--metrics FILE` additionally exports the windowed series, per-device
+// duty-cycle/energy accounting, and SLO reports as JSON (or CSV by `.csv`
+// suffix) plus a Prometheus text snapshot at FILE.prom; `--metrics-window
+// US` sets the window width (default: horizon / 20).  All file notices go
+// to stderr — stdout stays byte-identical with tracing and metrics export
+// on or off, which is the obs determinism contract.
 
 #include <cstdio>
 #include <iostream>
@@ -35,6 +43,7 @@
 #include "quamax/obs/trace.hpp"
 #include "quamax/sched/client.hpp"
 #include "quamax/serve/load_gen.hpp"
+#include "quamax/serve/metrics_export.hpp"
 #include "quamax/serve/service.hpp"
 #include "quamax/sim/report.hpp"
 #include "quamax/sim/runner.hpp"
@@ -49,9 +58,16 @@ int main(int argc, char** argv) {
       quamax::sched::parse_queue_policy(quamax::sim::cli_queue_policy(argc, argv));
   const std::string trace_path = quamax::sim::cli_trace(argc, argv);
   const bool prof = quamax::sim::cli_prof(argc, argv);
+  const std::string prof_json = quamax::sim::cli_prof_json(argc, argv);
   using namespace quamax;
 
-  if (prof) obs::Profiler::instance().set_enabled(true);
+  serve::MetricsOptions metrics;
+  metrics.path = sim::cli_metrics(argc, argv);
+  metrics.window_us = sim::cli_metrics_window(argc, argv);
+  metrics.slo = sim::cli_slo(argc, argv);
+  if (metrics.slo.empty()) metrics.slo = "miss_rate<=0.05";
+
+  if (prof || !prof_json.empty()) obs::Profiler::instance().set_enabled(true);
   obs::TraceLog trace_log;
 
   const std::size_t num_jobs = sim::scaled(160);
@@ -88,8 +104,11 @@ int main(int argc, char** argv) {
   for (const bool packing : {true, false}) {
     cfg.packing = packing;
     // Trace the packing-ON run: its wave structure (8 jobs folded into one
-    // chip wave per subframe) is the interesting picture.
-    cfg.trace = (packing && !trace_path.empty()) ? &trace_log : nullptr;
+    // chip wave per subframe) is the interesting picture, and the windowed
+    // series below is derived from this event stream.  The sink is always
+    // attached for that run — tracing never drifts stdout, so the walkthrough
+    // prints identical text with or without --trace / --metrics.
+    cfg.trace = packing ? &trace_log : nullptr;
     serve::DecodeService service(cfg);
     serve::LoadGenerator generator(load, 0xA2905);
     const serve::ServiceReport report =
@@ -113,6 +132,51 @@ int main(int argc, char** argv) {
                         sim::fmt_us(rec.completion_us),
                         sim::fmt_count(rec.wave_id),
                         sim::fmt_count(rec.bit_errors)});
+      }
+
+      // Windowed telemetry (obs v2): tumble the traced event stream into
+      // fixed virtual-clock windows and evaluate the SLO spec with
+      // multi-window burn-rate alerting.  Alerts are also injected into the
+      // trace (their own "slo alerts" track when --trace is set).
+      const serve::WindowedView view =
+          serve::window_trace(trace_log, cfg, metrics, &trace_log);
+      std::printf("\nwindowed miss-rate series (window %.0f us, SLO %s):\n",
+                  view.collector.width_us(), metrics.slo.c_str());
+      sim::print_columns({"window", "t [ms]", "miss rate", "completed",
+                          "queue", "occupancy", "watts", "p99 [us]"});
+      for (const auto& w : view.collector.windows()) {
+        sim::print_row({std::to_string(w.index),
+                        sim::fmt_double(w.start_us / 1000.0, 1),
+                        sim::fmt_double(w.miss_rate, 3),
+                        std::to_string(w.completed),
+                        std::to_string(w.queue_depth),
+                        sim::fmt_double(w.occupancy, 2),
+                        sim::fmt_double(w.watts, 0),
+                        sim::fmt_double(w.latency.quantile(99.0), 0)});
+      }
+      std::size_t alerts = 0;
+      for (const auto& report : view.slos) {
+        for (const auto& alert : report.alerts) {
+          ++alerts;
+          std::printf("ALERT %s window %zu [%.0f, %.0f) us: value %.4f "
+                      "(long %.4f), burn %.2fx\n",
+                      alert.slo.c_str(), alert.window, alert.start_us,
+                      alert.end_us, alert.value, alert.long_value, alert.burn);
+        }
+      }
+      if (alerts == 0)
+        std::printf("no SLO alerts: every window held %s\n",
+                    metrics.slo.c_str());
+      const auto& totals = view.collector.totals();
+      std::printf("energy accounting: %.3f J over the run, %.6f J per "
+                  "decoded bit\n",
+                  totals.energy_j, totals.joules_per_bit);
+
+      if (!metrics.path.empty()) {
+        if (serve::export_metrics(view, metrics))
+          std::cerr << "metrics written to " << metrics.path << "\n";
+        else
+          std::cerr << "metrics write FAILED: " << metrics.path << "\n";
       }
     }
   }
@@ -174,5 +238,11 @@ int main(int argc, char** argv) {
       std::cerr << "trace write FAILED: " << trace_path << "\n";
   }
   if (prof) obs::Profiler::instance().dump(std::cerr, 5);
+  if (!prof_json.empty()) {
+    if (obs::Profiler::instance().dump_json_file(prof_json))
+      std::cerr << "profile json written to " << prof_json << "\n";
+    else
+      std::cerr << "prof-json: could not write " << prof_json << "\n";
+  }
   return 0;
 }

@@ -71,6 +71,21 @@ class Profiler {
   /// stages.  Callers print to stderr: serving binaries byte-diff stdout.
   void dump(std::ostream& out, std::size_t top_n = 0);
 
+  /// Renders table() as a JSON array of stage objects, each also carrying
+  /// its `quamax_prof_<stage>_{calls,total_ns}` counter spellings (stage
+  /// names sanitized to [a-z0-9_]) — the machine-readable `--prof-json`
+  /// output that tools/bench_to_json.py carries into bench records.
+  void dump_json(std::ostream& out);
+
+  /// The sanitized counter prefix dump_json uses for `name`, e.g.
+  /// "anneal.batch_sweep" -> "quamax_prof_anneal_batch_sweep".
+  static std::string counter_prefix(const std::string& name);
+
+  /// dump_json to `path` (truncating); the shared `--prof-json FILE`
+  /// backend.  Returns false if the file cannot be written.  Never touches
+  /// stdout — serving binaries byte-diff their stdout in CI.
+  bool dump_json_file(const std::string& path);
+
   /// Clears all samples (live lane tables and retired totals); registered
   /// stage names survive so stage ids stay valid.
   void reset();

@@ -54,13 +54,24 @@ struct JobDispatchEvent {
   int device = 0;
   double dispatch_us = 0.0;
   double completion_us = 0.0;
+  /// Payload bits the job carries (Gray-coded tx bits) — a pure function of
+  /// the job, known before any decode runs, so the energy accounting can
+  /// compute joules-per-decoded-bit from the trace alone.
+  std::size_t num_bits = 0;
 };
 
-/// Job swept as a deadline miss before it could be dispatched.
+/// Job swept as a deadline miss before it could be dispatched — also the
+/// terminal-failure record (retry budget exhausted with no fallback), which
+/// shares this event so downstream tooling needs no third terminal kind.
 struct JobDropEvent {
   std::uint64_t job_id = 0;
   double drop_us = 0.0;
   double deadline_us = 0.0;
+  /// True when the job was IN FLIGHT on a failed wave when it resolved (the
+  /// retry/fallback ladder), false when it was swept out of the queue.  The
+  /// windowed queue-depth reconstruction needs the distinction: mid-flight
+  /// terminals already left the queue at their wave's dispatch.
+  bool mid_flight = false;
 };
 
 /// Wave dispatched to a device: the device-occupancy slice plus the
@@ -120,6 +131,25 @@ struct JobFallbackEvent {
   double deadline_us = 0.0;
   std::size_t bit_errors = 0;
   std::size_t num_bits = 0;
+  /// See JobDropEvent::mid_flight: true for the failed-wave ladder, false
+  /// for queue-side degradations (doomed sweep, unservable shape).
+  bool mid_flight = false;
+};
+
+/// SLO burn-rate breach (obs::SloMonitor): the trailing short- AND
+/// long-window values both exceeded the spec's threshold at this window.
+/// Alerts are a pure function of the windowed series, evaluated after the
+/// run on the driver thread, so they are as deterministic as the digest —
+/// the exporter renders them as a dedicated Chrome-trace track.
+struct AlertEvent {
+  std::string slo;            ///< spec name, e.g. "miss_rate<=0.05"
+  std::size_t window = 0;     ///< index of the breaching window
+  double start_us = 0.0;      ///< breaching window bounds (virtual clock)
+  double end_us = 0.0;
+  double value = 0.0;         ///< short-window value of the monitored signal
+  double long_value = 0.0;    ///< long-window value
+  double threshold = 0.0;     ///< the spec's bound
+  double burn = 0.0;          ///< value / threshold (burn rate, short window)
 };
 
 /// Sink interface the scheduler emits into.  All callbacks run on the
@@ -137,6 +167,9 @@ class TraceSink {
   virtual void on_device_up(const DeviceUpEvent&) {}
   virtual void on_job_retry(const JobRetryEvent&) {}
   virtual void on_job_fallback(const JobFallbackEvent&) {}
+  /// Unlike the scheduler events above, alerts are injected AFTER the run
+  /// by SloMonitor (still driver-thread, still RNG-free).
+  virtual void on_alert(const AlertEvent&) {}
 };
 
 /// In-memory sink: appends events in emission order (which is itself
@@ -159,6 +192,7 @@ class TraceLog final : public TraceSink {
   void on_job_fallback(const JobFallbackEvent& e) override {
     fallbacks_.push_back(e);
   }
+  void on_alert(const AlertEvent& e) override { alerts_.push_back(e); }
 
   const std::vector<JobSubmitEvent>& submits() const { return submits_; }
   const std::vector<JobDispatchEvent>& dispatches() const {
@@ -170,6 +204,7 @@ class TraceLog final : public TraceSink {
   const std::vector<DeviceUpEvent>& ups() const { return ups_; }
   const std::vector<JobRetryEvent>& retries() const { return retries_; }
   const std::vector<JobFallbackEvent>& fallbacks() const { return fallbacks_; }
+  const std::vector<AlertEvent>& alerts() const { return alerts_; }
 
   void clear() {
     submits_.clear();
@@ -180,6 +215,7 @@ class TraceLog final : public TraceSink {
     ups_.clear();
     retries_.clear();
     fallbacks_.clear();
+    alerts_.clear();
   }
 
  private:
@@ -191,6 +227,7 @@ class TraceLog final : public TraceSink {
   std::vector<DeviceUpEvent> ups_;
   std::vector<JobRetryEvent> retries_;
   std::vector<JobFallbackEvent> fallbacks_;
+  std::vector<AlertEvent> alerts_;
 };
 
 /// Writes the log as Chrome trace-event JSON (catapult "traceEvents"
@@ -199,8 +236,10 @@ class TraceLog final : public TraceSink {
 /// device d, carrying each wave as a complete ("X") slice with nested
 /// program/anneal/readout child slices.  Every job gets a flow arrow
 /// (s/f events keyed by job id) from its submit instant to its wave slice.
-/// Timestamps are virtual-clock microseconds written verbatim — the
-/// trace-event "ts" unit is also microseconds.
+/// SLO alerts (if any were injected via on_alert) get a dedicated
+/// "slo alerts" track after the device tracks.  Timestamps are
+/// virtual-clock microseconds written verbatim — the trace-event "ts" unit
+/// is also microseconds.
 void write_chrome_trace(const TraceLog& log, std::ostream& out);
 
 /// Convenience wrapper: opens `path` (truncating) and writes the trace.

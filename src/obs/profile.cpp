@@ -1,7 +1,9 @@
 #include "quamax/obs/profile.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <fstream>
 #include <mutex>
 #include <ostream>
 #include <unordered_map>
@@ -146,6 +148,41 @@ void Profiler::dump(std::ostream& out, std::size_t top_n) {
                   static_cast<double>(r.total_ns) / 1e6, r.lanes);
     out << line;
   }
+}
+
+std::string Profiler::counter_prefix(const std::string& name) {
+  std::string out = "quamax_prof_";
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      out += '_';
+    }
+  }
+  return out;
+}
+
+void Profiler::dump_json(std::ostream& out) {
+  const std::vector<StageTotals> rows = table();
+  out << "{\"stages\":[";
+  bool first = true;
+  for (const StageTotals& r : rows) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    const std::string prefix = counter_prefix(r.name);
+    out << "{\"stage\":\"" << r.name << "\",\"calls\":" << r.calls
+        << ",\"total_ns\":" << r.total_ns << ",\"lanes\":" << r.lanes << ",\""
+        << prefix << "_calls\":" << r.calls << ",\"" << prefix
+        << "_total_ns\":" << r.total_ns << "}";
+  }
+  out << "\n]}\n";
+}
+
+bool Profiler::dump_json_file(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  dump_json(out);
+  return out.good();
 }
 
 void Profiler::reset() {

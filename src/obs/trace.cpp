@@ -83,13 +83,17 @@ void write_chrome_trace(const TraceLog& log, std::ostream& out) {
   for (const auto& down : log.downs())
     if (down.device > max_device) max_device = down.device;
 
-  // Track metadata: tid 0 = arrivals, tid 1+d = modeled device d.
+  // Track metadata: tid 0 = arrivals, tid 1+d = modeled device d, and (only
+  // when alerts were injected) one "slo alerts" track after the devices.
   w.emit(
       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
       "\"args\":{\"name\":\"quamax virtual clock\"}}");
   w.emit(meta_thread_name(0, "arrivals"));
   for (int d = 0; d <= max_device; ++d)
     w.emit(meta_thread_name(1 + d, "device " + std::to_string(d)));
+  const int alert_tid = 2 + max_device;
+  if (!log.alerts().empty())
+    w.emit(meta_thread_name(alert_tid, "slo alerts"));
 
   // Arrival track: one instant per submit and per drop, plus the flow
   // origin ("s") for each job at its submit time.
@@ -110,7 +114,8 @@ void write_chrome_trace(const TraceLog& log, std::ostream& out) {
     w.emit("{\"name\":\"job " + std::to_string(e.job_id) +
            " drop\",\"ph\":\"i\",\"pid\":1,\"tid\":0,\"s\":\"t\",\"ts\":" +
            num(e.drop_us) + ",\"args\":{\"job\":" + std::to_string(e.job_id) +
-           ",\"deadline_us\":" + num(e.deadline_us) + "}}");
+           ",\"deadline_us\":" + num(e.deadline_us) + ",\"mid_flight\":" +
+           (e.mid_flight ? "true" : "false") + "}}");
   }
   // Fault-injection instants share the arrival track: retries (a failed
   // wave's member re-queued) and fallbacks (a job degraded to the classical
@@ -132,7 +137,8 @@ void write_chrome_trace(const TraceLog& log, std::ostream& out) {
            ",\"direction\":" + std::to_string(e.direction) +
            ",\"deadline_us\":" + num(e.deadline_us) +
            ",\"bit_errors\":" + std::to_string(e.bit_errors) +
-           ",\"num_bits\":" + std::to_string(e.num_bits) + "}}");
+           ",\"num_bits\":" + std::to_string(e.num_bits) +
+           ",\"mid_flight\":" + (e.mid_flight ? "true" : "false") + "}}");
   }
   // Outage windows as slices on the device tracks (paired Up events are
   // redundant with the window bounds the Down event already carries, so the
@@ -185,7 +191,24 @@ void write_chrome_trace(const TraceLog& log, std::ostream& out) {
            std::to_string(e.job_id) + ",\"pid\":1,\"tid\":" +
            std::to_string(1 + e.device) + ",\"ts\":" + num(e.dispatch_us) +
            ",\"args\":{\"wave\":" + std::to_string(e.wave_id) +
-           ",\"completion_us\":" + num(e.completion_us) + "}}");
+           ",\"completion_us\":" + num(e.completion_us) +
+           ",\"num_bits\":" + std::to_string(e.num_bits) + "}}");
+  }
+
+  // SLO alert track: one instant per burn-rate breach (obs::SloMonitor),
+  // carrying the breaching window and the short/long-window values so the
+  // dip is inspectable next to the device timelines.
+  for (const auto& e : log.alerts()) {
+    w.emit("{\"name\":\"slo-alert " + escaped(e.slo) +
+           "\",\"ph\":\"i\",\"pid\":1,\"tid\":" + std::to_string(alert_tid) +
+           ",\"s\":\"t\",\"ts\":" + num(e.start_us) +
+           ",\"args\":{\"slo\":\"" + escaped(e.slo) +
+           "\",\"window\":" + std::to_string(e.window) +
+           ",\"window_end_us\":" + num(e.end_us) +
+           ",\"value\":" + num(e.value) +
+           ",\"long_value\":" + num(e.long_value) +
+           ",\"threshold\":" + num(e.threshold) +
+           ",\"burn\":" + num(e.burn) + "}}");
   }
 
   w.finish();

@@ -293,8 +293,12 @@ class Scheduler {
                       double dispatch_us, double completion_us);
   /// Terminal outcomes.  `dispatch_us` is the failed wave's dispatch (==
   /// t_us for never-dispatched jobs); completion is t_us in both cases.
-  void finalize_fallback(std::size_t seq, double dispatch_us, double t_us);
-  void finalize_failed(std::size_t seq, double dispatch_us, double t_us);
+  /// `mid_flight` marks the failed-wave ladder (the job already left the
+  /// queue at its wave's dispatch) for the trace events only.
+  void finalize_fallback(std::size_t seq, double dispatch_us, double t_us,
+                         bool mid_flight = false);
+  void finalize_failed(std::size_t seq, double dispatch_us, double t_us,
+                       bool mid_flight = false);
   /// Job `seq`'s earliest legal service start at dispatch instant `t_us`
   /// (arrival and retry-backoff readiness both bound it) — the doom
   /// predicate's start time.

@@ -438,9 +438,11 @@ bool Scheduler::process_faults(double t_us) {
             continue;
           }
           if (config_.fallback != fault::FallbackMode::kNone)
-            finalize_fallback(seq, wave.dispatch_us, wave.fail_us);
+            finalize_fallback(seq, wave.dispatch_us, wave.fail_us,
+                              /*mid_flight=*/true);
           else
-            finalize_failed(seq, wave.dispatch_us, wave.fail_us);
+            finalize_failed(seq, wave.dispatch_us, wave.fail_us,
+                            /*mid_flight=*/true);
           finalized = true;
         }
         if (requeued && !parked_.empty()) {
@@ -497,7 +499,7 @@ double Scheduler::wave_fail_us(std::size_t device, std::size_t wave_id,
 }
 
 void Scheduler::finalize_fallback(std::size_t seq, double dispatch_us,
-                                  double t_us) {
+                                  double t_us, bool mid_flight) {
   const fault::ClassicalDecode decode =
       fault::classical_decode(jobs_[seq], config_.fallback);
   serve::JobRecord& record = records_[seq];
@@ -518,13 +520,14 @@ void Scheduler::finalize_fallback(std::size_t seq, double dispatch_us,
     event.deadline_us = jobs_[seq].deadline_us;
     event.bit_errors = decode.bit_errors;
     event.num_bits = decode.num_bits;
+    event.mid_flight = mid_flight;
     config_.trace->on_job_fallback(event);
   }
   if (hook_) hook_(jobs_[seq], t_us);
 }
 
 void Scheduler::finalize_failed(std::size_t seq, double dispatch_us,
-                                double t_us) {
+                                double t_us, bool mid_flight) {
   serve::JobRecord& record = records_[seq];
   record.failed = true;
   record.retries = job_retries_[seq];
@@ -539,6 +542,7 @@ void Scheduler::finalize_failed(std::size_t seq, double dispatch_us,
     event.job_id = jobs_[seq].id;
     event.drop_us = t_us;
     event.deadline_us = jobs_[seq].deadline_us;
+    event.mid_flight = mid_flight;
     config_.trace->on_job_drop(event);
   }
   if (hook_) hook_(jobs_[seq], t_us);
@@ -718,6 +722,9 @@ void Scheduler::dispatch_wave(std::size_t device, double t_free_us,
       event.device = static_cast<int>(device);
       event.dispatch_us = wave.dispatch_us;
       event.completion_us = wave.completion_us;
+      event.num_bits = jobs_[seq].downlink()
+                           ? jobs_[seq].precode().tx_bits.size()
+                           : jobs_[seq].uplink().use.tx_bits.size();
       config_.trace->on_job_dispatch(event);
     }
     if (hook_) hook_(jobs_[seq], wave.completion_us);

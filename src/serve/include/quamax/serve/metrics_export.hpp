@@ -1,0 +1,55 @@
+// Shared `--metrics` / `--slo` backend for the serving binaries.
+//
+// Every binary that serves a traced run (bench_serve_load, bench_fault,
+// bench_warmstart, examples/cran_service) wants the same post-run dance:
+// window the TraceLog on the service's device pool, evaluate the SLO spec
+// text, inject the resulting alerts back into the log (so the Chrome trace
+// grows its "slo alerts" track), and dump the windowed series + Prometheus
+// snapshot to the --metrics path.  This header is that dance, once —
+// binaries keep exactly ONE sink (their TraceLog) attached to the
+// scheduler and derive everything else offline, preserving the PR 8
+// zero-drift rule by construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "quamax/obs/slo.hpp"
+#include "quamax/obs/window.hpp"
+#include "quamax/serve/service.hpp"
+
+namespace quamax::serve {
+
+/// The `--metrics FILE` / `--metrics-window US` / `--slo SPECS` knob
+/// bundle, as read by sim::cli_metrics / cli_metrics_window / cli_slo.
+struct MetricsOptions {
+  std::string path;       ///< output file; empty = no dump (windowing may
+                          ///< still run for in-process consumers)
+  double window_us = 0.0; ///< tumbling width; 0 = auto (horizon / 20)
+  std::string slo;        ///< SLO spec text; empty = no monitoring
+
+  bool enabled() const { return !path.empty() || !slo.empty(); }
+};
+
+/// A finished windowed view of one traced run.
+struct WindowedView {
+  obs::WindowedCollector collector;
+  std::vector<obs::SloReport> slos;
+};
+
+/// Windows `log` for a run of the service described by `cfg` (device count
+/// and per-device power model come from cfg.device_specs, or num_devices
+/// copies of the default 25 kW model when specs are empty), evaluates
+/// `opts.slo`, and — when `alert_sink` is non-null — injects every alert
+/// into it (pass the TraceLog itself to grow the Chrome-trace alert
+/// track).  Throws quamax::InvalidArgument on a malformed SLO spec.
+WindowedView window_trace(const obs::TraceLog& log, const ServiceConfig& cfg,
+                          const MetricsOptions& opts,
+                          obs::TraceSink* alert_sink = nullptr);
+
+/// Writes `view` to opts.path via obs::write_metrics_file (JSON, or CSV for
+/// a ".csv" path, plus the ".prom" snapshot).  Returns true when opts.path
+/// is empty (nothing to do) or the write succeeded.
+bool export_metrics(const WindowedView& view, const MetricsOptions& opts);
+
+}  // namespace quamax::serve

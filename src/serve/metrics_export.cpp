@@ -1,0 +1,43 @@
+#include "quamax/serve/metrics_export.hpp"
+
+#include <utility>
+
+#include "quamax/common/error.hpp"
+#include "quamax/obs/metrics.hpp"
+
+namespace quamax::serve {
+
+WindowedView window_trace(const obs::TraceLog& log, const ServiceConfig& cfg,
+                          const MetricsOptions& opts,
+                          obs::TraceSink* alert_sink) {
+  std::vector<obs::SloSpec> specs;
+  if (!opts.slo.empty()) {
+    std::string error;
+    specs = obs::parse_slo_specs(opts.slo, &error);
+    if (specs.empty()) throw InvalidArgument("--slo: " + error);
+  }
+
+  WindowedView view{obs::WindowedCollector({opts.window_us}), {}};
+  view.collector.ingest(log);
+  const std::size_t devices =
+      cfg.device_specs.empty() ? cfg.num_devices : cfg.device_specs.size();
+  std::vector<obs::DevicePower> power;
+  power.reserve(cfg.device_specs.size());
+  for (const auto& spec : cfg.device_specs) power.push_back(spec.power);
+  view.collector.set_devices(devices, std::move(power));
+  view.collector.finalize();
+
+  if (!specs.empty()) {
+    const obs::SloMonitor monitor(std::move(specs));
+    view.slos = monitor.evaluate(view.collector);
+    if (alert_sink != nullptr) obs::SloMonitor::annotate(view.slos, *alert_sink);
+  }
+  return view;
+}
+
+bool export_metrics(const WindowedView& view, const MetricsOptions& opts) {
+  if (opts.path.empty()) return true;
+  return obs::write_metrics_file(view.collector, view.slos, opts.path);
+}
+
+}  // namespace quamax::serve

@@ -192,6 +192,46 @@ std::string cli_trace(int argc, char** argv);
 /// stderr at exit.  Results are unaffected; only wall time is observed.
 bool cli_prof(int argc, char** argv);
 
+/// Reads the QUAMAX_METRICS environment variable: output path for the
+/// windowed telemetry dump of a served run (JSON, or CSV when the path ends
+/// in ".csv"; a Prometheus snapshot lands at path + ".prom").  Empty =
+/// metrics off.  Pure observability — digests are byte-identical either way.
+std::string env_metrics();
+
+/// The serving-binary `--metrics FILE` knob (also `--metrics=FILE`); falls
+/// back to env_metrics() when the flag is absent.  Throws InvalidArgument
+/// on an empty path.
+std::string cli_metrics(int argc, char** argv);
+
+/// Reads the QUAMAX_METRICS_WINDOW environment variable: tumbling-window
+/// width in virtual-clock microseconds for the --metrics series (default
+/// 0 = auto, horizon / 20).
+double env_metrics_window();
+
+/// The serving-binary `--metrics-window US` knob (also
+/// `--metrics-window=US`); falls back to env_metrics_window() when absent.
+double cli_metrics_window(int argc, char** argv);
+
+/// Reads the QUAMAX_SLO environment variable: comma-separated SLO spec list
+/// (obs::parse_slo_specs grammar, e.g. "miss_rate<=0.05@4/1,p99<=2500";
+/// empty = no SLO monitoring).  The sim layer only transports the spelling;
+/// parsing/validation happens in quamax::obs.
+std::string env_slo();
+
+/// The serving-binary `--slo SPECS` knob (also `--slo=SPECS`); falls back
+/// to env_slo() when the flag is absent.
+std::string cli_slo(int argc, char** argv);
+
+/// Reads the QUAMAX_PROF_JSON environment variable: output path for the
+/// machine-readable per-stage profile table (obs::Profiler JSON, the
+/// `quamax_prof_*` counters bench_to_json.py carries).  Empty = off.
+std::string env_prof_json();
+
+/// The bench/example `--prof-json FILE` knob (also `--prof-json=FILE`);
+/// implies profiling just like `--prof`.  Falls back to env_prof_json()
+/// when the flag is absent.
+std::string cli_prof_json(int argc, char** argv);
+
 /// Reads the QUAMAX_FAULT_PLAN environment variable: path to a
 /// fault::load_fault_plan schedule file (empty = no fault injection — the
 /// historical fault-free service, bit for bit).  The sim layer only
@@ -223,7 +263,8 @@ std::string cli_fallback(int argc, char** argv);
 /// argv entries that are not part of the --threads / --replicas /
 /// --accept-mode / --devices / --queue-policy / --downlink / --tau /
 /// --coherence / --trace / --fault-plan / --max-retries / --fallback /
-/// --prof flags (program name excluded), in order.
+/// --metrics / --metrics-window / --slo / --prof-json / --prof flags
+/// (program name excluded), in order.
 /// Binaries with positional arguments parse these instead of argv so their
 /// positional handling cannot drift out of sync with the flag spellings.
 std::vector<std::string> positional_args(int argc, char** argv);

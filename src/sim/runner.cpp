@@ -396,6 +396,71 @@ std::string cli_queue_policy(int argc, char** argv) {
   return env_queue_policy();
 }
 
+std::string env_metrics() {
+  const char* raw = std::getenv("QUAMAX_METRICS");
+  return raw == nullptr ? "" : raw;
+}
+
+std::string cli_metrics(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (flag_at("metrics", argc, argv, i, value, consumed)) {
+      require(!value.empty(), "--metrics: need an output path");
+      return value;
+    }
+  }
+  return env_metrics();
+}
+
+double env_metrics_window() {
+  const char* raw = std::getenv("QUAMAX_METRICS_WINDOW");
+  if (raw == nullptr) return 0.0;
+  return parse_nonnegative(raw, "--metrics-window / QUAMAX_METRICS_WINDOW");
+}
+
+double cli_metrics_window(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (flag_at("metrics-window", argc, argv, i, value, consumed))
+      return parse_nonnegative(value,
+                               "--metrics-window / QUAMAX_METRICS_WINDOW");
+  }
+  return env_metrics_window();
+}
+
+std::string env_slo() {
+  const char* raw = std::getenv("QUAMAX_SLO");
+  return raw == nullptr ? "" : raw;
+}
+
+std::string cli_slo(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (flag_at("slo", argc, argv, i, value, consumed)) return value;
+  }
+  return env_slo();
+}
+
+std::string env_prof_json() {
+  const char* raw = std::getenv("QUAMAX_PROF_JSON");
+  return raw == nullptr ? "" : raw;
+}
+
+std::string cli_prof_json(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (flag_at("prof-json", argc, argv, i, value, consumed)) {
+      require(!value.empty(), "--prof-json: need an output path");
+      return value;
+    }
+  }
+  return env_prof_json();
+}
+
 std::string env_fault_plan() {
   const char* raw = std::getenv("QUAMAX_FAULT_PLAN");
   return raw == nullptr ? "" : raw;
@@ -454,7 +519,11 @@ std::vector<std::string> positional_args(int argc, char** argv) {
         flag_at("trace", argc, argv, i, value, consumed) ||
         flag_at("fault-plan", argc, argv, i, value, consumed) ||
         flag_at("max-retries", argc, argv, i, value, consumed) ||
-        flag_at("fallback", argc, argv, i, value, consumed)) {
+        flag_at("fallback", argc, argv, i, value, consumed) ||
+        flag_at("metrics", argc, argv, i, value, consumed) ||
+        flag_at("metrics-window", argc, argv, i, value, consumed) ||
+        flag_at("slo", argc, argv, i, value, consumed) ||
+        flag_at("prof-json", argc, argv, i, value, consumed)) {
       i += consumed;
       continue;
     }

@@ -19,15 +19,21 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "quamax/common/rng.hpp"
 #include "quamax/common/stats.hpp"
+#include "quamax/fault/plan.hpp"
+#include "quamax/obs/metrics.hpp"
 #include "quamax/obs/registry.hpp"
 #include "quamax/obs/sketch.hpp"
+#include "quamax/obs/slo.hpp"
 #include "quamax/obs/trace.hpp"
+#include "quamax/obs/window.hpp"
 #include "quamax/sched/client.hpp"
 #include "quamax/serve/load_gen.hpp"
 #include "quamax/serve/service.hpp"
@@ -325,6 +331,263 @@ TEST(TraceSinkTest, AsyncClientEmitsIdenticalEventStream) {
               batch_log.waves()[i].completion_us);
     EXPECT_EQ(async_log.waves()[i].num_jobs, batch_log.waves()[i].num_jobs);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Windowed telemetry, duty-cycle/energy accounting, and SLO alerts (obs v2).
+
+/// Serializes every derived byte of a finalized collector (windows, devices,
+/// totals, SLO reports) — the bit-identity oracle for the tests below.
+std::string windowed_digest(const obs::WindowedCollector& collector,
+                            const std::vector<obs::SloReport>& slos = {}) {
+  std::ostringstream out;
+  obs::write_metrics_json(collector, slos, out);
+  return out.str();
+}
+
+/// Windows a finished trace the way the serving binaries do.
+obs::WindowedCollector window_log(const obs::TraceLog& log,
+                                  std::size_t devices) {
+  obs::WindowedCollector collector;
+  collector.ingest(log);
+  collector.set_devices(devices);
+  collector.finalize();
+  return collector;
+}
+
+/// fast_service under a scripted mid-run outage with retries + classical
+/// fallback: exercises every event kind the collector windows (retries,
+/// failed waves, fallbacks, device down/up), and resolves every job so the
+/// accounting invariants below are total.
+serve::ServiceConfig storm_service(std::size_t threads = 1,
+                                   std::size_t replicas = 8) {
+  serve::ServiceConfig cfg = fast_service(threads, replicas);
+  auto storm = std::make_shared<fault::FaultPlan>();
+  storm->outages.push_back({0, 150.0, 650.0});
+  cfg.fault = std::move(storm);
+  cfg.max_retries = 1;
+  cfg.retry_backoff_us = 10.0;
+  cfg.fallback = fault::FallbackMode::kZf;
+  return cfg;
+}
+
+obs::TraceLog trace_storm(std::size_t threads = 1, std::size_t replicas = 8) {
+  obs::TraceLog log;
+  serve::ServiceConfig cfg = storm_service(threads, replicas);
+  cfg.trace = &log;
+  serve::DecodeService service(cfg);
+  serve::LoadGenerator gen(bpsk8_load(120.0, /*deadline_us=*/200.0), 0x57043);
+  service.run(gen.open_loop(48));
+  return log;
+}
+
+TEST(WindowedCollectorTest, SeriesBitIdenticalAcrossThreadsAndReplicas) {
+  const std::string baseline = windowed_digest(window_log(trace_storm(), 1));
+  EXPECT_NE(baseline.find("\"windows\":"), std::string::npos);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    for (const std::size_t replicas : {std::size_t{1}, std::size_t{16}}) {
+      EXPECT_EQ(windowed_digest(window_log(trace_storm(threads, replicas), 1)),
+                baseline)
+          << "windowed series drifted at threads=" << threads
+          << " replicas=" << replicas;
+    }
+  }
+}
+
+TEST(WindowedCollectorTest, SeriesBitIdenticalAcrossPollCadence) {
+  serve::LoadGenerator gen(bpsk8_load(120.0), 0x57EA);
+  const std::vector<serve::CellJob> jobs = gen.open_loop(32);
+
+  obs::TraceLog batch_log;
+  serve::ServiceConfig cfg = fast_service();
+  cfg.trace = &batch_log;
+  serve::DecodeService(cfg).run(jobs);
+  const std::string baseline = windowed_digest(window_log(batch_log, 1));
+
+  for (const std::size_t cadence : {std::size_t{1}, std::size_t{7}}) {
+    obs::TraceLog async_log;
+    sched::SchedConfig async_cfg;
+    async_cfg.annealer = cfg.annealer;
+    async_cfg.devices = sched::uniform_devices(cfg.annealer, 1);
+    async_cfg.num_anneals = cfg.num_anneals;
+    async_cfg.program_overhead_us = cfg.program_overhead_us;
+    async_cfg.seed = cfg.seed;
+    async_cfg.trace = &async_log;
+    sched::SchedClient client(async_cfg);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      client.submit(jobs[i]);
+      if ((i + 1) % cadence == 0) client.poll();
+    }
+    client.drain();
+    EXPECT_EQ(windowed_digest(window_log(async_log, 1)), baseline)
+        << "windowed series drifted at poll cadence " << cadence;
+  }
+}
+
+TEST(WindowedCollectorTest, MergeIsAssociativeBitForBit) {
+  const obs::TraceLog log = trace_storm();
+  ASSERT_FALSE(log.retries().empty()) << "storm produced no retries";
+  ASSERT_FALSE(log.fallbacks().empty()) << "storm produced no fallbacks";
+
+  // Scatter the event stream round-robin across three shards — the shape a
+  // per-device or per-shard deployment would hand back.
+  obs::TraceLog shards[3];
+  std::size_t turn = 0;
+  const auto pick = [&]() -> obs::TraceLog& { return shards[turn++ % 3]; };
+  for (const auto& e : log.submits()) pick().on_job_submit(e);
+  for (const auto& e : log.dispatches()) pick().on_job_dispatch(e);
+  for (const auto& e : log.drops()) pick().on_job_drop(e);
+  for (const auto& e : log.waves()) pick().on_wave(e);
+  for (const auto& e : log.downs()) pick().on_device_down(e);
+  for (const auto& e : log.ups()) pick().on_device_up(e);
+  for (const auto& e : log.retries()) pick().on_job_retry(e);
+  for (const auto& e : log.fallbacks()) pick().on_job_fallback(e);
+
+  const std::string whole = windowed_digest(window_log(log, 1));
+
+  // (A + B) + C and A + (B + C), with finalize() already run on the inputs:
+  // merge folds raw buffers, so stale derived state cannot leak through.
+  obs::WindowedCollector left;
+  left.ingest(shards[0]);
+  left.finalize();
+  obs::WindowedCollector mid;
+  mid.ingest(shards[1]);
+  left.merge(mid);
+  obs::WindowedCollector right;
+  right.ingest(shards[2]);
+  left.merge(right);
+  left.set_devices(1);
+  left.finalize();
+  EXPECT_EQ(windowed_digest(left), whole);
+
+  obs::WindowedCollector bc;
+  bc.ingest(shards[1]);
+  obs::WindowedCollector c;
+  c.ingest(shards[2]);
+  bc.merge(c);
+  obs::WindowedCollector a;
+  a.ingest(shards[0]);
+  a.merge(bc);
+  a.set_devices(1);
+  a.finalize();
+  EXPECT_EQ(windowed_digest(a), whole);
+}
+
+TEST(WindowedCollectorTest, DutyCycleAndEnergyConserve) {
+  const obs::TraceLog log = trace_storm();
+  const obs::WindowedCollector collector = window_log(log, 1);
+  const obs::WindowedTotals& totals = collector.totals();
+  const double horizon = collector.horizon_us();
+
+  // Windows tile [0, H] and counters conserve window-wise to the totals.
+  ASSERT_FALSE(collector.windows().empty());
+  EXPECT_EQ(collector.windows().front().start_us, 0.0);
+  EXPECT_GE(collector.windows().back().end_us, horizon);
+  std::int64_t submitted = 0, resolved = 0, bits = 0, retries = 0;
+  double window_busy = 0.0, window_energy = 0.0;
+  for (std::size_t i = 0; i < collector.windows().size(); ++i) {
+    const obs::WindowStats& w = collector.windows()[i];
+    EXPECT_EQ(w.index, i);
+    if (i > 0) {
+      EXPECT_EQ(w.start_us, collector.windows()[i - 1].end_us);
+    }
+    EXPECT_GE(w.queue_depth, 0);
+    submitted += w.submitted;
+    resolved += w.resolved;
+    bits += w.bits;
+    retries += w.retries;
+    window_busy += w.busy_us;
+    window_energy += w.energy_j;
+  }
+  EXPECT_EQ(submitted, totals.submitted);
+  EXPECT_EQ(resolved, totals.resolved);
+  EXPECT_EQ(bits, totals.bits);
+  EXPECT_EQ(retries, totals.retries);
+  EXPECT_EQ(collector.windows().back().queue_depth, 0) << "queue not drained";
+  EXPECT_GT(totals.retries, 0) << "storm produced no retries";
+  EXPECT_EQ(totals.submitted,
+            totals.completed + totals.fallbacks + totals.dropped);
+
+  // Per-device tiling: phases + outage + idle == horizon, attributed busy
+  // time == the independently summed wave extents, energy conserves.
+  ASSERT_EQ(collector.devices().size(), 1u);
+  double device_busy = 0.0, device_energy = 0.0;
+  for (const obs::DeviceUsage& d : collector.devices()) {
+    EXPECT_NEAR(d.busy_us() + d.outage_us + d.idle_us, horizon,
+                1e-9 * horizon);
+    EXPECT_GE(d.idle_us, 0.0);
+    EXPECT_GT(d.outage_us, 0.0) << "scripted outage not attributed";
+    EXPECT_GT(d.aborted_us, 0.0) << "failed waves not attributed";
+    device_busy += d.busy_us();
+    device_energy += d.energy_j;
+  }
+  EXPECT_NEAR(device_busy, totals.wave_busy_us, 1e-9 * horizon);
+  EXPECT_NEAR(window_busy, totals.wave_busy_us, 1e-9 * horizon);
+  EXPECT_NEAR(device_energy, totals.energy_j, 1e-9 * totals.energy_j);
+  EXPECT_NEAR(window_energy, totals.energy_j, 1e-9 * totals.energy_j);
+  ASSERT_GT(totals.bits, 0);
+  EXPECT_DOUBLE_EQ(totals.joules_per_bit,
+                   totals.energy_j / static_cast<double>(totals.bits));
+}
+
+TEST(SloMonitorTest, SpecGrammarParsesAndRejects) {
+  std::string error;
+  const std::vector<obs::SloSpec> specs =
+      obs::parse_slo_specs(" miss_rate<=0.05, p99<=2500, miss_rate<=0.1@6/2 ",
+                           &error);
+  ASSERT_EQ(specs.size(), 3u) << error;
+  EXPECT_EQ(specs[0].kind, obs::SloSpec::Kind::kMissRate);
+  EXPECT_DOUBLE_EQ(specs[0].threshold, 0.05);
+  EXPECT_EQ(specs[0].long_windows, 4u);
+  EXPECT_EQ(specs[0].short_windows, 1u);
+  EXPECT_EQ(specs[1].kind, obs::SloSpec::Kind::kP99);
+  EXPECT_DOUBLE_EQ(specs[1].threshold, 2500.0);
+  EXPECT_EQ(specs[2].long_windows, 6u);
+  EXPECT_EQ(specs[2].short_windows, 2u);
+  EXPECT_EQ(specs[2].name, "miss_rate<=0.1@6/2");
+
+  for (const char* bad : {"latency<=5", "miss_rate<0.05", "miss_rate<=-1",
+                          "miss_rate<=0.05@1/2", "p99<=2500@4/0", "p99<="}) {
+    error.clear();
+    EXPECT_TRUE(obs::parse_slo_specs(bad, &error).empty()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(SloMonitorTest, StormAlertsAreDeterministicAndQuietRunIsClean) {
+  const obs::SloMonitor monitor(obs::parse_slo_specs("miss_rate<=0.05"));
+
+  // The storm arm must alert, identically on every evaluation and at any
+  // thread count; alerts carry the breaching window's exact bounds.
+  const obs::WindowedCollector storm = window_log(trace_storm(), 1);
+  const std::vector<obs::SloReport> first = monitor.evaluate(storm);
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_GE(first[0].alerts.size(), 1u) << "storm did not breach the SLO";
+  EXPECT_EQ(first[0].breached_windows, first[0].alerts.size());
+  for (const obs::AlertEvent& alert : first[0].alerts) {
+    ASSERT_LT(alert.window, storm.windows().size());
+    EXPECT_EQ(alert.start_us, storm.windows()[alert.window].start_us);
+    EXPECT_EQ(alert.end_us, storm.windows()[alert.window].end_us);
+    EXPECT_GT(alert.value, alert.threshold);
+    EXPECT_DOUBLE_EQ(alert.burn, alert.value / alert.threshold);
+  }
+  EXPECT_EQ(windowed_digest(storm, monitor.evaluate(storm)),
+            windowed_digest(storm, first));
+  const obs::WindowedCollector threaded = window_log(trace_storm(8, 16), 1);
+  EXPECT_EQ(windowed_digest(threaded, monitor.evaluate(threaded)),
+            windowed_digest(storm, first));
+
+  // The fault-free arm of the same workload stays alert-free.
+  obs::TraceLog quiet_log;
+  serve::ServiceConfig quiet = fast_service();
+  quiet.trace = &quiet_log;
+  serve::LoadGenerator gen(bpsk8_load(120.0, /*deadline_us=*/200.0), 0x57043);
+  serve::DecodeService(quiet).run(gen.open_loop(48));
+  const std::vector<obs::SloReport> clean =
+      monitor.evaluate(window_log(quiet_log, 1));
+  ASSERT_EQ(clean.size(), 1u);
+  EXPECT_TRUE(clean[0].alerts.empty()) << "fault-free arm raised alerts";
+  EXPECT_EQ(clean[0].breached_windows, 0u);
 }
 
 }  // namespace
